@@ -1,0 +1,56 @@
+"""Extension bench: cost-based AUTO strategy vs the static strategies.
+
+The paper's §IX future work envisions RDBMS-style query optimization for
+object stores.  This bench runs the Fig.-3 query sequence with the AUTO
+planner picking a strategy per query and compares its total time against
+each fixed strategy on an identical fresh deployment — AUTO should land
+at or near the best static choice without the user knowing which that is.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.harness import build_vpic_system, get_vpic_dataset, run_pdc_series
+from repro.bench.report import format_kv_table
+from repro.strategies import Strategy
+from repro.types import MB
+from repro.workloads.queries import single_object_queries
+
+
+@pytest.mark.benchmark(group="extension")
+def test_auto_strategy_selection(benchmark, scale, report):
+    specs = single_object_queries(10)
+    ds = get_vpic_dataset(scale)
+
+    def run():
+        totals = {}
+        for strategy in (
+            Strategy.HISTOGRAM,
+            Strategy.HIST_INDEX,
+            Strategy.SORT_HIST,
+            Strategy.AUTO,
+        ):
+            system, _ = build_vpic_system(
+                scale,
+                32 * MB,
+                ("Energy",),
+                with_index=("Energy",),
+                sorted_by="Energy",
+                dataset=ds,
+            )
+            rows = run_pdc_series(system, ds, specs, strategy)
+            totals[strategy.paper_label] = sum(r.query_s for r in rows)
+        return totals
+
+    totals = run_once(benchmark, run)
+    best_static = min(v for k, v in totals.items() if k != "PDC-AUTO")
+    rows = [(k, f"{v * 1e3:9.2f} ms total") for k, v in totals.items()]
+    rows.append(("AUTO vs best static", f"{totals['PDC-AUTO'] / best_static:9.2f}x"))
+    report("extension_auto", format_kv_table(
+        "Extension: AUTO strategy vs static strategies (10 energy windows)", rows
+    ))
+    # AUTO must be competitive: within 2x of the best static strategy and
+    # never the worst.
+    assert totals["PDC-AUTO"] <= best_static * 2.0
+    worst_static = max(v for k, v in totals.items() if k != "PDC-AUTO")
+    assert totals["PDC-AUTO"] < worst_static

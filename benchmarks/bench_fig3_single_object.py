@@ -1,0 +1,49 @@
+"""Fig. 3 (a–f): single-object (Energy) query performance.
+
+Regenerates the paper's six sub-figures: 15 queries of increasing
+selectivity (0.0004 % → 1.3 %), five approaches (HDF5-F, PDC-F, PDC-H,
+PDC-HI, PDC-SH), region sizes 4–128 MB.  Every query's answer is verified
+against numpy ground truth as it runs.
+
+Expected shape (§VI-A): PDC-F up to 2× over HDF5-F; PDC-H ≥ ~2×; PDC-HI
+4–14×; PDC-SH fastest overall with the largest wins at high selectivity;
+32–64 MB regions perform best; PDC-HI's get-data time exceeds its query
+time (the index never reads the data).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figures import run_fig3
+from repro.bench.harness import PAPER_REGION_SIZES
+from repro.bench.report import (
+    format_series_chart,
+    format_series_table,
+    format_speedup_summary,
+)
+from repro.types import MB
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("region_mb", [s // MB for s in PAPER_REGION_SIZES])
+def test_fig3_region_size(benchmark, scale, report, region_mb):
+    results = run_once(
+        benchmark, run_fig3, scale, region_sizes=[region_mb * MB], quiet=True
+    )
+    series = results[region_mb * MB]
+    text = format_series_table(
+        f"Fig 3 — single-object (Energy) queries, {region_mb} MB regions "
+        f"({scale.n_servers} servers, scale={scale.name})",
+        series,
+    )
+    text += "\n" + format_speedup_summary(series, baseline="HDF5-F")
+    text += "\n\n" + format_series_chart(
+        f"Fig 3 shape, {region_mb} MB regions (query time)", series
+    )
+    report(f"fig3_{region_mb}mb", text)
+
+    if scale.name == "tiny":
+        return  # too few regions for shape assertions; tables still saved
+    # Paper-shape assertions (coarse, scale-tolerant).
+    for h5, f in zip(series["HDF5-F"], series["PDC-F"]):
+        assert f.query_s < h5.query_s, "PDC-F must beat HDF5-F (§VI-A)"

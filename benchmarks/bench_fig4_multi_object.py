@@ -1,0 +1,48 @@
+"""Fig. 4: multi-object (Energy, x, y, z) queries at 32 MB regions.
+
+Six compound AND queries whose energy threshold relaxes from 2.0 to 1.3
+while the spatial windows tighten.  Expected shape (§VI-B): all PDC
+optimizations beat the full scans; the sorted approach wins when the
+query is highly selective on the sort key (Q1–Q2) but degrades to
+histogram-only performance when the planner evaluates ``x`` first
+(final queries).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figures import run_fig4
+from repro.bench.report import (
+    format_series_chart,
+    format_series_table,
+    format_speedup_summary,
+)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_multi_object(benchmark, scale, report):
+    series = run_once(benchmark, run_fig4, scale, quiet=True)
+    text = format_series_table(
+        f"Fig 4 — multi-object queries, 32 MB regions "
+        f"({scale.n_servers} servers, scale={scale.name})",
+        series,
+    )
+    text += "\n" + format_speedup_summary(series, baseline="HDF5-F")
+    text += "\n\n" + format_series_chart("Fig 4 shape (query time)", series)
+    report("fig4_multi_object", text)
+
+    if scale.name == "tiny":
+        return  # too few regions for shape assertions; tables still saved
+    # Full scans beaten everywhere.
+    for label in ("PDC-H", "PDC-HI", "PDC-SH"):
+        assert (
+            sum(r.query_s for r in series[label])
+            < sum(r.query_s for r in series["HDF5-F"])
+        ), label
+    # §VI-B: sorted ≈ histogram-only on the final (x-first) query.
+    assert series["PDC-SH"][-1].query_s == pytest.approx(
+        series["PDC-H"][-1].query_s, rel=0.35
+    )
+    # §VI-B: sorted is the best approach on the first (energy-first) query.
+    q1 = {label: series[label][0].query_s for label in series}
+    assert min(q1, key=q1.get) == "PDC-SH"

@@ -1,0 +1,37 @@
+"""Fig. 5: combined metadata + data queries on the H5BOSS catalog.
+
+The metadata predicate (``RADEG=153.17 AND DECDEG=23.06``) selects one
+plate's fibers; the flux window sweeps the selectivity range.  Expected
+shape (§VI-C): PDC is multi-fold faster than the HDF5 traversal of every
+file, the speedup coming mostly from the in-memory metadata service; PDC's
+time is near-flat across flux selectivities because each small object is
+one region read either way.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figures import run_fig5
+from repro.bench.report import format_series_table, format_speedup_summary
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_boss(benchmark, scale, report):
+    series = run_once(benchmark, run_fig5, scale, quiet=True)
+    text = format_series_table(
+        f"Fig 5 — BOSS metadata+data queries ({scale.boss_objects} objects, "
+        f"{scale.n_servers} servers, scale={scale.name})",
+        series,
+        show_get_data=False,
+    )
+    text += "\n" + format_speedup_summary(series, baseline="HDF5")
+    report("fig5_boss", text)
+
+    # Multi-fold PDC speedup on every window.
+    for h5, h in zip(series["HDF5"], series["PDC-H"]):
+        assert h.query_s * 3 < h5.query_s
+        assert h.nhits == h5.nhits
+    # Near-flat PDC time across selectivities (excluding the cold first
+    # query): max/min within an order of magnitude.
+    warm = [r.query_s for r in series["PDC-H"][1:]]
+    assert max(warm) < 10 * min(warm)

@@ -1,0 +1,46 @@
+"""Fig. 6: query-time scaling with the number of PDC servers.
+
+One multi-object query (~0.011 % selectivity) evaluated with 32 → 512
+servers.  Expected shape: PDC-H and PDC-HI improve with more servers
+(each server processes less data); PDC-SH is already bound by its tiny
+sorted run and stays flat at the lowest absolute time.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figures import run_fig6
+from repro.bench.report import format_kv_table
+
+SERVER_COUNTS = (32, 64, 128, 256, 512)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_scaling(benchmark, scale, report):
+    # The tiny preset has too few regions to feed hundreds of servers.
+    counts = (2, 4, 8) if scale.name == "tiny" else SERVER_COUNTS
+    results = run_once(
+        benchmark, run_fig6, scale, server_counts=counts, quiet=True
+    )
+    rows = []
+    for i, n in enumerate(counts):
+        cells = ", ".join(
+            f"{label}={results[label][i][1] * 1e3:8.2f}ms" for label in results
+        )
+        rows.append((f"{n:4d} servers", cells))
+    report(
+        "fig6_scaling",
+        format_kv_table(
+            f"Fig 6 — multi-object query scaling (scale={scale.name})", rows
+        ),
+    )
+
+    if scale.name == "tiny":
+        return
+    # H and HI must improve from the smallest to the largest deployment.
+    for label in ("PDC-H", "PDC-HI"):
+        times = [t for _, t in results[label]]
+        assert times[-1] < times[0], label
+    # SH must stay at least as fast as the others everywhere.
+    for i in range(len(counts)):
+        assert results["PDC-SH"][i][1] <= results["PDC-HI"][i][1] * 1.5

@@ -1,0 +1,60 @@
+"""§V: bitmap-index storage footprint.
+
+The paper reports the FastBit index at 500–600 GB — 15–17 % of the 3.3 TB
+seven-variable dataset, i.e. roughly 1.1–1.3× the single indexed Energy
+object.  This bench measures the same ratio for the synthetic data across
+region sizes, plus the sorted-replica footprint ("a full copy of the
+data", §V).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.figures import run_index_size
+from repro.bench.harness import build_vpic_system
+from repro.bench.report import format_kv_table
+from repro.types import MB
+from repro.workloads.vpic import VARIABLES
+
+
+@pytest.mark.benchmark(group="storage")
+def test_index_size_by_region_size(benchmark, scale, report):
+    sizes = [4 * MB, 32 * MB, 128 * MB]
+    fractions = run_once(benchmark, run_index_size, scale, region_sizes=sizes, quiet=True)
+    rows = [
+        (
+            f"{rs // MB:3d} MB regions",
+            f"{frac * 100:6.1f}% of the Energy object "
+            f"({frac / len(VARIABLES) * 100:5.1f}% of a {len(VARIABLES)}-variable dataset; "
+            f"paper: 15-17%)",
+        )
+        for rs, frac in fractions.items()
+    ]
+    report("index_size", format_kv_table("Bitmap index storage footprint", rows))
+    for frac in fractions.values():
+        assert 0.1 < frac < 5.0
+
+
+@pytest.mark.benchmark(group="storage")
+def test_sorted_replica_size(benchmark, scale, report):
+    def build():
+        system, _ = build_vpic_system(
+            scale, 32 * MB, ("Energy", "x"), sorted_by="Energy"
+        )
+        return system
+
+    system = run_once(benchmark, build)
+    group = system.replicas["Energy"]
+    data_bytes = sum(system.get_object(v).data.nbytes for v in ("Energy", "x"))
+    frac = group.replica.nbytes / data_bytes
+    report(
+        "replica_size",
+        format_kv_table(
+            "Sorted-replica storage footprint",
+            [
+                ("replica / original", f"{frac * 100:.0f}%  (paper: a full copy + coordinate map)"),
+                ("one-time build cost", f"{group.build_time_s:.3f} simulated seconds"),
+            ],
+        ),
+    )
+    assert frac >= 1.0  # at least a full copy (§V)

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one of the paper's tables/figures: the *simulated*
+times (the reproduction target) are written to ``benchmarks/results/`` and
+echoed to the terminal; pytest-benchmark additionally records the wall
+time of the harness itself.
+
+Select the scale with ``REPRO_BENCH_SCALE={tiny,small,full}`` (default
+small — minutes for the whole suite).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.harness import scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+@pytest.fixture
+def report(capsys):
+    """Write a named report to benchmarks/results/ and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[saved to {path}]")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy figure driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

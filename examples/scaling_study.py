@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Fig. 6-style scaling study: query time vs number of PDC servers.
+
+Evaluates one selective multi-object query on deployments of 8 to 256
+servers, for the three optimized strategies.  More servers → each
+evaluates fewer regions → faster queries, until per-query fixed costs
+dominate.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import MB, PDCConfig, PDCSystem, Strategy
+from repro.query.executor import QueryEngine
+from repro.workloads.queries import build_pdc_query, scaling_query
+from repro.workloads.vpic import VPICConfig, generate_vpic
+
+
+def main() -> None:
+    ds = generate_vpic(VPICConfig(n_particles=1 << 19))
+    spec = scaling_query()
+    print(f"query: {spec.label}")
+
+    server_counts = (8, 16, 32, 64, 128, 256)
+    strategies = (
+        ("PDC-H", Strategy.HISTOGRAM, {}),
+        ("PDC-HI", Strategy.HIST_INDEX, {"index": True}),
+        ("PDC-SH", Strategy.SORT_HIST, {"replica": True}),
+    )
+
+    print(f"\n{'servers':>8}" + "".join(f"{label:>14}" for label, _, _ in strategies))
+    for n in server_counts:
+        row = f"{n:>8}"
+        for label, strategy, opts in strategies:
+            system = PDCSystem(
+                PDCConfig(n_servers=n, region_size_bytes=32 * MB, virtual_scale=512.0)
+            )
+            for name in ("Energy", "x", "y", "z"):
+                system.create_object(name, ds.arrays[name])
+            if opts.get("index"):
+                for name in ("Energy", "x", "y", "z"):
+                    system.build_index(name)
+            if opts.get("replica"):
+                system.build_sorted_replica("Energy", ["x", "y", "z"])
+            engine = QueryEngine(system)
+            q = build_pdc_query(system, spec)
+            res = engine.execute(q.node, strategy=strategy)
+            row += f"{res.elapsed_s * 1e3:>11.2f}ms"
+        print(row)
+
+    print("\nPDC-H and PDC-HI speed up with more servers; PDC-SH is bound")
+    print("by its (tiny) sorted run and stays flat at the lowest time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the open-source release a zero-code entry point:
+
+* ``python -m repro fig3|fig4|fig5|fig6|index-size`` — regenerate a paper
+  figure's table at a chosen scale;
+* ``python -m repro all`` — every figure;
+* ``python -m repro selftest`` — a fast end-to-end sanity check (all
+  strategies vs ground truth on fresh synthetic data);
+* ``python -m repro info`` — version, scale presets, strategy list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        choices=("tiny", "small", "full"),
+        default="small",
+        help="benchmark scale preset (default: small)",
+    )
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .bench.figures import run_fig3, run_fig4, run_fig5, run_fig6, run_index_size
+    from .bench.harness import SCALES
+    from .types import MB
+
+    scale = SCALES[args.scale]
+    which = args.command
+    if which in ("fig3", "all"):
+        sizes = (
+            [int(s) * MB for s in args.region_sizes.split(",")]
+            if getattr(args, "region_sizes", None)
+            else None
+        )
+        run_fig3(scale, **({"region_sizes": sizes} if sizes else {}))
+    if which in ("fig4", "all"):
+        run_fig4(scale)
+    if which in ("fig5", "all"):
+        run_fig5(scale)
+    if which in ("fig6", "all"):
+        run_fig6(scale)
+    if which in ("index-size", "all"):
+        run_index_size(scale)
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .pdc import PDCConfig, PDCSystem
+    from .query.ast import Condition, combine_and
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+    from .types import PDCType, QueryOp
+
+    rng = np.random.default_rng(0)
+    system = PDCSystem(PDCConfig(n_servers=4, region_size_bytes=1 << 13))
+    n = 1 << 14
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300).astype(np.float32)
+    system.create_object("energy", e)
+    system.create_object("x", x)
+    system.build_index("energy")
+    system.build_index("x")
+    system.build_sorted_replica("energy", ["x"])
+
+    node = combine_and(
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0),
+        Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
+    )
+    truth = int(((e > 2.0) & (x < 150.0)).sum())
+    engine = QueryEngine(system)
+    failures = 0
+    for strategy in Strategy:
+        res = engine.execute(node, strategy=strategy)
+        status = "ok" if res.nhits == truth else "FAIL"
+        failures += status == "FAIL"
+        used = res.strategy.paper_label
+        print(
+            f"  {strategy.paper_label:<9} -> {used:<8} {res.nhits:>6} hits "
+            f"({res.elapsed_s * 1e3:7.2f} simulated ms)  {status}"
+        )
+    # Distributed transport cross-check.
+    from .pdc.transport import run_distributed_query
+
+    wire = run_distributed_query(system, node, n_server_ranks=4)
+    wire_ok = wire.size == truth
+    failures += not wire_ok
+    print(f"  simmpi wire path        {wire.size:>6} hits  {'ok' if wire_ok else 'FAIL'}")
+    from .pdc.observability import report as status_report
+
+    print()
+    print(status_report(system, top_servers=4))
+    print()
+    print("selftest:", "PASS" if failures == 0 else f"FAIL ({failures})")
+    return 1 if failures else 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+    from .bench.harness import SCALES
+    from .strategies import Strategy
+
+    print(f"repro {__version__} — PDC-Query reproduction (IPDPS 2020)")
+    print("strategies:", ", ".join(f"{s.value} ({s.paper_label})" for s in Strategy))
+    print("scales:")
+    for name, sc in SCALES.items():
+        print(
+            f"  {name:<6} {sc.vpic_particles:>9,} particles x scale "
+            f"{sc.virtual_scale:>6.0f}, {sc.n_servers} servers, "
+            f"{sc.boss_objects:,} BOSS objects"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PDC-Query reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("fig3", "single-object queries across region sizes (Fig. 3)"),
+        ("fig4", "multi-object queries (Fig. 4)"),
+        ("fig5", "BOSS metadata+data queries (Fig. 5)"),
+        ("fig6", "server-count scaling (Fig. 6)"),
+        ("index-size", "bitmap index storage footprint (§V)"),
+        ("all", "every figure"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_scale_arg(p)
+        if name in ("fig3", "all"):
+            p.add_argument(
+                "--region-sizes",
+                help="comma-separated region sizes in MB (fig3 only), e.g. 4,32,128",
+            )
+        p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("selftest", help="fast end-to-end sanity check")
+    p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("info", help="version, strategies, scale presets")
+    p.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

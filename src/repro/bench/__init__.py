@@ -1,0 +1,46 @@
+"""Benchmark harness: scale presets, series runners, per-figure drivers,
+and ASCII reporting."""
+
+from .figures import run_fig3, run_fig4, run_fig5, run_fig6, run_index_size
+from .harness import (
+    PAPER_REGION_SIZES,
+    SCALES,
+    BenchScale,
+    QueryRow,
+    build_boss_system,
+    build_vpic_system,
+    get_boss_dataset,
+    get_vpic_dataset,
+    run_hdf5_series,
+    run_pdc_series,
+    scale_from_env,
+)
+from .report import (
+    format_kv_table,
+    format_series_chart,
+    format_series_table,
+    format_speedup_summary,
+)
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_index_size",
+    "PAPER_REGION_SIZES",
+    "SCALES",
+    "BenchScale",
+    "QueryRow",
+    "build_boss_system",
+    "build_vpic_system",
+    "get_boss_dataset",
+    "get_vpic_dataset",
+    "run_hdf5_series",
+    "run_pdc_series",
+    "scale_from_env",
+    "format_kv_table",
+    "format_series_chart",
+    "format_series_table",
+    "format_speedup_summary",
+]

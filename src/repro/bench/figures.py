@@ -1,0 +1,267 @@
+"""Per-figure benchmark drivers: one function per table/figure of the
+paper's evaluation (§VI), each returning structured rows and printing the
+same series the paper plots.
+
+| Paper artifact | Driver |
+|----------------|--------|
+| Fig. 3 (a–f)   | :func:`run_fig3` — single-object queries × region sizes |
+| Fig. 4         | :func:`run_fig4` — multi-object queries at 32 MB |
+| Fig. 5         | :func:`run_fig5` — BOSS metadata+data queries |
+| Fig. 6         | :func:`run_fig6` — server-count scaling |
+| §V index size  | :func:`run_index_size` |
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+from ..baselines.hdf5_fullscan import HDF5FullScanEngine
+from ..interval import Interval
+from ..query.executor import QueryEngine
+from ..strategies import Strategy
+from ..types import MB
+from ..workloads.queries import (
+    QuerySpec,
+    boss_flux_windows,
+    multi_object_queries,
+    scaling_query,
+    single_object_queries,
+)
+from .harness import (
+    PAPER_REGION_SIZES,
+    BenchScale,
+    QueryRow,
+    build_boss_system,
+    build_vpic_system,
+    get_vpic_dataset,
+    run_hdf5_series,
+    run_pdc_series,
+    scale_from_env,
+)
+from .report import format_kv_table, format_series_table, format_speedup_summary
+
+__all__ = ["run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_index_size"]
+
+#: Series order used by the paper's plots.
+_PDC_SERIES = (
+    ("PDC-F", Strategy.FULL_SCAN, True),
+    ("PDC-H", Strategy.HISTOGRAM, False),
+    ("PDC-HI", Strategy.HIST_INDEX, False),
+    ("PDC-SH", Strategy.SORT_HIST, False),
+)
+
+
+def _vpic_series_for(
+    scale: BenchScale,
+    region_size: int,
+    specs: Sequence[QuerySpec],
+    variables: Sequence[str],
+    series_filter: Optional[Sequence[str]] = None,
+    n_servers: Optional[int] = None,
+) -> Dict[str, List[QueryRow]]:
+    """Run HDF5-F + the four PDC configurations on one region size.
+
+    Each approach gets a fresh deployment (its own caches), like separate
+    runs on Cori; all share the same generated dataset.
+    """
+    ds = get_vpic_dataset(scale)
+    wanted = set(series_filter or ("HDF5-F", "PDC-F", "PDC-H", "PDC-HI", "PDC-SH"))
+    out: Dict[str, List[QueryRow]] = {}
+
+    if "HDF5-F" in wanted:
+        system, _ = build_vpic_system(
+            scale, region_size, variables, dataset=ds, n_servers=n_servers
+        )
+        out["HDF5-F"] = run_hdf5_series(system, ds, specs)
+
+    for label, strategy, preload in _PDC_SERIES:
+        if label not in wanted:
+            continue
+        with_index = variables if strategy is Strategy.HIST_INDEX else ()
+        sorted_by = "Energy" if strategy is Strategy.SORT_HIST else None
+        system, _ = build_vpic_system(
+            scale,
+            region_size,
+            variables,
+            with_index=with_index,
+            sorted_by=sorted_by,
+            dataset=ds,
+            n_servers=n_servers,
+        )
+        out[label] = run_pdc_series(system, ds, specs, strategy, preload=preload)
+    return out
+
+
+def run_fig3(
+    scale: Optional[BenchScale] = None,
+    region_sizes: Sequence[int] = PAPER_REGION_SIZES,
+    n_queries: int = 15,
+    quiet: bool = False,
+) -> Dict[int, Dict[str, List[QueryRow]]]:
+    """Fig. 3: single-object (Energy) query performance across approaches
+    and region sizes, 15 queries of increasing selectivity."""
+    scale = scale or scale_from_env()
+    specs = single_object_queries(n_queries)
+    results: Dict[int, Dict[str, List[QueryRow]]] = {}
+    for rs in region_sizes:
+        series = _vpic_series_for(scale, rs, specs, variables=("Energy",))
+        results[rs] = series
+        if not quiet:
+            print(
+                format_series_table(
+                    f"Fig 3 — single-object queries, {rs // MB} MB regions "
+                    f"({scale.n_servers} servers, scale={scale.name})",
+                    series,
+                )
+            )
+            print(format_speedup_summary(series, baseline="HDF5-F"))
+            print()
+    return results
+
+
+def run_fig4(
+    scale: Optional[BenchScale] = None,
+    region_size: int = 32 * MB,
+    quiet: bool = False,
+) -> Dict[str, List[QueryRow]]:
+    """Fig. 4: six multi-object (Energy, x, y, z) queries at the best
+    region size (32 MB)."""
+    scale = scale or scale_from_env()
+    specs = multi_object_queries()
+    series = _vpic_series_for(
+        scale, region_size, specs, variables=("Energy", "x", "y", "z")
+    )
+    if not quiet:
+        print(
+            format_series_table(
+                f"Fig 4 — multi-object queries, {region_size // MB} MB regions "
+                f"({scale.n_servers} servers, scale={scale.name})",
+                series,
+            )
+        )
+        print(format_speedup_summary(series, baseline="HDF5-F"))
+    return series
+
+
+def run_fig5(
+    scale: Optional[BenchScale] = None,
+    quiet: bool = False,
+) -> Dict[str, List[QueryRow]]:
+    """Fig. 5: metadata (RADEG/DECDEG) + data (flux window) queries on the
+    BOSS catalog: HDF5 traversal vs PDC-H vs PDC-HI."""
+    scale = scale or scale_from_env()
+    windows = boss_flux_windows()
+    tag_cond = {"RADEG": 153.17, "DECDEG": 23.06}
+
+    series: Dict[str, List[QueryRow]] = {}
+
+    # HDF5: full traversal per query.
+    system, ds = build_boss_system(scale)
+    h5 = HDF5FullScanEngine(system)
+    all_names = [f.name for f in ds.fibers]
+    rows = []
+    for lo, hi in windows:
+        iv = Interval(lo=lo, hi=hi, lo_closed=False, hi_closed=False)
+        res = h5.boss_traverse(tag_cond, iv, all_names)
+        rows.append(
+            QueryRow(
+                label=f"{lo:g}<flux<{hi:g}",
+                selectivity=ds.flux_selectivity(lo, hi),
+                nhits=res.nhits,
+                query_s=res.elapsed_s,
+            )
+        )
+    series["HDF5"] = rows
+
+    # One PDC deployment serves both configurations: run histogram-only
+    # first, then build indexes and re-run cold (caches dropped).
+    system, ds = build_boss_system(scale)
+    for label, with_index in (("PDC-H", False), ("PDC-HI", True)):
+        if with_index:
+            for fiber in ds.fibers:
+                system.build_index(fiber.name)
+            system.drop_all_caches()
+        engine = QueryEngine(system)
+        strategy = Strategy.HIST_INDEX if with_index else Strategy.HISTOGRAM
+        rows = []
+        for lo, hi in windows:
+            iv = Interval(lo=lo, hi=hi, lo_closed=False, hi_closed=False)
+            res = engine.metadata_data_query(tag_cond, iv, strategy=strategy)
+            rows.append(
+                QueryRow(
+                    label=f"{lo:g}<flux<{hi:g}",
+                    selectivity=ds.flux_selectivity(lo, hi),
+                    nhits=res.total_hits,
+                    query_s=res.elapsed_s,
+                )
+            )
+        series[label] = rows
+
+    if not quiet:
+        print(
+            format_series_table(
+                f"Fig 5 — BOSS metadata+data queries ({ds.n_objects} objects, "
+                f"{scale.n_servers} servers, scale={scale.name})",
+                series,
+                show_get_data=False,
+            )
+        )
+        print(format_speedup_summary(series, baseline="HDF5"))
+    return series
+
+
+def run_fig6(
+    scale: Optional[BenchScale] = None,
+    server_counts: Sequence[int] = (32, 64, 128, 256, 512),
+    quiet: bool = False,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Fig. 6: one multi-object query (~0.011 % selectivity) across server
+    counts; PDC-H / PDC-HI / PDC-SH (full-scan omitted, as in the paper)."""
+    scale = scale or scale_from_env()
+    spec = scaling_query()
+    results: Dict[str, List[Tuple[int, float]]] = {"PDC-H": [], "PDC-HI": [], "PDC-SH": []}
+    for n in server_counts:
+        series = _vpic_series_for(
+            scale,
+            32 * MB,
+            [spec],
+            variables=("Energy", "x", "y", "z"),
+            series_filter=("PDC-H", "PDC-HI", "PDC-SH"),
+            n_servers=n,
+        )
+        for label in results:
+            results[label].append((n, series[label][0].query_s))
+    if not quiet:
+        rows = []
+        for n_idx, n in enumerate(server_counts):
+            cells = ", ".join(
+                f"{label}={results[label][n_idx][1] * 1e3:.2f}ms" for label in results
+            )
+            rows.append((f"{n} servers", cells))
+        print(format_kv_table(f"Fig 6 — scaling ({spec.label})", rows))
+    return results
+
+
+def run_index_size(
+    scale: Optional[BenchScale] = None,
+    region_sizes: Sequence[int] = (4 * MB, 32 * MB, 128 * MB),
+    quiet: bool = False,
+) -> Dict[int, float]:
+    """§V: Fastbit index storage footprint as a fraction of object data,
+    per region size (paper: 15–17 % of the 7-variable total, i.e. roughly
+    1.1× the indexed Energy object)."""
+    scale = scale or scale_from_env()
+    ds = get_vpic_dataset(scale)
+    out: Dict[int, float] = {}
+    rows = []
+    for rs in region_sizes:
+        system, _ = build_vpic_system(
+            scale, rs, variables=("Energy",), with_index=("Energy",), dataset=ds
+        )
+        frac = system.index_size_bytes("Energy") / system.get_object("Energy").data.nbytes
+        out[rs] = frac
+        rows.append((f"{rs // MB} MB regions", f"{frac * 100:.1f}% of object data"))
+    if not quiet:
+        print(format_kv_table("Index size (Energy object)", rows))
+    return out

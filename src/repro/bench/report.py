@@ -1,0 +1,135 @@
+"""ASCII rendering of benchmark results — the "rows/series the paper
+reports", printable from any bench run."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .harness import QueryRow
+
+__all__ = ["format_series_table", "format_speedup_summary", "format_kv_table", "format_series_chart"]
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds * 1e6:7.1f}us"
+
+
+def format_series_table(
+    title: str,
+    series: Dict[str, List[QueryRow]],
+    show_get_data: bool = True,
+) -> str:
+    """One table: rows = queries, columns = approaches.
+
+    Query/get-data times per approach; the label/selectivity columns come
+    from the first series (all series run identical query sequences).
+    """
+    labels = list(series)
+    first = series[labels[0]]
+    lines = [title, "=" * len(title)]
+    header = f"{'query':<34} {'select%':>9} " + " ".join(f"{l:>12}" for l in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, row in enumerate(first):
+        cells = []
+        for l in labels:
+            r = series[l][i]
+            t = r.total_s if show_get_data else r.query_s
+            cells.append(f"{_fmt_time(t):>12}")
+        lines.append(
+            f"{row.label:<34} {row.selectivity * 100:>8.4f}% " + " ".join(cells)
+        )
+    if show_get_data:
+        lines.append("")
+        lines.append("(cells are query + get-data time; query-only below)")
+        for i, row in enumerate(first):
+            cells = [f"{_fmt_time(series[l][i].query_s):>12}" for l in labels]
+            lines.append(
+                f"{row.label:<34} {row.selectivity * 100:>8.4f}% " + " ".join(cells)
+            )
+    return "\n".join(lines)
+
+
+def format_speedup_summary(
+    series: Dict[str, List[QueryRow]],
+    baseline: str,
+    use_total: bool = False,
+) -> str:
+    """Min/max per-query speedup of each approach over ``baseline`` —
+    directly comparable to the §VI-A headline factors."""
+    base = series[baseline]
+    lines = [f"speedup vs {baseline} (query time):"]
+    for label, rows in series.items():
+        if label == baseline:
+            continue
+        ratios = []
+        for b, r in zip(base, rows):
+            tb = b.total_s if use_total else b.query_s
+            tr = r.total_s if use_total else r.query_s
+            if tr > 0:
+                ratios.append(tb / tr)
+        if ratios:
+            lines.append(
+                f"  {label:>8}: {min(ratios):8.1f}x .. {max(ratios):8.1f}x "
+                f"(median {sorted(ratios)[len(ratios) // 2]:.1f}x)"
+            )
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    title: str,
+    series: Dict[str, List[QueryRow]],
+    width: int = 46,
+    use_total: bool = False,
+) -> str:
+    """Log-scale horizontal bar chart of the series — the figures' visual
+    shape without a plotting dependency.
+
+    One block per query; within a block one bar per approach, scaled
+    logarithmically across the whole figure so the paper's order-of-
+    magnitude spreads stay visible.
+    """
+    import math
+
+    labels = list(series)
+    values = [
+        (r.total_s if use_total else r.query_s)
+        for rows in series.values()
+        for r in rows
+    ]
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return title + "\n(no data)"
+    lo = math.log10(min(positive))
+    hi = math.log10(max(positive))
+    span = max(hi - lo, 1e-9)
+
+    def bar(v: float) -> str:
+        if v <= 0:
+            return ""
+        frac = (math.log10(v) - lo) / span
+        return "#" * max(1, int(round(frac * width)))
+
+    lines = [title, "=" * len(title), f"(log scale, {'#' * 10} spans decades)"]
+    first = series[labels[0]]
+    label_w = max(len(l) for l in labels)
+    for i, row in enumerate(first):
+        lines.append(f"{row.label}  ({row.selectivity * 100:.4f}%)")
+        for l in labels:
+            r = series[l][i]
+            v = r.total_s if use_total else r.query_s
+            lines.append(f"  {l:<{label_w}} {_fmt_time(v)} |{bar(v)}")
+    return "\n".join(lines)
+
+
+def format_kv_table(title: str, rows: Sequence[tuple]) -> str:
+    """Simple two-column table for scalar results (index sizes, ablations)."""
+    lines = [title, "=" * len(title)]
+    width = max((len(str(k)) for k, _ in rows), default=8)
+    for k, v in rows:
+        lines.append(f"{str(k):<{width}}  {v}")
+    return "\n".join(lines)

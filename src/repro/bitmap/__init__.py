@@ -1,0 +1,31 @@
+"""Bitmap-index subsystem: WAH compression, FastBit-style precision
+binning, and per-region bitmap indexes (§III-D4)."""
+
+from .binning import assign_bins, classify_bins, sig_digit_edges
+from .index import BitmapQueryResult, RegionBitmapIndex
+from .wah import (
+    GROUP_BITS,
+    compress,
+    compressed_nbytes,
+    count_set_bits,
+    decompress,
+    logical_and,
+    logical_not,
+    logical_or,
+)
+
+__all__ = [
+    "assign_bins",
+    "classify_bins",
+    "sig_digit_edges",
+    "BitmapQueryResult",
+    "RegionBitmapIndex",
+    "GROUP_BITS",
+    "compress",
+    "compressed_nbytes",
+    "count_set_bits",
+    "decompress",
+    "logical_and",
+    "logical_not",
+    "logical_or",
+]

@@ -1,0 +1,295 @@
+"""Per-region binned bitmap indexes (FastBit-equivalent).
+
+§III-D4: *"We construct a bitmap for each region"*; querying reads and
+reconstructs the index instead of the region's data.  A
+:class:`RegionBitmapIndex` holds one WAH-compressed bitmap per occupied bin
+of the significant-digit grid; a range query ORs the bitmaps of
+fully-covered bins and (only when endpoints fall off the grid) flags
+boundary bins for a raw-data candidate check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..interval import Interval
+from . import wah
+from .binning import assign_bins, sig_digit_edges
+
+__all__ = ["RegionBitmapIndex", "BitmapQueryResult"]
+
+
+@dataclass
+class BitmapQueryResult:
+    """Outcome of an index probe on one region.
+
+    ``sure_positions`` are definite hits (elements of fully-covered bins).
+    ``candidate_positions`` may or may not match and must be verified
+    against the raw values — empty for on-grid query endpoints.
+    ``words_scanned`` is the number of compressed words touched (feeds the
+    cost model).
+    """
+
+    sure_positions: np.ndarray
+    candidate_positions: np.ndarray
+    words_scanned: int
+
+    @property
+    def needs_candidate_check(self) -> bool:
+        return self.candidate_positions.size > 0
+
+
+@dataclass(frozen=True)
+class IndexProbeCost:
+    """I/O and scan footprint of one index probe (see ``query_cost``)."""
+
+    words_touched: int
+    bytes_touched: int
+    header_bytes: int
+    n_bins_touched: int
+    candidates: int
+
+
+@dataclass
+class RegionBitmapIndex:
+    """Binned, WAH-compressed bitmap index of one region's values.
+
+    Besides the per-bin bitmaps, the index records each occupied bin's true
+    content min/max.  A bin is then *fully covered* by a query interval iff
+    its content range lies inside the interval — exact even for open
+    endpoints that coincide with bin edges (the plain edge-based test would
+    send such bins to a raw-data candidate check unnecessarily).
+    """
+
+    edges: np.ndarray
+    #: Occupied bin ids, ascending.
+    bin_ids: np.ndarray
+    #: True content minimum/maximum per occupied bin (aligned to bin_ids).
+    bin_min: np.ndarray
+    bin_max: np.ndarray
+    #: bin id → compressed WAH words (only bins with members are present).
+    bitmaps: Dict[int, np.ndarray]
+    n_elements: int
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def build(cls, data: np.ndarray, precision: int = 2) -> "RegionBitmapIndex":
+        """Index a region's raw values with ``precision``-significant-digit
+        binning (paper default: 2)."""
+        data = np.asarray(data)
+        if data.ndim != 1 or data.size == 0:
+            raise IndexError_("bitmap index needs non-empty 1-D data")
+        values = data.astype(np.float64, copy=False)
+        edges = sig_digit_edges(float(values.min()), float(values.max()), precision)
+        bin_idx = assign_bins(values, edges)
+        occupied = np.unique(bin_idx)
+        bitmaps: Dict[int, np.ndarray] = {}
+        bin_min = np.empty(occupied.size)
+        bin_max = np.empty(occupied.size)
+        for k, b in enumerate(occupied):
+            member = bin_idx == b
+            words, _ = wah.compress(member)
+            bitmaps[int(b)] = words
+            members = values[member]
+            bin_min[k] = members.min()
+            bin_max[k] = members.max()
+        return cls(
+            edges=edges,
+            bin_ids=occupied.astype(np.int64),
+            bin_min=bin_min,
+            bin_max=bin_max,
+            bitmaps=bitmaps,
+            n_elements=int(values.size),
+        )
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def n_bins(self) -> int:
+        return int(self.edges.size - 1)
+
+    @property
+    def n_occupied_bins(self) -> int:
+        return len(self.bitmaps)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized index size: all compressed bitmaps + the edge array +
+        per-bitmap headers.  This is what lands in the index file (the paper
+        reports 15–17 % of data size for the VPIC objects)."""
+        return (
+            sum(wah.compressed_nbytes(w) for w in self.bitmaps.values())
+            + self.edges.size * 8
+            + len(self.bitmaps) * 16  # bin id + word count
+            + len(self.bitmaps) * 16  # content min/max
+        )
+
+    def total_words(self) -> int:
+        return sum(int(w.size) for w in self.bitmaps.values())
+
+    # ------------------------------------------------------------------ query
+    def _classify_occupied(self, interval: Interval) -> Tuple[np.ndarray, np.ndarray]:
+        """(fully-covered, partial) occupied-bin ids for ``interval``,
+        classified against true per-bin content ranges."""
+        overlap = interval.overlaps_range_arrays(self.bin_min, self.bin_max)
+        full = overlap & interval.contains_range_arrays(self.bin_min, self.bin_max)
+        partial = overlap & ~full
+        return self.bin_ids[full], self.bin_ids[partial]
+
+    def query(self, interval: Interval) -> BitmapQueryResult:
+        """Probe the index for an interval condition.
+
+        ORs the fully-covered bins' bitmaps on the compressed form; partial
+        (boundary) bins become candidates.
+        """
+        full_bins, partial_bins = self._classify_occupied(interval)
+
+        words_scanned = 0
+        acc: Optional[np.ndarray] = None
+        for b in full_bins:
+            words = self.bitmaps.get(int(b))
+            if words is None:
+                continue
+            words_scanned += int(words.size)
+            acc = words if acc is None else wah.logical_or(acc, words)
+        if acc is None:
+            sure = np.zeros(0, dtype=np.int64)
+        else:
+            sure = np.flatnonzero(wah.decompress(acc, self.n_elements)).astype(np.int64)
+
+        cand_acc: Optional[np.ndarray] = None
+        for b in partial_bins:
+            words = self.bitmaps.get(int(b))
+            if words is None:
+                continue
+            words_scanned += int(words.size)
+            cand_acc = words if cand_acc is None else wah.logical_or(cand_acc, words)
+        if cand_acc is None:
+            candidates = np.zeros(0, dtype=np.int64)
+        else:
+            candidates = np.flatnonzero(
+                wah.decompress(cand_acc, self.n_elements)
+            ).astype(np.int64)
+
+        return BitmapQueryResult(
+            sure_positions=sure,
+            candidate_positions=candidates,
+            words_scanned=words_scanned,
+        )
+
+    def count_range(self, interval: Interval) -> Tuple[int, int]:
+        """(sure_hits, candidates) counts without materializing positions —
+        the get-nhits fast path when no candidate check is needed."""
+        full_bins, partial_bins = self._classify_occupied(interval)
+        sure = sum(
+            wah.count_set_bits(self.bitmaps[int(b)])
+            for b in full_bins
+            if int(b) in self.bitmaps
+        )
+        cand = sum(
+            wah.count_set_bits(self.bitmaps[int(b)])
+            for b in partial_bins
+            if int(b) in self.bitmaps
+        )
+        return sure, cand
+
+    def query_cost(self, interval: Interval) -> "IndexProbeCost":
+        """What a FastBit-style probe of this index touches for an interval.
+
+        FastBit seeks to and reads only the bitmaps of bins overlapping the
+        condition (plus the small bin directory), so query-time index I/O is
+        proportional to the touched bins, not the whole index file.
+        """
+        full_bins, partial_bins = self._classify_occupied(interval)
+        touched = np.concatenate([full_bins, partial_bins])
+        words = int(sum(self.bitmaps[int(b)].size for b in touched))
+        candidates = sum(
+            wah.count_set_bits(self.bitmaps[int(b)]) for b in partial_bins
+        )
+        # Directory: edges + per-bin (id, offset, minmax) records.
+        header_bytes = self.edges.size * 8 + self.n_occupied_bins * 32
+        return IndexProbeCost(
+            words_touched=words,
+            bytes_touched=words * 8,
+            header_bytes=int(header_bytes),
+            n_bins_touched=int(touched.size),
+            candidates=int(candidates),
+        )
+
+    # ---------------------------------------------------------- serialization
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten to arrays for storage as one index file."""
+        bin_ids = np.array(sorted(self.bitmaps), dtype=np.int64)
+        lengths = np.array([self.bitmaps[int(b)].size for b in bin_ids], dtype=np.int64)
+        payload = (
+            np.concatenate([self.bitmaps[int(b)] for b in bin_ids])
+            if bin_ids.size
+            else np.zeros(0, dtype=np.uint64)
+        )
+        order = np.searchsorted(self.bin_ids, bin_ids)
+        return {
+            "edges": self.edges,
+            "bin_ids": bin_ids,
+            "bin_min": self.bin_min[order],
+            "bin_max": self.bin_max[order],
+            "lengths": lengths,
+            "payload": payload,
+            "meta": np.array([self.n_elements], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "RegionBitmapIndex":
+        bitmaps: Dict[int, np.ndarray] = {}
+        offset = 0
+        for b, ln in zip(arrays["bin_ids"], arrays["lengths"]):
+            bitmaps[int(b)] = np.asarray(
+                arrays["payload"][offset : offset + int(ln)], dtype=np.uint64
+            )
+            offset += int(ln)
+        return cls(
+            edges=np.asarray(arrays["edges"], dtype=np.float64),
+            bin_ids=np.asarray(arrays["bin_ids"], dtype=np.int64),
+            bin_min=np.asarray(arrays["bin_min"], dtype=np.float64),
+            bin_max=np.asarray(arrays["bin_max"], dtype=np.float64),
+            bitmaps=bitmaps,
+            n_elements=int(arrays["meta"][0]),
+        )
+
+    def to_bytes(self) -> np.ndarray:
+        """Flat uint8 buffer (the on-storage index-file format):
+        a length header followed by the five payload sections."""
+        a = self.to_arrays()
+        sections = [
+            a["edges"].astype(np.float64),
+            a["bin_ids"].astype(np.int64),
+            a["bin_min"].astype(np.float64),
+            a["bin_max"].astype(np.float64),
+            a["lengths"].astype(np.int64),
+            a["payload"].astype(np.uint64),
+            a["meta"].astype(np.int64),
+        ]
+        header = np.array([s.size for s in sections], dtype=np.int64)
+        return np.concatenate(
+            [header.view(np.uint8)] + [s.view(np.uint8) for s in sections]
+        )
+
+    @classmethod
+    def from_bytes(cls, buf: np.ndarray) -> "RegionBitmapIndex":
+        """Inverse of :meth:`to_bytes`."""
+        buf = np.ascontiguousarray(np.asarray(buf, dtype=np.uint8))
+        n_sections = 7
+        header = buf[: n_sections * 8].view(np.int64)
+        dtypes = [np.float64, np.int64, np.float64, np.float64, np.int64, np.uint64, np.int64]
+        names = ["edges", "bin_ids", "bin_min", "bin_max", "lengths", "payload", "meta"]
+        arrays: Dict[str, np.ndarray] = {}
+        off = n_sections * 8
+        for name, dt, count in zip(names, dtypes, header):
+            nbytes = int(count) * np.dtype(dt).itemsize
+            arrays[name] = buf[off : off + nbytes].view(dt)
+            off += nbytes
+        if off != buf.size:
+            raise IndexError_(f"index file corrupt: {buf.size - off} trailing bytes")
+        return cls.from_arrays(arrays)

@@ -1,0 +1,28 @@
+"""Global-histogram subsystem — the paper's primary algorithmic
+contribution (§III-D2 and §IV).
+
+* :class:`MergeableHistogram` — Algorithm 1: per-region histograms with
+  power-of-two bin widths on an aligned grid, mergeable with no global
+  communication.
+* :class:`GlobalHistogram` — the merged whole-object histogram plus the
+  per-region min/max index used for region elimination.
+* selectivity estimation and multi-object condition ordering.
+* :class:`EqualWidthHistogram` / :class:`EqualHeightHistogram` — classical
+  non-mergeable baselines for the ablation benches.
+"""
+
+from .global_hist import GlobalHistogram
+from .mergeable import MergeableHistogram, round_down_pow2
+from .selectivity import SelectivityEstimate, estimate, order_by_selectivity
+from .uniform import EqualHeightHistogram, EqualWidthHistogram
+
+__all__ = [
+    "GlobalHistogram",
+    "MergeableHistogram",
+    "round_down_pow2",
+    "SelectivityEstimate",
+    "estimate",
+    "order_by_selectivity",
+    "EqualHeightHistogram",
+    "EqualWidthHistogram",
+]

@@ -1,0 +1,96 @@
+"""Global histograms: merged per-region histograms for a whole object.
+
+§III-D2: *"further performance improvement can be achieved if we can merge
+the local histograms of different regions and obtain a 'global' histogram of
+an entire object. As the metadata is cached in all servers after the
+metadata distribution, such a global histogram can be used multiple times
+with very low access latency when serving a series of queries."*
+
+:class:`GlobalHistogram` wraps the merged :class:`MergeableHistogram` with
+provenance (which regions it covers) and the planner-facing helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import QueryError
+from ..interval import Interval
+from .mergeable import MergeableHistogram
+
+__all__ = ["GlobalHistogram"]
+
+
+@dataclass
+class GlobalHistogram:
+    """Merged histogram of an entire object plus per-region min/max index.
+
+    ``region_minmax`` keeps each contributing region's true extrema so the
+    planner can prune regions without touching per-region histograms again
+    — this is the "region elimination" path of §III-D2 executed against
+    server-cached metadata only.
+    """
+
+    merged: MergeableHistogram
+    #: region id → (data_min, data_max)
+    region_minmax: Dict[int, Tuple[float, float]]
+
+    @classmethod
+    def build(
+        cls, region_histograms: Dict[int, MergeableHistogram]
+    ) -> "GlobalHistogram":
+        """Merge per-region histograms (keyed by region id) into one."""
+        if not region_histograms:
+            raise QueryError("cannot build a global histogram from zero regions")
+        merged = MergeableHistogram.merge_many(list(region_histograms.values()))
+        minmax = {
+            rid: (h.data_min, h.data_max) for rid, h in region_histograms.items()
+        }
+        return cls(merged=merged, region_minmax=minmax)
+
+    # ------------------------------------------------------------ planner api
+    @property
+    def total(self) -> int:
+        return self.merged.total
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.region_minmax)
+
+    def estimate_selectivity(self, interval: Interval) -> Tuple[float, float]:
+        """(lower, upper) selectivity bounds over the whole object."""
+        return self.merged.estimate_selectivity(interval)
+
+    def estimate_hits(self, interval: Interval) -> Tuple[int, int]:
+        return self.merged.estimate_hits(interval)
+
+    def surviving_regions(self, interval: Interval) -> List[int]:
+        """Region ids that may contain matches (min/max overlap test);
+        everything else is eliminated without any I/O."""
+        return [
+            rid
+            for rid, (lo, hi) in self.region_minmax.items()
+            if interval.overlaps_range(lo, hi)
+        ]
+
+    def eliminated_fraction(self, interval: Interval) -> float:
+        """Fraction of regions pruned for ``interval`` — observability for
+        the region-size ablation."""
+        if not self.region_minmax:
+            return 0.0
+        return 1.0 - len(self.surviving_regions(interval)) / len(self.region_minmax)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "merged": self.merged.to_dict(),
+            "region_minmax": {int(k): list(v) for k, v in self.region_minmax.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GlobalHistogram":
+        return cls(
+            merged=MergeableHistogram.from_dict(d["merged"]),
+            region_minmax={int(k): (float(v[0]), float(v[1])) for k, v in d["region_minmax"].items()},
+        )

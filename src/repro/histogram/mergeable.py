@@ -1,0 +1,322 @@
+"""Mergeable per-region histograms — Algorithm 1 of the paper.
+
+The paper's key constraint (§IV): per-region histograms must be generated
+*without global communication* yet remain mergeable into one global
+histogram.  Algorithm 1 achieves this by construction:
+
+1. sample ~10 % of the region's data for an approximate min/max;
+2. compute a raw bin width for the requested number of bins, then round it
+   **down to a power of two** (``..., 0.25, 0.5, 1, 2, 4, ...``) — so any
+   two regions' widths divide one another;
+3. anchor the first bin boundary on the integer grid *aligned to the bin
+   width* — so every boundary lies in ``{k · 2^x}`` and the boundary grids
+   of any two histograms nest exactly.
+
+(The paper anchors at a natural number; we additionally align the anchor to
+a multiple of the width, which is required for exact nesting when the width
+exceeds 1 and is a strict subset of the paper's boundary set otherwise.)
+
+The full pass then bin-counts every element (``O(N)``, fully vectorized).
+Elements outside the sampled min/max estimate extend the histogram rather
+than clamping into edge bins, so counts stay exact; true min/max are
+recorded for region elimination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..interval import Interval
+
+__all__ = ["MergeableHistogram", "round_down_pow2"]
+
+
+def round_down_pow2(x: float) -> float:
+    """Largest power of two ``<= x`` (x > 0).  Exact in binary floating
+    point, so all downstream boundary arithmetic is exact too."""
+    if not (x > 0) or math.isinf(x) or math.isnan(x):
+        raise ValueError(f"cannot round {x!r} to a power of two")
+    return 2.0 ** math.floor(math.log2(x))
+
+
+@dataclass
+class MergeableHistogram:
+    """A histogram whose bin grid nests with any other instance's grid.
+
+    Invariants (property-tested):
+
+    * ``bin_width`` is an exact power of two;
+    * ``start`` is an exact integer multiple of ``bin_width``;
+    * ``counts.sum() == total`` equals the number of elements histogrammed;
+    * ``data_min``/``data_max`` are the true extrema of the data.
+    """
+
+    bin_width: float
+    start: float
+    counts: np.ndarray
+    data_min: float
+    data_max: float
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.ndim != 1 or self.counts.size == 0:
+            raise QueryError("histogram needs a non-empty 1-D count array")
+        if self.bin_width <= 0:
+            raise QueryError("bin_width must be positive")
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_data(
+        cls,
+        data: np.ndarray,
+        n_bins: int = 64,
+        sample_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> "MergeableHistogram":
+        """Algorithm 1: build a mergeable histogram of 1-D ``data``.
+
+        ``n_bins`` is the *lower bound* ``Nbin`` of the algorithm — the
+        result may have more bins (never fewer, except for degenerate
+        near-constant data where one bin suffices).
+        """
+        data = np.asarray(data)
+        if data.ndim != 1 or data.size == 0:
+            raise QueryError("histogram needs non-empty 1-D data")
+        if n_bins < 1:
+            raise QueryError("n_bins must be >= 1")
+        data = data.astype(np.float64, copy=False)
+
+        # Line 1: random-sample ~10% for an approximate min/max.  The
+        # estimate only seeds the bin width; exactness is restored below.
+        n_sample = max(1, int(data.size * sample_fraction))
+        if n_sample >= data.size:
+            sample = data
+        else:
+            rng = np.random.default_rng(seed)
+            sample = data[rng.integers(0, data.size, size=n_sample)]
+        approx_min = float(sample.min())
+        approx_max = float(sample.max())
+
+        # Line 2-3: raw width for n_bins bins, rounded down to a power of 2.
+        span = approx_max - approx_min
+        if span <= 0.0:
+            # Near-constant sample: pick a tiny width so the histogram still
+            # localizes the value.
+            magnitude = max(abs(approx_min), 1.0)
+            width = round_down_pow2(magnitude * 2 ** -20)
+        else:
+            width = round_down_pow2(span / n_bins)
+
+        return cls._count_into_grid(data, width)
+
+    @classmethod
+    def _count_into_grid(cls, data: np.ndarray, width: float) -> "MergeableHistogram":
+        """Exact O(N) counting pass on the aligned grid of ``width``."""
+        true_min = float(data.min())
+        true_max = float(data.max())
+        # Lines 4-5: anchor the grid; alignment to the width keeps all
+        # boundaries in {k * width} exactly.
+        start = math.floor(true_min / width) * width
+        n_bins = int(math.floor((true_max - start) / width)) + 1
+        # Guard against pathological widths producing absurd bin counts
+        # (e.g. one extreme outlier): coarsen until manageable.
+        while n_bins > 1 << 20:
+            width *= 2.0
+            start = math.floor(true_min / width) * width
+            n_bins = int(math.floor((true_max - start) / width)) + 1
+
+        # Lines 6-18, vectorized: find each element's bin and aggregate.
+        idx = np.floor((data - start) / width).astype(np.int64)
+        np.clip(idx, 0, n_bins - 1, out=idx)
+        # The division can round across a boundary (e.g. for values a ulp
+        # below an edge).  Grid points start + k*width are exact for
+        # power-of-two widths, so one corrective comparison restores exact
+        # binning: data must satisfy edge(idx) <= data < edge(idx + 1).
+        idx -= (data < start + idx * width).astype(np.int64)
+        idx += (data >= start + (idx + 1) * width).astype(np.int64)
+        np.clip(idx, 0, n_bins - 1, out=idx)
+        counts = np.bincount(idx, minlength=n_bins)
+        return cls(
+            bin_width=width,
+            start=start,
+            counts=counts,
+            data_min=true_min,
+            data_max=true_max,
+        )
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def n_bins(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """``n_bins + 1`` bin edges."""
+        return self.start + np.arange(self.n_bins + 1, dtype=np.float64) * self.bin_width
+
+    def bin_range(self, i: int) -> Tuple[float, float]:
+        """Half-open value range ``[lo, hi)`` of bin ``i``."""
+        return (self.start + i * self.bin_width, self.start + (i + 1) * self.bin_width)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate serialized size (counts + edges + header) — what the
+        metadata service pays to store/ship this histogram."""
+        return self.counts.nbytes + (self.n_bins + 1) * 8 + 32
+
+    # -------------------------------------------------------------- estimation
+    def overlaps(self, interval: Interval) -> bool:
+        """Region-elimination test using the true min/max (§III-D2:
+        *"Histograms contain the minimum and maximum value ... which we can
+        use to quickly determine whether the region has any element that
+        satisfies the query condition."*)."""
+        return interval.overlaps_range(self.data_min, self.data_max)
+
+    def estimate_hits(self, interval: Interval) -> Tuple[int, int]:
+        """Lower/upper bounds on the number of elements in ``interval``.
+
+        Upper bound counts all bins fully **or partially** overlapping the
+        condition; the lower bound counts only fully-overlapping bins
+        (§III-D2).  Bin content ranges are tightened with the true data
+        min/max so edge bins don't inflate the upper bound.
+        """
+        if not self.overlaps(interval):
+            return (0, 0)
+        lo_edges = self.boundaries[:-1]
+        hi_edges = self.boundaries[1:]
+        # Actual value extent inside each bin (edge bins are narrower).
+        content_lo = np.maximum(lo_edges, self.data_min)
+        content_hi = np.minimum(hi_edges, self.data_max)
+        q_lo, q_hi = interval.finite_bounds()
+
+        # Partial overlap: the bin's content range intersects the interval.
+        # An open endpoint excludes bins that touch it only at a point.
+        partial = np.ones(self.n_bins, dtype=bool)
+        if interval.lo is not None:
+            partial &= (content_hi >= q_lo) if interval.lo_closed else (content_hi > q_lo)
+        if interval.hi is not None:
+            partial &= (content_lo <= q_hi) if interval.hi_closed else (content_lo < q_hi)
+
+        # Full overlap: the bin's content range lies inside the interval.
+        full = partial.copy()
+        if interval.lo is not None:
+            full &= (content_lo > q_lo) | ((content_lo == q_lo) & interval.lo_closed)
+        if interval.hi is not None:
+            full &= (content_hi < q_hi) | ((content_hi == q_hi) & interval.hi_closed)
+
+        upper = int(self.counts[partial].sum())
+        lower = int(self.counts[full].sum())
+        return (lower, upper)
+
+    def estimate_selectivity(self, interval: Interval) -> Tuple[float, float]:
+        """(lower, upper) selectivity bounds as fractions of total count."""
+        lower, upper = self.estimate_hits(interval)
+        total = self.total
+        if total == 0:
+            return (0.0, 0.0)
+        return (lower / total, upper / total)
+
+    # ----------------------------------------------------------------- merging
+    def coarsened(self, new_width: float) -> "MergeableHistogram":
+        """Re-bin onto a coarser aligned grid (``new_width`` must be a
+        power-of-two multiple of ``bin_width``).  Exact: every fine bin maps
+        wholly into one coarse bin because the grids nest."""
+        if new_width == self.bin_width:
+            return self
+        ratio = new_width / self.bin_width
+        # The class invariant requires power-of-two widths, so the ratio
+        # must itself be a power of two (2, 4, 8, ...).
+        if ratio < 2 or ratio != int(ratio) or (int(ratio) & (int(ratio) - 1)) != 0:
+            raise QueryError(
+                f"cannot coarsen width {self.bin_width} to {new_width}: "
+                "not a power-of-two multiple"
+            )
+        new_start = math.floor(self.start / new_width) * new_width
+        # Index of each fine bin's coarse parent.
+        offset_bins = round((self.start - new_start) / self.bin_width)
+        fine_idx = offset_bins + np.arange(self.n_bins)
+        coarse_idx = (fine_idx // int(ratio)).astype(np.int64)
+        n_coarse = int(coarse_idx[-1]) + 1
+        new_counts = np.zeros(n_coarse, dtype=np.int64)
+        np.add.at(new_counts, coarse_idx, self.counts)
+        return MergeableHistogram(
+            bin_width=new_width,
+            start=new_start,
+            counts=new_counts,
+            data_min=self.data_min,
+            data_max=self.data_max,
+        )
+
+    def merge(self, other: "MergeableHistogram") -> "MergeableHistogram":
+        """Merge two mergeable histograms exactly (§IV merging procedure:
+        coarsen to the larger width, then aggregate counts bin-by-bin)."""
+        width = max(self.bin_width, other.bin_width)
+        a = self.coarsened(width)
+        b = other.coarsened(width)
+        start = min(a.start, b.start)
+        end = max(a.start + a.n_bins * width, b.start + b.n_bins * width)
+        n_bins = round((end - start) / width)
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for h in (a, b):
+            off = round((h.start - start) / width)
+            counts[off : off + h.n_bins] += h.counts
+        return MergeableHistogram(
+            bin_width=width,
+            start=start,
+            counts=counts,
+            data_min=min(self.data_min, other.data_min),
+            data_max=max(self.data_max, other.data_max),
+        )
+
+    @classmethod
+    def merge_many(cls, histograms: Sequence["MergeableHistogram"]) -> "MergeableHistogram":
+        """Merge a non-empty sequence in O(total bins): coarsen all to the
+        max width, then add into one span-covering count array."""
+        if not histograms:
+            raise QueryError("merge_many needs at least one histogram")
+        width = max(h.bin_width for h in histograms)
+        coarse = [h.coarsened(width) for h in histograms]
+        start = min(h.start for h in coarse)
+        end = max(h.start + h.n_bins * width for h in coarse)
+        n_bins = round((end - start) / width)
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for h in coarse:
+            off = round((h.start - start) / width)
+            counts[off : off + h.n_bins] += h.counts
+        return cls(
+            bin_width=width,
+            start=start,
+            counts=counts,
+            data_min=min(h.data_min for h in histograms),
+            data_max=max(h.data_max for h in histograms),
+        )
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """Plain-dict form for the metadata service / transport layer."""
+        return {
+            "bin_width": self.bin_width,
+            "start": self.start,
+            "counts": self.counts.tolist(),
+            "data_min": self.data_min,
+            "data_max": self.data_max,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MergeableHistogram":
+        return cls(
+            bin_width=float(d["bin_width"]),
+            start=float(d["start"]),
+            counts=np.asarray(d["counts"], dtype=np.int64),
+            data_min=float(d["data_min"]),
+            data_max=float(d["data_max"]),
+        )

@@ -1,0 +1,167 @@
+"""Value intervals — the normalized form of range conditions.
+
+Every simple query condition (``Energy > 2.0``, ``x = 3``) and every
+conjunction of conditions on the same object normalizes to an
+:class:`Interval`: a lower/upper bound pair with open/closed endpoints,
+possibly unbounded on either side.  Histogram selectivity estimation, bitmap
+candidate selection, sorted-layout binary search, and region elimination all
+consume this one representation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .errors import QueryError
+from .types import QueryOp, Scalar
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly half-) bounded interval of values.
+
+    ``lo=None`` means unbounded below; ``hi=None`` unbounded above.
+    ``lo_closed``/``hi_closed`` select ≤ vs <.  An equality condition is the
+    degenerate closed interval ``[v, v]``.
+    """
+
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    lo_closed: bool = True
+    hi_closed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None:
+            if self.lo > self.hi:
+                raise QueryError(f"empty interval: lo={self.lo} > hi={self.hi}")
+            if self.lo == self.hi and not (self.lo_closed and self.hi_closed):
+                raise QueryError(f"empty interval at {self.lo} with open endpoint")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_op(cls, op: QueryOp, value: Scalar) -> "Interval":
+        """Interval matched by ``x <op> value``."""
+        v = float(value)
+        if op is QueryOp.GT:
+            return cls(lo=v, hi=None, lo_closed=False)
+        if op is QueryOp.GTE:
+            return cls(lo=v, hi=None, lo_closed=True)
+        if op is QueryOp.LT:
+            return cls(lo=None, hi=v, hi_closed=False)
+        if op is QueryOp.LTE:
+            return cls(lo=None, hi=v, hi_closed=True)
+        return cls(lo=v, hi=v, lo_closed=True, hi_closed=True)
+
+    @classmethod
+    def everything(cls) -> "Interval":
+        return cls()
+
+    # ------------------------------------------------------------- operations
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection, or ``None`` when it is empty."""
+        # Tightest bound wins; ties are closed only if both are closed.
+        if self.lo is None:
+            lo, lo_closed = other.lo, other.lo_closed
+        elif other.lo is None:
+            lo, lo_closed = self.lo, self.lo_closed
+        elif self.lo > other.lo:
+            lo, lo_closed = self.lo, self.lo_closed
+        elif other.lo > self.lo:
+            lo, lo_closed = other.lo, other.lo_closed
+        else:
+            lo, lo_closed = self.lo, self.lo_closed and other.lo_closed
+
+        if self.hi is None:
+            hi, hi_closed = other.hi, other.hi_closed
+        elif other.hi is None:
+            hi, hi_closed = self.hi, self.hi_closed
+        elif self.hi < other.hi:
+            hi, hi_closed = self.hi, self.hi_closed
+        elif other.hi < self.hi:
+            hi, hi_closed = other.hi, other.hi_closed
+        else:
+            hi, hi_closed = self.hi, self.hi_closed and other.hi_closed
+
+        if lo is not None and hi is not None:
+            if lo > hi or (lo == hi and not (lo_closed and hi_closed)):
+                return None
+        return Interval(lo=lo, hi=hi, lo_closed=lo_closed, hi_closed=hi_closed)
+
+    def contains_value(self, v: float) -> bool:
+        if self.lo is not None and (v < self.lo or (v == self.lo and not self.lo_closed)):
+            return False
+        if self.hi is not None and (v > self.hi or (v == self.hi and not self.hi_closed)):
+            return False
+        return True
+
+    def contains_range(self, lo: float, hi: float) -> bool:
+        """True when the closed value range ``[lo, hi]`` lies fully inside
+        this interval (used for "bin fully overlaps" tests)."""
+        return self.contains_value(lo) and self.contains_value(hi)
+
+    def overlaps_range(self, lo: float, hi: float) -> bool:
+        """True when the closed value range ``[lo, hi]`` intersects this
+        interval at all (region/bin elimination test)."""
+        if self.lo is not None and (hi < self.lo or (hi == self.lo and not self.lo_closed)):
+            return False
+        if self.hi is not None and (lo > self.hi or (lo == self.hi and not self.hi_closed)):
+            return False
+        return True
+
+    def contains_range_arrays(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains_range` over arrays of closed value
+        ranges ``[lo[i], hi[i]]``."""
+        m = np.ones(np.shape(lo), dtype=bool)
+        if self.lo is not None:
+            m &= (lo >= self.lo) if self.lo_closed else (lo > self.lo)
+        if self.hi is not None:
+            m &= (hi <= self.hi) if self.hi_closed else (hi < self.hi)
+        return m
+
+    def overlaps_range_arrays(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`overlaps_range` over arrays of closed value
+        ranges ``[lo[i], hi[i]]``."""
+        m = np.ones(np.shape(lo), dtype=bool)
+        if self.lo is not None:
+            m &= (hi >= self.lo) if self.lo_closed else (hi > self.lo)
+        if self.hi is not None:
+            m &= (lo <= self.hi) if self.hi_closed else (lo < self.hi)
+        return m
+
+    def mask(self, data: np.ndarray) -> np.ndarray:
+        """Vectorized membership test over an array."""
+        m = np.ones(data.shape, dtype=bool)
+        if self.lo is not None:
+            m &= (data >= self.lo) if self.lo_closed else (data > self.lo)
+        if self.hi is not None:
+            m &= (data <= self.hi) if self.hi_closed else (data < self.hi)
+        return m
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def is_everything(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def finite_bounds(self) -> Tuple[float, float]:
+        """Bounds with infinities substituted for missing endpoints."""
+        return (
+            -math.inf if self.lo is None else self.lo,
+            math.inf if self.hi is None else self.hi,
+        )
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else f"{self.lo:g}"
+        hi = "+inf" if self.hi is None else f"{self.hi:g}"
+        lb = "[" if self.lo_closed and self.lo is not None else "("
+        rb = "]" if self.hi_closed and self.hi is not None else ")"
+        return f"{lb}{lo}, {hi}{rb}"

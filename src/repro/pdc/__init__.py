@@ -1,0 +1,35 @@
+"""The object-centric data management substrate (PDC, §II): containers,
+objects, regions, metadata service, servers, and the deployment object."""
+
+from .container import Container
+from .metadata import ObjectMeta
+from .metaserver import MetadataService
+from .observability import SystemSnapshot, report, snapshot
+from .persistence import load_system, save_system
+from .placement import POLICIES, block, least_loaded, round_robin
+from .region import RegionMeta, partition, region_key
+from .server import PDCServer
+from .system import PDCConfig, PDCSystem, ReplicaGroup, StoredObject
+
+__all__ = [
+    "Container",
+    "ObjectMeta",
+    "MetadataService",
+    "SystemSnapshot",
+    "load_system",
+    "save_system",
+    "report",
+    "snapshot",
+    "POLICIES",
+    "block",
+    "least_loaded",
+    "round_robin",
+    "RegionMeta",
+    "partition",
+    "region_key",
+    "PDCServer",
+    "PDCConfig",
+    "PDCSystem",
+    "ReplicaGroup",
+    "StoredObject",
+]

@@ -1,0 +1,131 @@
+"""Metadata objects: object descriptors, key-value tags, and the global
+histogram record.
+
+§II: *"Each data object is associated with metadata, including a name, ID,
+and other attributes ... In PDC, metadata is managed as an object too.  As
+most metadata are naturally small ... they are pre-loaded at server start
+time and stored as in-memory objects."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import MetadataError
+from ..histogram.global_hist import GlobalHistogram
+from ..interval import Interval
+from ..types import PDCType, QueryOp
+from .region import RegionMeta
+
+__all__ = ["ObjectMeta", "TagValue", "TagPredicate", "tag_matches"]
+
+TagValue = Any
+
+#: What a metadata query may assert about one tag: an exact value, a
+#: numeric :class:`Interval`, or an ``(operator, value)`` pair using the
+#: query operators ("RADEG" ≥ 150, ...).
+TagPredicate = Any
+
+_MISSING = object()
+
+
+def tag_matches(value: TagValue, predicate: TagPredicate) -> bool:
+    """Evaluate one tag predicate against one tag value."""
+    if isinstance(predicate, Interval):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        return predicate.contains_value(float(value))
+    if (
+        isinstance(predicate, tuple)
+        and len(predicate) == 2
+        and isinstance(predicate[0], (str, QueryOp))
+    ):
+        op = predicate[0] if isinstance(predicate[0], QueryOp) else QueryOp(predicate[0])
+        if op is QueryOp.EQ:
+            return value == predicate[1]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        return bool(op.apply(np.asarray(value), predicate[1]))
+    return value == predicate
+
+
+@dataclass
+class ObjectMeta:
+    """Full metadata record of one PDC data object."""
+
+    name: str
+    object_id: int
+    pdc_type: PDCType
+    n_elements: int
+    #: Logical (N-D) shape; None for plain 1-D byte-stream objects.
+    dims: Optional[Tuple[int, ...]] = None
+    container: str = "default"
+    #: User key-value attributes (H5BOSS carries RADEG/DECDEG/PLATE/...).
+    tags: Dict[str, TagValue] = field(default_factory=dict)
+    #: Region descriptors, ascending by offset.
+    regions: List[RegionMeta] = field(default_factory=list)
+    #: Merged whole-object histogram (§III-D2 / §IV).
+    global_histogram: Optional[GlobalHistogram] = None
+    #: Name of the sorted-replica key object when a sorted copy exists
+    #: (§III-D3 user hint).
+    sorted_by: Optional[str] = None
+    #: Logical creation timestamp (monotonic counter, not wall clock).
+    created_at: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MetadataError("object name must be non-empty")
+        if self.n_elements <= 0:
+            raise MetadataError(f"object {self.name!r} must have elements")
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the object."""
+        return self.n_elements * self.pdc_type.itemsize
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.regions)
+
+    def region_by_id(self, region_id: int) -> RegionMeta:
+        for r in self.regions:
+            if r.region_id == region_id:
+                return r
+        raise MetadataError(f"object {self.name!r} has no region {region_id}")
+
+    def regions_overlapping(self, start: int, stop: int) -> List[RegionMeta]:
+        """Regions intersecting a coordinate range (spatial constraint)."""
+        return [r for r in self.regions if r.overlaps_coords(start, stop)]
+
+    def matches_tags(self, conditions: Dict[str, TagPredicate]) -> bool:
+        """Key-value metadata predicate (§VI-C).
+
+        Each condition value may be an exact value (``RADEG=153.17 AND
+        DECDEG=23.06``, the paper's form), a numeric
+        :class:`~repro.interval.Interval`, or an ``(op, value)`` pair —
+        e.g. ``{"MJD": (">=", 55000)}``.
+        """
+        for k, predicate in conditions.items():
+            v = self.tags.get(k, _MISSING)
+            if v is _MISSING or not tag_matches(v, predicate):
+                return False
+        return True
+
+    # ---------------------------------------------------------- serialization
+    def summary(self) -> Dict[str, Any]:
+        """Small transport-friendly summary (no region payload metadata)."""
+        return {
+            "name": self.name,
+            "object_id": self.object_id,
+            "pdc_type": self.pdc_type.value,
+            "n_elements": self.n_elements,
+            "dims": self.dims,
+            "container": self.container,
+            "tags": dict(self.tags),
+            "n_regions": self.n_regions,
+            "sorted_by": self.sorted_by,
+        }

@@ -1,0 +1,171 @@
+"""The metadata service: hash-partitioned, consistent, checkpointed.
+
+§II: *"A metadata object is managed by only one server to guarantee
+consistency and is periodically persisted to the storage system for fault
+tolerance."*  The service shards object metadata across metadata servers by
+a stable hash of the object name; metadata queries (tag predicates) fan out
+to all shards and run in modeled parallel time.
+
+§VI-C attributes Fig. 5's multi-fold speedup mostly to this component: PDC
+*"can locate the 1000 objects instantly"* out of 25 million because the tag
+scan runs over pre-loaded in-memory records instead of traversing 2448
+HDF5 files.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import MetadataConsistencyError, MetadataError, ObjectNotFoundError
+from ..storage.costmodel import CostModel, SimClock
+from ..storage.file import ParallelFileSystem
+from .metadata import ObjectMeta, TagValue
+
+__all__ = ["MetadataService"]
+
+
+def _stable_hash(name: str) -> int:
+    """Deterministic across processes (unlike ``hash``)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class MetadataService:
+    """Hash-partitioned in-memory metadata store with PFS checkpoints."""
+
+    CHECKPOINT_PREFIX = "/pdc/meta/checkpoint"
+
+    def __init__(
+        self,
+        n_shards: int,
+        pfs: ParallelFileSystem,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise MetadataError("need at least one metadata shard")
+        self.n_shards = n_shards
+        self.pfs = pfs
+        self.cost = cost or pfs.cost
+        self._shards: List[Dict[str, ObjectMeta]] = [dict() for _ in range(n_shards)]
+        self._next_object_id = 1
+        self._logical_time = 0
+
+    # ---------------------------------------------------------------- routing
+    def shard_of(self, name: str) -> int:
+        """Owning shard of an object name (consistency: exactly one)."""
+        return _stable_hash(name) % self.n_shards
+
+    # ------------------------------------------------------------------- CRUD
+    def allocate_object_id(self) -> int:
+        oid = self._next_object_id
+        self._next_object_id += 1
+        return oid
+
+    def tick(self) -> int:
+        """Logical timestamp for created_at fields."""
+        self._logical_time += 1
+        return self._logical_time
+
+    def create(self, meta: ObjectMeta) -> None:
+        shard = self._shards[self.shard_of(meta.name)]
+        if meta.name in shard:
+            raise MetadataError(f"object {meta.name!r} already exists")
+        shard[meta.name] = meta
+
+    def get(self, name: str) -> ObjectMeta:
+        shard = self._shards[self.shard_of(name)]
+        try:
+            return shard[name]
+        except KeyError:
+            raise ObjectNotFoundError(f"no metadata for object {name!r}") from None
+
+    def get_by_id(self, object_id: int) -> ObjectMeta:
+        for shard in self._shards:
+            for meta in shard.values():
+                if meta.object_id == object_id:
+                    return meta
+        raise ObjectNotFoundError(f"no metadata for object id {object_id}")
+
+    def exists(self, name: str) -> bool:
+        return name in self._shards[self.shard_of(name)]
+
+    def delete(self, name: str) -> None:
+        shard = self._shards[self.shard_of(name)]
+        if name not in shard:
+            raise ObjectNotFoundError(f"no metadata for object {name!r}")
+        del shard[name]
+
+    def all_names(self) -> List[str]:
+        return sorted(n for shard in self._shards for n in shard)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    # ------------------------------------------------------------- tag queries
+    def query_tags(
+        self,
+        conditions: Dict[str, TagValue],
+        clock: Optional[SimClock] = None,
+    ) -> List[str]:
+        """Names of objects whose tags match every (key, value) pair.
+
+        Modeled parallel time: shards scan concurrently; the caller's clock
+        is charged the slowest shard's scan (records × per-record cost).
+        """
+        matches: List[str] = []
+        slowest = 0.0
+        for shard in self._shards:
+            slowest = max(slowest, len(shard) * self.cost.params.meta_op_cost_s)
+            for meta in shard.values():
+                if meta.matches_tags(conditions):
+                    matches.append(meta.name)
+        if clock is not None:
+            clock.charge(slowest, category="meta_query")
+        matches.sort()
+        return matches
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint(self, clock: Optional[SimClock] = None) -> str:
+        """Persist every shard to the PFS; returns the checkpoint path
+        prefix.  Overwrites the previous checkpoint."""
+        for i, shard in enumerate(self._shards):
+            path = f"{self.CHECKPOINT_PREFIX}/shard{i}"
+            payload = np.frombuffer(
+                pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+            ).copy()
+            if self.pfs.exists(path):
+                self.pfs.delete(path)
+            self.pfs.create(path, payload, clock=clock)
+        state = np.array([self._next_object_id, self._logical_time], dtype=np.int64)
+        state_path = f"{self.CHECKPOINT_PREFIX}/state"
+        if self.pfs.exists(state_path):
+            self.pfs.delete(state_path)
+        self.pfs.create(state_path, state, clock=clock)
+        return self.CHECKPOINT_PREFIX
+
+    def restore(self, clock: Optional[SimClock] = None) -> None:
+        """Reload all shards from the last checkpoint (fault-tolerance
+        path).  Raises :class:`MetadataError` when no checkpoint exists."""
+        state_path = f"{self.CHECKPOINT_PREFIX}/state"
+        if not self.pfs.exists(state_path):
+            raise MetadataError("no metadata checkpoint to restore")
+        shards: List[Dict[str, ObjectMeta]] = []
+        for i in range(self.n_shards):
+            path = f"{self.CHECKPOINT_PREFIX}/shard{i}"
+            payload = self.pfs.read(path, clock=clock)
+            shard = pickle.loads(payload.tobytes())
+            # Consistency check: every record must hash to this shard.
+            for name in shard:
+                if _stable_hash(name) % self.n_shards != i:
+                    raise MetadataConsistencyError(
+                        f"object {name!r} found in shard {i}, "
+                        f"owner is {_stable_hash(name) % self.n_shards}"
+                    )
+            shards.append(shard)
+        state = self.pfs.read(state_path, clock=clock)
+        self._shards = shards
+        self._next_object_id = int(state[0])
+        self._logical_time = int(state[1])

@@ -1,0 +1,73 @@
+"""Region-to-server assignment policies.
+
+§III-C: *"Upon the receipt of a query request, different regions of the
+queried object are assigned to the servers in a load-balanced fashion."*
+Three policies are provided; round-robin is the default (it balances both
+element counts and storage locality for equal-size regions, which is the
+common case).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence
+
+from ..errors import PDCError
+from .region import RegionMeta
+
+__all__ = ["round_robin", "block", "least_loaded", "POLICIES"]
+
+Assignment = Dict[int, List[RegionMeta]]
+
+
+def _check(regions: Sequence[RegionMeta], n_servers: int) -> None:
+    if n_servers < 1:
+        raise PDCError("need at least one server")
+
+
+def round_robin(regions: Sequence[RegionMeta], n_servers: int) -> Assignment:
+    """Region ``i`` goes to server ``i mod n_servers``."""
+    _check(regions, n_servers)
+    out: Assignment = {s: [] for s in range(n_servers)}
+    for i, r in enumerate(regions):
+        out[i % n_servers].append(r)
+    return out
+
+
+def block(regions: Sequence[RegionMeta], n_servers: int) -> Assignment:
+    """Contiguous blocks of regions per server (maximizes each server's
+    read contiguity, at the cost of skew when surviving regions cluster)."""
+    _check(regions, n_servers)
+    out: Assignment = {s: [] for s in range(n_servers)}
+    n = len(regions)
+    base, extra = divmod(n, n_servers)
+    start = 0
+    for s in range(n_servers):
+        count = base + (1 if s < extra else 0)
+        out[s] = list(regions[start : start + count])
+        start += count
+    return out
+
+
+def least_loaded(regions: Sequence[RegionMeta], n_servers: int) -> Assignment:
+    """Greedy longest-processing-time balancing on region element counts —
+    useful when regions have uneven sizes (the tail region, sorted-replica
+    runs)."""
+    _check(regions, n_servers)
+    out: Assignment = {s: [] for s in range(n_servers)}
+    heap = [(0, s) for s in range(n_servers)]
+    heapq.heapify(heap)
+    for r in sorted(regions, key=lambda r: -r.n_elements):
+        load, s = heapq.heappop(heap)
+        out[s].append(r)
+        heapq.heappush(heap, (load + r.n_elements, s))
+    for s in out:
+        out[s].sort(key=lambda r: r.region_id)
+    return out
+
+
+POLICIES = {
+    "round_robin": round_robin,
+    "block": block,
+    "least_loaded": least_loaded,
+}

@@ -1,0 +1,92 @@
+"""Regions: the basic data-management unit of PDC (§III-B).
+
+Large objects are decomposed into fixed-size regions so data operations
+parallelize and subsets can be read without touching the whole object.
+Each region carries its own metadata — offset/size within the object, the
+storage location of its payload, its mergeable histogram, and true min/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import PDCError
+from ..histogram.mergeable import MergeableHistogram
+
+__all__ = ["RegionMeta", "partition", "region_key"]
+
+
+@dataclass
+class RegionMeta:
+    """Metadata of one region of one object.
+
+    The payload itself lives in the object's file on the parallel file
+    system (``file_path`` + element offset) or in a server cache; this
+    record is what the metadata service distributes to query servers.
+    """
+
+    region_id: int
+    object_name: str
+    #: Element offset of this region within the object.
+    offset: int
+    #: Number of elements in this region.
+    n_elements: int
+    #: PFS path of the file holding the payload.
+    file_path: str
+    #: Storage tier currently holding the authoritative copy.
+    tier: str = "disk"
+    #: Per-region mergeable histogram (built at import/production time —
+    #: §III-D2: "automatically generated ... at no additional cost").
+    histogram: Optional[MergeableHistogram] = None
+    #: PFS path of this region's bitmap-index file, when one was built.
+    index_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.n_elements <= 0:
+            raise PDCError(
+                f"bad region extent offset={self.offset} n={self.n_elements}"
+            )
+
+    @property
+    def stop(self) -> int:
+        """One past the last element offset."""
+        return self.offset + self.n_elements
+
+    @property
+    def extent(self) -> Tuple[int, int]:
+        """Half-open element extent within the object."""
+        return (self.offset, self.stop)
+
+    @property
+    def minmax(self) -> Tuple[float, float]:
+        """True value extrema, from the histogram."""
+        if self.histogram is None:
+            raise PDCError(f"region {self.region_id} has no histogram")
+        return (self.histogram.data_min, self.histogram.data_max)
+
+    def overlaps_coords(self, start: int, stop: int) -> bool:
+        """Does this region intersect the coordinate range ``[start, stop)``
+        (spatial region constraint, §III-A)?"""
+        return start < self.stop and stop > self.offset
+
+
+def partition(n_elements: int, region_elements: int) -> List[Tuple[int, int]]:
+    """Split ``n_elements`` into ``(offset, count)`` chunks of at most
+    ``region_elements`` each; the final chunk may be short."""
+    if n_elements <= 0:
+        raise PDCError("cannot partition an empty object")
+    if region_elements <= 0:
+        raise PDCError("region size must be positive")
+    out = []
+    off = 0
+    while off < n_elements:
+        count = min(region_elements, n_elements - off)
+        out.append((off, count))
+        off += count
+    return out
+
+
+def region_key(object_name: str, region_id: int, replica: str = "orig") -> str:
+    """Cache/storage key of one region payload."""
+    return f"{object_name}:{replica}:r{region_id}"

@@ -1,0 +1,643 @@
+"""PDCSystem: wiring of servers, storage, metadata, objects, and replicas.
+
+This is the deployment object a user of the library interacts with: it
+owns the simulated parallel file system, the metadata service, the PDC
+server fleet, and the registry of imported objects (plus their optional
+bitmap indexes and sorted replicas).  The query engine
+(:mod:`repro.query.executor`) operates on a system instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bitmap.index import RegionBitmapIndex
+from ..errors import ObjectNotFoundError, PDCError, QueryError
+from ..histogram.global_hist import GlobalHistogram
+from ..histogram.mergeable import MergeableHistogram
+from ..strategies import Strategy, strategy_from_env
+from ..sorting.reorganize import SortedReplica
+from ..storage.costmodel import CostModel, CostParameters, CORI_LIKE, SimClock
+from ..storage.file import ParallelFileSystem
+from ..types import GB, MB, pdc_type_of_dtype
+from ..storage.device import DeviceKind
+from .container import Container
+from .metadata import ObjectMeta, TagValue
+from .metaserver import MetadataService
+from .region import RegionMeta, partition, region_key
+from .server import PDCServer
+
+__all__ = ["PDCConfig", "PDCSystem", "StoredObject", "ReplicaGroup"]
+
+
+@dataclass(frozen=True)
+class PDCConfig:
+    """Deployment configuration (the paper's experimental knobs, §V)."""
+
+    #: Number of PDC servers (one per compute node on Cori; 64 default).
+    n_servers: int = 4
+    #: Region size in **virtual** bytes (the paper sweeps 4–128 MB).
+    region_size_bytes: int = 32 * MB
+    #: Each real element stands for this many virtual elements.
+    virtual_scale: float = 1.0
+    #: Machine constants of the simulated testbed.
+    cost_params: CostParameters = field(default_factory=lambda: CORI_LIKE)
+    #: Per-server memory limit (§V: 64 GB), in virtual bytes.
+    server_memory_bytes: float = 64 * GB
+    #: Evaluation strategy; None resolves $PDC_QUERY_STRATEGY (default
+    #: histogram-only, as in the paper).
+    strategy: Optional[Strategy] = None
+    #: Stripe width of PDC's internal data files (PDC distributes data
+    #: across storage devices, §III-E).
+    pdc_stripe_count: int = 64
+    #: Stripe width of the comparison "HDF5" files (typical default
+    #: striping — the source of HDF5-F's ~2x slower reads).
+    hdf5_stripe_count: int = 8
+    #: OST-hotspot straggler factor of the HDF5 files (§III-E: PDC's data
+    #: distribution + read aggregation avoids this; plain files don't).
+    hdf5_imbalance: float = 2.2
+    #: Lower bound on per-region histogram bins.  0 selects the paper's
+    #: adaptive rule (§III-D2: *"Depending on the region size, we use 50
+    #: to 100 bins"*): 50 bins for small regions scaling to 100 for
+    #: 128 MB+ regions.
+    histogram_bins: int = 0
+    #: FastBit binning precision (§III-D4 default: 2).
+    index_precision: int = 2
+    #: Gap threshold (elements) for read aggregation in get_data (§III-E).
+    aggregation_gap_elements: int = 256
+    #: get_data reads whole regions holding hits (block-index style, the
+    #: PDC behaviour); False reads aggregated hit extents (ablation).
+    get_data_whole_regions: bool = True
+    #: Metadata shards; 0 means one per server.
+    n_meta_shards: int = 0
+
+    def histogram_bins_for(self, region_size_bytes: int) -> int:
+        """Per-region histogram bin count: explicit, or the adaptive
+        50–100 rule over the virtual region size."""
+        if self.histogram_bins > 0:
+            return self.histogram_bins
+        span = math.log2(max(1, region_size_bytes) / (4 * MB))
+        return int(min(100, max(50, 50 + 10 * span)))
+
+    def region_elements(self, itemsize: int) -> int:
+        """Real elements per region for a given element size."""
+        n = int(round(self.region_size_bytes / (itemsize * self.virtual_scale)))
+        if n < 1:
+            raise PDCError(
+                f"region_size_bytes={self.region_size_bytes} too small for "
+                f"virtual_scale={self.virtual_scale} (itemsize {itemsize})"
+            )
+        return n
+
+
+@dataclass
+class StoredObject:
+    """A PDC data object plus the simulator-side bookkeeping arrays."""
+
+    meta: ObjectMeta
+    #: Full payload (the real, scaled-down array).
+    data: np.ndarray
+    file_path: str
+    hdf5_path: str
+    #: Real elements per (non-tail) region.
+    region_elements: int
+    #: Per-region element offsets / counts, ascending.
+    offsets: np.ndarray
+    counts: np.ndarray
+    #: Per-region true value extrema (from the region histograms).
+    rmin: np.ndarray
+    rmax: np.ndarray
+    #: Storage tier currently holding each region's authoritative copy
+    #: (§II: any layer of the memory/storage hierarchy).
+    region_tier: Optional[List[str]] = None
+    #: Optional per-region bitmap indexes (built by ``build_index``).
+    indexes: Optional[List[RegionBitmapIndex]] = None
+    #: Per-region index-file sizes / compressed word counts.
+    index_nbytes: Optional[np.ndarray] = None
+    index_words: Optional[np.ndarray] = None
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def n_regions(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def tier_of(self, region_id: int) -> str:
+        if self.region_tier is None:
+            return DeviceKind.DISK
+        return self.region_tier[region_id]
+
+    def region_of_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Region id of each element coordinate (uniform partitioning)."""
+        return np.minimum(coords // self.region_elements, self.n_regions - 1)
+
+    def region_bytes(self, region_ids: np.ndarray) -> np.ndarray:
+        """Real payload bytes of the given regions."""
+        return self.counts[region_ids] * self.itemsize
+
+
+@dataclass
+class ReplicaGroup:
+    """A sorted replica (§III-D3) with its own region partitioning."""
+
+    replica: SortedReplica
+    key_file: str
+    perm_file: str
+    companion_files: Dict[str, str]
+    region_elements: int
+    offsets: np.ndarray
+    counts: np.ndarray
+    #: Per-region key-value extrema (contiguous, since the key is sorted).
+    key_rmin: np.ndarray
+    key_rmax: np.ndarray
+    #: One-time reorganization cost in simulated seconds (sort + write).
+    build_time_s: float = 0.0
+
+    @property
+    def n_regions(self) -> int:
+        return int(self.offsets.size)
+
+    def regions_of_run(self, start: int, stop: int) -> np.ndarray:
+        """Replica region ids overlapping sorted-position run [start, stop)."""
+        if stop <= start:
+            return np.zeros(0, dtype=np.int64)
+        first = start // self.region_elements
+        last = (stop - 1) // self.region_elements
+        return np.arange(first, min(last, self.n_regions - 1) + 1, dtype=np.int64)
+
+
+class PDCSystem:
+    """One PDC deployment: servers + storage + metadata + object registry."""
+
+    def __init__(self, config: Optional[PDCConfig] = None) -> None:
+        self.config = config or PDCConfig()
+        if self.config.n_servers < 1:
+            raise PDCError("need at least one PDC server")
+        self.cost = CostModel(
+            params=self.config.cost_params, virtual_scale=self.config.virtual_scale
+        )
+        self.pfs = ParallelFileSystem(
+            cost=self.cost, default_stripe_count=self.config.pdc_stripe_count
+        )
+        n_shards = self.config.n_meta_shards or self.config.n_servers
+        self.metadata = MetadataService(n_shards, self.pfs, self.cost)
+        self.servers: List[PDCServer] = [
+            PDCServer(i, self.cost, self.config.server_memory_bytes)
+            for i in range(self.config.n_servers)
+        ]
+        self.client_clock = SimClock("client")
+        self._failed_servers: set = set()
+        self.containers: Dict[str, Container] = {"default": Container("default")}
+        self.objects: Dict[str, StoredObject] = {}
+        #: sort-key object name → replica group.
+        self.replicas: Dict[str, ReplicaGroup] = {}
+
+    # ----------------------------------------------------------------- config
+    @property
+    def n_servers(self) -> int:
+        return self.config.n_servers
+
+    @property
+    def strategy(self) -> Strategy:
+        if self.config.strategy is not None:
+            return self.config.strategy
+        return strategy_from_env()
+
+    def all_clocks(self) -> List[SimClock]:
+        return [s.clock for s in self.servers] + [self.client_clock]
+
+    def sync_clocks(self) -> float:
+        """Bulk-synchronous barrier across servers and client; returns the
+        barrier instant."""
+        t = max(c.now for c in self.all_clocks())
+        for c in self.all_clocks():
+            c.advance_to(t)
+        return t
+
+    def server_of_region(self, region_id: int) -> int:
+        """Stable region→server mapping (load-balanced for equal-size
+        regions, and cache-friendly across a query sequence).  Routes
+        around failed servers."""
+        alive = self.alive_servers
+        return alive[region_id % len(alive)].server_id
+
+    # ------------------------------------------------------------- failures
+    @property
+    def alive_servers(self) -> List[PDCServer]:
+        """Servers currently in service, ascending by id."""
+        return [s for s in self.servers if s.server_id not in self._failed_servers]
+
+    def fail_server(self, server_id: int) -> None:
+        """Take a server out of service (crash simulation).
+
+        Its cached regions are lost; region assignments reroute to the
+        survivors.  Queries keep working because region payloads live on
+        the PFS and metadata is re-distributed on demand.  At least one
+        server must survive.
+        """
+        if not (0 <= server_id < self.n_servers):
+            raise PDCError(f"no server {server_id}")
+        if len(self.alive_servers) <= 1 and server_id not in self._failed_servers:
+            raise PDCError("cannot fail the last alive server")
+        self._failed_servers.add(server_id)
+        self.servers[server_id].drop_caches()
+
+    def recover_server(self, server_id: int) -> None:
+        """Bring a failed server back (cold caches, clock rejoins at the
+        current simulated time)."""
+        if server_id not in self._failed_servers:
+            raise PDCError(f"server {server_id} is not failed")
+        self._failed_servers.discard(server_id)
+        t = max(c.now for c in self.all_clocks())
+        self.servers[server_id].clock.advance_to(t)
+
+    # ------------------------------------------------------------- containers
+    def create_container(self, name: str, tags: Optional[Dict[str, TagValue]] = None) -> Container:
+        if name in self.containers:
+            raise PDCError(f"container {name!r} exists")
+        cont = Container(name, tags or {})
+        self.containers[name] = cont
+        return cont
+
+    # ---------------------------------------------------------------- objects
+    def create_object(
+        self,
+        name: str,
+        data: np.ndarray,
+        tags: Optional[Dict[str, TagValue]] = None,
+        container: str = "default",
+        build_histograms: bool = True,
+    ) -> StoredObject:
+        """Import a 1-D array as a PDC object.
+
+        Partitions into regions, writes the PDC data file (wide-striped)
+        and the comparison "HDF5" file (default-striped, sharing the same
+        payload array — no copy), builds per-region mergeable histograms and
+        the merged global histogram (§III-D2: generated automatically when
+        data is produced or imported), and registers metadata.
+        """
+        if name in self.objects:
+            raise PDCError(f"object {name!r} exists")
+        data = np.ascontiguousarray(data)
+        if data.size == 0:
+            raise PDCError("objects must be non-empty arrays")
+        dims: Optional[Tuple[int, ...]] = None
+        if data.ndim > 1:
+            # Multi-dimensional arrays are stored flattened in C order;
+            # the logical shape lives in the metadata (pdc_region_t
+            # addressing resolves against it).
+            dims = tuple(int(d) for d in data.shape)
+            data = data.reshape(-1)
+        pdc_type = pdc_type_of_dtype(data.dtype)
+        region_elems = self.config.region_elements(data.dtype.itemsize)
+        extents = partition(data.size, region_elems)
+        file_path = f"/pdc/data/{name}"
+        hdf5_path = f"/hdf5/{name}.h5"
+        self.pfs.create(file_path, data, stripe_count=self.config.pdc_stripe_count)
+        self.pfs.create(
+            hdf5_path,
+            data,
+            stripe_count=self.config.hdf5_stripe_count,
+            imbalance=self.config.hdf5_imbalance,
+        )
+
+        oid = self.metadata.allocate_object_id()
+        regions: List[RegionMeta] = []
+        rmin = np.empty(len(extents))
+        rmax = np.empty(len(extents))
+        hist_by_region: Dict[int, MergeableHistogram] = {}
+        n_bins = self.config.histogram_bins_for(self.config.region_size_bytes)
+        for rid, (off, count) in enumerate(extents):
+            hist = None
+            if build_histograms:
+                hist = MergeableHistogram.from_data(
+                    data[off : off + count],
+                    n_bins=n_bins,
+                    seed=(oid * 100003 + rid) & 0x7FFFFFFF,
+                )
+                hist_by_region[rid] = hist
+                rmin[rid], rmax[rid] = hist.data_min, hist.data_max
+            else:
+                seg = data[off : off + count]
+                rmin[rid], rmax[rid] = float(seg.min()), float(seg.max())
+            regions.append(
+                RegionMeta(
+                    region_id=rid,
+                    object_name=name,
+                    offset=off,
+                    n_elements=count,
+                    file_path=file_path,
+                    histogram=hist,
+                )
+            )
+
+        global_hist = GlobalHistogram.build(hist_by_region) if hist_by_region else None
+        meta = ObjectMeta(
+            name=name,
+            object_id=oid,
+            pdc_type=pdc_type,
+            n_elements=int(data.size),
+            dims=dims,
+            container=container,
+            tags=dict(tags or {}),
+            regions=regions,
+            global_histogram=global_hist,
+            created_at=self.metadata.tick(),
+        )
+        self.metadata.create(meta)
+        if container not in self.containers:
+            self.create_container(container)
+        self.containers[container].add(name)
+
+        obj = StoredObject(
+            meta=meta,
+            data=data,
+            file_path=file_path,
+            hdf5_path=hdf5_path,
+            region_elements=region_elems,
+            offsets=np.array([e[0] for e in extents], dtype=np.int64),
+            counts=np.array([e[1] for e in extents], dtype=np.int64),
+            rmin=rmin,
+            rmax=rmax,
+            region_tier=[DeviceKind.DISK] * len(extents),
+        )
+        self.objects[name] = obj
+        return obj
+
+    def update_object_region(
+        self, name: str, offset: int, values: np.ndarray
+    ) -> List[int]:
+        """Overwrite part of an object and maintain all derived state.
+
+        Scientific data is mostly write-once-read-many (§III-D4), but PDC
+        supports updates; this keeps the query structures *consistent*
+        when they happen:
+
+        * affected regions' histograms and min/max are rebuilt;
+        * the global histogram is re-merged;
+        * affected regions' bitmap indexes are rebuilt (when present) and
+          the index file is rewritten;
+        * sorted replicas containing the object are dropped (a sorted copy
+          cannot be patched in place — the §III-D3 trade-off);
+        * stale cache entries on every server are invalidated.
+
+        Returns the affected region ids.  Write time is charged to the
+        owning servers' clocks.
+        """
+        obj = self.get_object(name)
+        values = np.ascontiguousarray(values, dtype=obj.data.dtype)
+        if values.ndim != 1 or values.size == 0:
+            raise PDCError("update payload must be non-empty 1-D")
+        stop = offset + values.size
+        if offset < 0 or stop > obj.n_elements:
+            raise PDCError(
+                f"update [{offset}, {stop}) out of bounds for {name!r} "
+                f"({obj.n_elements} elements)"
+            )
+        # Write through (obj.data is the same array the PFS file holds).
+        obj.data[offset:stop] = values
+        first = offset // obj.region_elements
+        last = (stop - 1) // obj.region_elements
+        affected = list(range(first, min(last, obj.n_regions - 1) + 1))
+
+        for rid in affected:
+            roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
+            segment = obj.data[roff : roff + count]
+            hist = MergeableHistogram.from_data(
+                segment,
+                n_bins=self.config.histogram_bins_for(self.config.region_size_bytes),
+                seed=(obj.meta.object_id * 100003 + rid) & 0x7FFFFFFF,
+            )
+            obj.meta.regions[rid].histogram = hist
+            obj.rmin[rid], obj.rmax[rid] = hist.data_min, hist.data_max
+            if obj.indexes is not None:
+                idx = RegionBitmapIndex.build(
+                    segment, precision=self.config.index_precision
+                )
+                obj.indexes[rid] = idx
+                obj.index_nbytes[rid] = idx.nbytes
+                obj.index_words[rid] = idx.total_words()
+            # Invalidate stale cache entries everywhere.
+            for server in self.servers:
+                server.cache.invalidate(region_key(name, rid))
+                server.cache.invalidate(region_key(name, rid, replica="idx"))
+            # Charge the write to the owning server.
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(
+                self.cost.pfs_write_time(
+                    count * obj.itemsize, 1, self.config.pdc_stripe_count
+                ),
+                "pfs_write",
+            )
+
+        # Re-merge the global histogram from the refreshed regions.
+        if obj.meta.global_histogram is not None:
+            obj.meta.global_histogram = GlobalHistogram.build(
+                {r.region_id: r.histogram for r in obj.meta.regions if r.histogram}
+            )
+
+        # Rewrite the index file to match the rebuilt regions.
+        if obj.indexes is not None:
+            path = f"/pdc/index/{name}"
+            if self.pfs.exists(path):
+                self.pfs.delete(path)
+            self.pfs.create(
+                path,
+                np.concatenate([idx.to_bytes() for idx in obj.indexes]),
+                stripe_count=self.config.pdc_stripe_count,
+            )
+
+        # Sorted replicas covering this object are now stale: drop them.
+        for key_name in list(self.replicas):
+            group = self.replicas[key_name]
+            covered = {key_name, *group.replica.companions}
+            if name in covered:
+                self.drop_sorted_replica(key_name)
+        return affected
+
+    def migrate_regions(
+        self, name: str, region_ids: Sequence[int], tier: str
+    ) -> None:
+        """Move regions' authoritative copies to another hierarchy layer
+        (§II: PDC moves data transparently across the deep memory
+        hierarchy).  Charges read-from-current + write-to-target on the
+        owning servers; subsequent reads of those regions use the new
+        tier's performance."""
+        if tier not in DeviceKind.ORDER:
+            raise PDCError(f"unknown storage tier {tier!r}")
+        obj = self.get_object(name)
+        for rid in region_ids:
+            rid = int(rid)
+            if not (0 <= rid < obj.n_regions):
+                raise PDCError(f"object {name!r} has no region {rid}")
+            current = obj.tier_of(rid)
+            if current == tier:
+                continue
+            nbytes = int(obj.counts[rid]) * obj.itemsize
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(
+                self.cost.tier_read_time(
+                    nbytes, 1, current, self.config.pdc_stripe_count
+                )
+                + self.cost.tier_read_time(
+                    nbytes, 1, tier, self.config.pdc_stripe_count
+                ) / 0.8,
+                "migrate",
+            )
+            obj.region_tier[rid] = tier
+            obj.meta.regions[rid].tier = tier
+
+    def drop_sorted_replica(self, key_name: str) -> None:
+        """Remove a sorted replica and its files/caches."""
+        group = self.replicas.pop(key_name, None)
+        if group is None:
+            return
+        for path in (group.key_file, group.perm_file, *group.companion_files.values()):
+            if self.pfs.exists(path):
+                self.pfs.delete(path)
+        for server in self.servers:
+            for rid in range(group.n_regions):
+                for which in ("key", "perm", *group.companion_files):
+                    server.cache.invalidate(
+                        region_key(key_name, rid, replica=f"sorted:{which}")
+                    )
+        for obj in self.objects.values():
+            if obj.meta.sorted_by == key_name:
+                obj.meta.sorted_by = None
+
+    def get_object(self, name: str) -> StoredObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object named {name!r}") from None
+
+    def get_object_by_id(self, object_id: int) -> StoredObject:
+        for obj in self.objects.values():
+            if obj.meta.object_id == object_id:
+                return obj
+        raise ObjectNotFoundError(f"no object with id {object_id}")
+
+    # ----------------------------------------------------------------- indexes
+    def build_index(self, name: str) -> None:
+        """Build per-region WAH bitmap indexes for an object and persist
+        them as index files (§III-D4).  Idempotent."""
+        obj = self.get_object(name)
+        if obj.indexes is not None:
+            return
+        indexes: List[RegionBitmapIndex] = []
+        nbytes = np.empty(obj.n_regions, dtype=np.int64)
+        words = np.empty(obj.n_regions, dtype=np.int64)
+        for rid in range(obj.n_regions):
+            off, count = int(obj.offsets[rid]), int(obj.counts[rid])
+            idx = RegionBitmapIndex.build(
+                obj.data[off : off + count], precision=self.config.index_precision
+            )
+            indexes.append(idx)
+            nbytes[rid] = idx.nbytes
+            words[rid] = idx.total_words()
+        # Persist one concatenated index file per object (regions are
+        # extents within it, like the data file).
+        payload = np.concatenate([idx.to_bytes() for idx in indexes])
+        path = f"/pdc/index/{name}"
+        if self.pfs.exists(path):
+            self.pfs.delete(path)
+        self.pfs.create(path, payload, stripe_count=self.config.pdc_stripe_count)
+        obj.indexes = indexes
+        obj.index_nbytes = nbytes
+        obj.index_words = words
+        for rid, region in enumerate(obj.meta.regions):
+            region.index_path = path
+
+    def index_size_bytes(self, name: str) -> int:
+        """Total index-file size for one object (paper §V: 15–17 % of the
+        data for VPIC)."""
+        obj = self.get_object(name)
+        if obj.index_nbytes is None:
+            raise QueryError(f"object {name!r} has no index")
+        return int(obj.index_nbytes.sum())
+
+    # ---------------------------------------------------------------- replicas
+    def build_sorted_replica(self, key_name: str, companions: Sequence[str] = ()) -> ReplicaGroup:
+        """Build a by-value sorted replica of ``key_name`` (and companion
+        objects), §III-D3.  The one-time sort+write cost is recorded on the
+        group, not charged to query clocks."""
+        if key_name in self.replicas:
+            return self.replicas[key_name]
+        key_obj = self.get_object(key_name)
+        comp_data = {c: self.get_object(c).data for c in companions}
+        replica = SortedReplica.build(key_name, key_obj.data, comp_data)
+
+        region_elems = key_obj.region_elements
+        extents = partition(replica.n_elements, region_elems)
+        offsets = np.array([e[0] for e in extents], dtype=np.int64)
+        counts = np.array([e[1] for e in extents], dtype=np.int64)
+        key_rmin = replica.key_values[offsets].astype(np.float64)
+        key_rmax = replica.key_values[np.minimum(offsets + counts - 1, replica.n_elements - 1)].astype(np.float64)
+
+        key_file = f"/pdc/sorted/{key_name}/key"
+        perm_file = f"/pdc/sorted/{key_name}/perm"
+        self.pfs.create(key_file, replica.key_values, stripe_count=self.config.pdc_stripe_count)
+        self.pfs.create(perm_file, replica.permutation, stripe_count=self.config.pdc_stripe_count)
+        companion_files = {}
+        for cname, cdata in replica.companions.items():
+            cpath = f"/pdc/sorted/{key_name}/{cname}"
+            self.pfs.create(cpath, cdata, stripe_count=self.config.pdc_stripe_count)
+            companion_files[cname] = cpath
+
+        build_time = self.cost.sort_time(replica.n_elements) + self.cost.pfs_write_time(
+            replica.nbytes, 1 + len(companion_files), self.config.pdc_stripe_count,
+            self.n_servers,
+        )
+        group = ReplicaGroup(
+            replica=replica,
+            key_file=key_file,
+            perm_file=perm_file,
+            companion_files=companion_files,
+            region_elements=region_elems,
+            offsets=offsets,
+            counts=counts,
+            key_rmin=key_rmin,
+            key_rmax=key_rmax,
+            build_time_s=build_time,
+        )
+        self.replicas[key_name] = group
+        key_obj.meta.sorted_by = key_name
+        for c in companions:
+            self.get_object(c).meta.sorted_by = key_name
+        return group
+
+    def replica_covering(self, object_names: Sequence[str]) -> Optional[ReplicaGroup]:
+        """A replica whose key+companions cover all the given objects, if
+        one exists."""
+        for key_name, group in self.replicas.items():
+            covered = {key_name, *group.replica.companions}
+            if all(n in covered for n in object_names):
+                return group
+        return None
+
+    # ------------------------------------------------------------- observability
+    def drop_all_caches(self) -> None:
+        for s in self.servers:
+            s.drop_caches()
+
+    def reset_clocks(self) -> None:
+        for c in self.all_clocks():
+            c.reset()
+
+    def cache_stats(self) -> Dict[int, Tuple[int, int]]:
+        """server id → (hits, misses)."""
+        return {s.server_id: (s.cache.stats.hits, s.cache.stats.misses) for s in self.servers}

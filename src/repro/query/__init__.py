@@ -1,0 +1,55 @@
+"""PDC-Query: the parallel query service (§III) — condition trees, the
+paper's C-style API, selections, strategies, and the query engine."""
+
+from .api import (
+    PDCQuery,
+    PDCquery_and,
+    PDCquery_create,
+    PDCquery_get_data,
+    PDCquery_get_data_batch,
+    PDCquery_get_histogram,
+    PDCquery_estimate_nhits,
+    PDCquery_get_nhits,
+    PDCquery_get_selection,
+    PDCquery_or,
+    PDCquery_set_region,
+    PDCquery_tag,
+)
+from .ast import AndNode, Condition, OrNode, QueryNode, node_from_dict
+from .async_client import AsyncQueryClient
+from .executor import GetDataResult, MetaDataQueryResult, QueryEngine, QueryResult
+from .planner import PlanEstimate, StepEstimate, choose_strategy, explain
+from .selection import Selection
+from .strategies import Strategy, strategy_from_env
+
+__all__ = [
+    "PDCQuery",
+    "PDCquery_and",
+    "PDCquery_create",
+    "PDCquery_get_data",
+    "PDCquery_get_data_batch",
+    "PDCquery_get_histogram",
+    "PDCquery_estimate_nhits",
+    "PDCquery_get_nhits",
+    "PDCquery_get_selection",
+    "PDCquery_or",
+    "PDCquery_set_region",
+    "PDCquery_tag",
+    "AndNode",
+    "Condition",
+    "OrNode",
+    "QueryNode",
+    "node_from_dict",
+    "AsyncQueryClient",
+    "GetDataResult",
+    "MetaDataQueryResult",
+    "PlanEstimate",
+    "StepEstimate",
+    "choose_strategy",
+    "explain",
+    "QueryEngine",
+    "QueryResult",
+    "Selection",
+    "Strategy",
+    "strategy_from_env",
+]

@@ -1,0 +1,177 @@
+"""Query condition trees.
+
+§III-C: *"we use a tree structure to store and represent the query
+conditions, which allows for chaining an unlimited number of conditions"*.
+Leaves are simple ``object <op> value`` conditions; internal nodes are
+AND/OR combinators.  The planner consumes the disjunctive normal form
+(each conjunct is a per-object interval map), which is how the paper's
+engine evaluates: conditions object-by-object in selectivity order, with
+OR results merged and deduplicated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryError
+from ..interval import Interval
+from ..types import PDCType, QueryOp, Scalar, check_value_type
+
+__all__ = ["Condition", "AndNode", "OrNode", "QueryNode", "node_from_dict", "Conjunct"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Leaf: ``object_name <op> value`` (cf. ``PDCquery_create``)."""
+
+    object_name: str
+    op: QueryOp
+    pdc_type: PDCType
+    value: Scalar
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", check_value_type(self.value, self.pdc_type))
+
+    @property
+    def interval(self) -> Interval:
+        return Interval.from_op(self.op, self.value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "cond",
+            "object": self.object_name,
+            "op": self.op.value,
+            "type": self.pdc_type.value,
+            "value": self.value,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.object_name} {self.op.value} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class AndNode:
+    """Intersection of child conditions (``PDCquery_and``)."""
+
+    children: Tuple["QueryNode", ...]
+
+    def to_dict(self) -> dict:
+        return {"kind": "and", "children": [c.to_dict() for c in self.children]}
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class OrNode:
+    """Union of child conditions (``PDCquery_or``)."""
+
+    children: Tuple["QueryNode", ...]
+
+    def to_dict(self) -> dict:
+        return {"kind": "or", "children": [c.to_dict() for c in self.children]}
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.children) + ")"
+
+
+QueryNode = Union[Condition, AndNode, OrNode]
+
+#: One conjunct of the DNF: object name → intersected interval.
+Conjunct = Dict[str, Interval]
+
+
+def node_from_dict(d: dict) -> QueryNode:
+    """Deserialize a condition tree (the transport wire format)."""
+    kind = d.get("kind")
+    if kind == "cond":
+        return Condition(
+            object_name=d["object"],
+            op=QueryOp(d["op"]),
+            pdc_type=PDCType(d["type"]),
+            value=d["value"],
+        )
+    if kind in ("and", "or"):
+        children = tuple(node_from_dict(c) for c in d["children"])
+        if len(children) < 2:
+            raise QueryError(f"{kind} node needs >= 2 children")
+        return AndNode(children) if kind == "and" else OrNode(children)
+    raise QueryError(f"bad query node kind {kind!r}")
+
+
+def combine_and(a: QueryNode, b: QueryNode) -> QueryNode:
+    """AND two trees, flattening nested ANDs."""
+    left = a.children if isinstance(a, AndNode) else (a,)
+    right = b.children if isinstance(b, AndNode) else (b,)
+    return AndNode(left + right)
+
+
+def combine_or(a: QueryNode, b: QueryNode) -> QueryNode:
+    """OR two trees, flattening nested ORs."""
+    left = a.children if isinstance(a, OrNode) else (a,)
+    right = b.children if isinstance(b, OrNode) else (b,)
+    return OrNode(left + right)
+
+
+def objects_of(node: QueryNode) -> List[str]:
+    """All object names referenced, depth-first order, deduplicated."""
+    out: List[str] = []
+
+    def walk(n: QueryNode) -> None:
+        if isinstance(n, Condition):
+            if n.object_name not in out:
+                out.append(n.object_name)
+        else:
+            for c in n.children:
+                walk(c)
+
+    walk(node)
+    return out
+
+
+def to_dnf(node: QueryNode) -> List[List[Condition]]:
+    """Flatten a condition tree to a list of conjuncts (lists of leaves).
+
+    Size is exponential in pathological trees; scientific queries are tiny
+    (the paper's largest has 4 conditions), so a guard of 64 conjuncts is
+    ample.
+    """
+    if isinstance(node, Condition):
+        return [[node]]
+    if isinstance(node, AndNode):
+        parts = [to_dnf(c) for c in node.children]
+        product = []
+        for combo in itertools.product(*parts):
+            product.append([leaf for conj in combo for leaf in conj])
+            if len(product) > 64:
+                raise QueryError("query too complex: DNF exceeds 64 conjuncts")
+        return product
+    if isinstance(node, OrNode):
+        out: List[List[Condition]] = []
+        for c in node.children:
+            out.extend(to_dnf(c))
+            if len(out) > 64:
+                raise QueryError("query too complex: DNF exceeds 64 conjuncts")
+        return out
+    raise QueryError(f"bad query node {node!r}")
+
+
+def conjunct_intervals(leaves: Sequence[Condition]) -> Optional[Conjunct]:
+    """Intersect a conjunct's conditions per object.
+
+    Returns ``None`` when some object's conditions are contradictory
+    (e.g. ``x > 5 AND x < 3``) — the conjunct matches nothing.
+    """
+    result: Conjunct = {}
+    for leaf in leaves:
+        iv = leaf.interval
+        if leaf.object_name in result:
+            merged = result[leaf.object_name].intersect(iv)
+            if merged is None:
+                return None
+            result[leaf.object_name] = merged
+        else:
+            result[leaf.object_name] = iv
+    return result

@@ -1,0 +1,859 @@
+"""The parallel query engine: plans, evaluates, and times queries.
+
+Implements §III-C/§III-D end to end.  The engine computes query *answers*
+on whole-object arrays with vectorized numpy (the simulator holds the real,
+scaled-down data), while *costs* are charged per region to per-server
+simulated clocks:
+
+1. the client serializes the condition tree and broadcasts it to all
+   servers;
+2. regions are assigned to servers by a stable, load-balanced mapping;
+   each server fetches the metadata of its regions once (then cached);
+3. per conjunct, conditions are ordered by global-histogram selectivity;
+   regions are pruned by per-region min/max; surviving regions are read
+   (or their index files / sorted-replica runs are) and scanned; subsequent
+   conditions check only the already-matched locations;
+4. servers ship hit counts/coordinates back; the client merges (and for OR,
+   deduplicates) them.
+
+Elapsed simulated time of a query is the distance between two
+bulk-synchronous barriers around the evaluation — exactly the end-to-end
+"client issues query until it receives all results" measurement of §V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError, QueryShapeError
+from ..histogram.selectivity import order_by_selectivity
+from ..interval import Interval
+from ..pdc.region import region_key
+from ..pdc.system import PDCSystem, ReplicaGroup, StoredObject
+from ..storage.aggregator import coords_to_extents
+from .ast import Conjunct, QueryNode, conjunct_intervals, objects_of, to_dnf
+from .region_constraint import RegionConstraint, normalize_constraint
+from .selection import Selection
+from .strategies import Strategy
+
+__all__ = ["QueryEngine", "QueryResult", "GetDataResult", "MetaDataQueryResult"]
+
+#: Approximate wire size of a serialized query plan.
+_PLAN_BYTES = 256
+#: Approximate wire size of one region's metadata record.
+_REGION_META_BYTES = 96
+#: Page size for binary-search probes on sorted replicas.
+_PROBE_BYTES = 4096
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query evaluation."""
+
+    nhits: int
+    selection: Optional[Selection]
+    #: End-to-end simulated seconds (client issue → all results received).
+    elapsed_s: float
+    strategy: Strategy
+    #: Objects in evaluation order (after selectivity ordering).
+    evaluation_order: List[str] = field(default_factory=list)
+    #: Data regions read from storage during evaluation.
+    regions_read: int = 0
+    #: Regions skipped by histogram min/max pruning.
+    regions_pruned: int = 0
+    #: Regions served from server caches.
+    regions_cached: int = 0
+    #: Index files read (PDC-HI).
+    index_reads: int = 0
+    #: Virtual bytes read from the PFS during this query.
+    bytes_read_virtual: float = 0.0
+
+
+@dataclass
+class GetDataResult:
+    """Outcome of materializing a selection's values."""
+
+    values: np.ndarray
+    elapsed_s: float
+    regions_read: int = 0
+    regions_cached: int = 0
+
+
+@dataclass
+class MetaDataQueryResult:
+    """Outcome of a combined metadata + data query (§VI-C)."""
+
+    object_names: List[str]
+    per_object_hits: Dict[str, int]
+    total_hits: int
+    elapsed_s: float
+
+
+def hash_name(name: str) -> int:
+    """Deterministic object-name hash (server assignment for small
+    objects)."""
+    import zlib
+
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class QueryEngine:
+    """Query evaluation service bound to one :class:`PDCSystem`.
+
+    The two boolean knobs exist for the ablation benches: disabling
+    ``enable_ordering`` evaluates multi-object conditions in user order
+    (no selectivity planning); disabling ``enable_pruning`` reads every
+    region regardless of histogram min/max.
+    """
+
+    def __init__(
+        self,
+        system: PDCSystem,
+        enable_ordering: bool = True,
+        enable_pruning: bool = True,
+    ) -> None:
+        self.system = system
+        self.enable_ordering = enable_ordering
+        self.enable_pruning = enable_pruning
+
+    # ------------------------------------------------------------ public API
+    def execute(
+        self,
+        root: QueryNode,
+        want_selection: bool = True,
+        region_constraint: Optional[RegionConstraint] = None,
+        strategy: Optional[Strategy] = None,
+    ) -> QueryResult:
+        """Evaluate a condition tree; returns hit count (and selection).
+
+        ``region_constraint`` is the optional spatial constraint of
+        ``PDCquery_set_region``: a half-open flat coordinate range, or an
+        N-D :class:`HyperSlab` over the objects' logical shape.  Either way
+        it need not align with PDC's internal region partitions (§III-A).
+        """
+        sysm = self.system
+        strat = strategy or sysm.strategy
+        if strat is Strategy.AUTO:
+            # Cost-based selection (§IX future work): planning uses only
+            # server-cached metadata, charged as client-side overhead.
+            from .planner import choose_strategy
+
+            strat, _ = choose_strategy(sysm, root)
+            sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "plan")
+        names = objects_of(root)
+        if not names:
+            raise QueryError("query references no objects")
+        objs = [sysm.get_object(n) for n in names]
+        domain = objs[0].n_elements
+        for o in objs[1:]:
+            if o.n_elements != domain or o.meta.dims != objs[0].meta.dims:
+                raise QueryShapeError(
+                    f"objects in one query must share dimensions: "
+                    f"{objs[0].name}={objs[0].meta.dims or domain}, "
+                    f"{o.name}={o.meta.dims or o.n_elements}"
+                )
+        (cstart, cstop), slab = normalize_constraint(region_constraint, domain)
+
+        t_start = sysm.sync_clocks()
+
+        # 1. Client serializes + broadcasts the plan; servers receive.
+        sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
+        sysm.client_clock.charge(sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net")
+        for server in sysm.alive_servers:
+            server.clock.advance_to(sysm.client_clock.now)
+            server.clock.charge(sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net")
+            server.clock.charge(sysm.cost.params.server_overhead_s, "server")
+
+        # 2. Metadata distribution (charged once per object per server).
+        self._ensure_metadata(names)
+
+        # 3. DNF evaluation with OR-union at the client.
+        stats = QueryResult(
+            nhits=0, selection=None, elapsed_s=0.0, strategy=strat
+        )
+        conjunct_leaf_sets = to_dnf(root)
+        coords_acc: Optional[np.ndarray] = None
+        for leaves in conjunct_leaf_sets:
+            conjunct = conjunct_intervals(leaves)
+            if conjunct is None:  # contradictory conditions: matches nothing
+                continue
+            coords = self._eval_conjunct(conjunct, (cstart, cstop), strat, stats)
+            if slab is not None:
+                # Exact N-D filtering of the bounding-range hits; servers
+                # evaluate whole regions intersecting the slab's bounds,
+                # which is what the cost accounting above charged.
+                coords = slab.filter_flat(coords)
+            if coords_acc is None:
+                coords_acc = coords
+            elif coords.size:
+                # §III-C: OR results combined and deduplicated via merge.
+                sysm.client_clock.charge(
+                    sysm.cost.scan_time(coords_acc.size + coords.size), "merge"
+                )
+                coords_acc = np.union1d(coords_acc, coords)
+            # §III-C special case: a disjunct selecting everything ends the
+            # union early.
+            full_count = slab.n_elements if slab is not None else cstop - cstart
+            if coords_acc is not None and coords_acc.size == full_count:
+                break
+        if coords_acc is None:
+            coords_acc = np.zeros(0, dtype=np.int64)
+
+        # 4. Result shipping: servers send their share, client aggregates.
+        self._charge_result_transfer(objs[0], coords_acc, want_selection)
+
+        t_end = sysm.sync_clocks()
+        stats.nhits = int(coords_acc.size)
+        stats.selection = Selection(coords_acc, domain) if want_selection else None
+        stats.elapsed_s = t_end - t_start
+        return stats
+
+    def get_data(
+        self,
+        selection: Selection,
+        object_name: str,
+        strategy: Optional[Strategy] = None,
+    ) -> GetDataResult:
+        """Load the values of a selection into (client) memory
+        (``PDCquery_get_data``).
+
+        Regions already cached on servers (because evaluation read them) are
+        served from memory; otherwise whole regions holding hits are read
+        from storage — PDC reads entire regions to avoid many small
+        non-contiguous accesses (§III-E), then ships only the hit bytes.
+        """
+        sysm = self.system
+        strat = strategy or sysm.strategy
+        obj = sysm.get_object(object_name)
+        if selection.domain_size != obj.n_elements:
+            raise QueryError(
+                f"selection domain {selection.domain_size} != object "
+                f"{object_name!r} size {obj.n_elements}"
+            )
+        t_start = sysm.sync_clocks()
+        result = GetDataResult(values=obj.data[selection.coords].copy(), elapsed_s=0.0)
+
+        replica = sysm.replica_covering([object_name]) if strat is Strategy.SORT_HIST else None
+        if replica is not None:
+            self._charge_get_data_replica(replica, object_name, selection, result)
+        else:
+            self._charge_get_data_original(obj, selection, result)
+
+        # Ship hit values to the (parallel) application: per-server streams,
+        # then a small completion aggregation at the issuing rank.
+        per_server = self._bytes_per_server(obj, selection.coords, obj.itemsize)
+        for server, nbytes in zip(sysm.alive_servers, per_server):
+            if nbytes:
+                server.clock.charge(sysm.cost.net_time(int(nbytes)), "net")
+        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.charge(sysm.cost.net_time(16 * sysm.n_servers, scaled=False), "net")
+
+        t_end = sysm.sync_clocks()
+        result.elapsed_s = t_end - t_start
+        return result
+
+    def get_data_batch(
+        self,
+        selection: Selection,
+        object_name: str,
+        batch_size: int,
+        strategy: Optional[Strategy] = None,
+    ):
+        """Iterate ``PDCquery_get_data_batch``: yields
+        :class:`GetDataResult` chunks of at most ``batch_size`` hits, for
+        results too large to hold in client memory at once."""
+        for chunk in selection.batches(batch_size):
+            yield self.get_data(chunk, object_name, strategy=strategy)
+
+    def get_nhits(self, root: QueryNode, **kwargs) -> Tuple[int, float]:
+        """``PDCquery_get_nhits``: hit count only (no coordinate shipping)."""
+        res = self.execute(root, want_selection=False, **kwargs)
+        return res.nhits, res.elapsed_s
+
+    def preload(self, names: Sequence[str]) -> float:
+        """Read every region of the named objects into the server caches.
+
+        This is the PDC-F pre-load phase of §VI-A: the paper amortizes this
+        one-time read across the query sequence ("total read time / number
+        of queries").  Returns the simulated seconds the pre-load took.
+        """
+        sysm = self.system
+        t_start = sysm.sync_clocks()
+        stats = QueryResult(nhits=0, selection=None, elapsed_s=0.0, strategy=Strategy.FULL_SCAN)
+        for name in names:
+            obj = sysm.get_object(name)
+            self._charge_data_reads(
+                obj, np.arange(obj.n_regions, dtype=np.int64), stats
+            )
+        return sysm.sync_clocks() - t_start
+
+    # --------------------------------------------------- metadata + data path
+    def metadata_data_query(
+        self,
+        tag_conditions: Dict[str, object],
+        interval: Interval,
+        strategy: Optional[Strategy] = None,
+    ) -> "MetaDataQueryResult":
+        """Combined metadata + data query over many small objects (§VI-C).
+
+        First the metadata service locates the objects whose tags match
+        (fast: pre-loaded in-memory records, hash-sharded); then each
+        selected object's data is evaluated against ``interval`` — one
+        region per small object, distributed across servers by object-name
+        hash.  Returns per-object hit counts and total time.
+        """
+        sysm = self.system
+        strat = strategy or sysm.strategy
+        t_start = sysm.sync_clocks()
+
+        # Metadata phase, charged to the client's clock (the paper: PDC
+        # "can locate the 1000 objects instantly").
+        names = sysm.metadata.query_tags(tag_conditions, clock=sysm.client_clock)
+        for server in sysm.alive_servers:
+            server.clock.advance_to(sysm.client_clock.now)
+
+        total_hits = 0
+        per_object: Dict[str, int] = {}
+        readers = sysm.n_servers
+        alive = sysm.alive_servers
+        for name in names:
+            obj = sysm.get_object(name)
+            server = alive[hash_name(name) % len(alive)]
+            use_index = strat is Strategy.HIST_INDEX and obj.indexes is not None
+            for rid in range(obj.n_regions):
+                rmin, rmax = float(obj.rmin[rid]), float(obj.rmax[rid])
+                if strat.uses_histogram and not interval.overlaps_range(rmin, rmax):
+                    continue
+                nbytes = int(obj.counts[rid]) * obj.itemsize
+                if use_index:
+                    server.ensure_region(
+                        region_key(name, rid, replica="idx"),
+                        int(obj.index_nbytes[rid]),
+                        1,
+                        sysm.config.pdc_stripe_count,
+                        readers,
+                        category="index_read",
+                    )
+                    server.clock.charge(
+                        sysm.cost.wah_scan_time(int(obj.index_words[rid])), "scan"
+                    )
+                    _, cand = obj.indexes[rid].count_range(interval)
+                    if cand:
+                        server.ensure_region(
+                            region_key(name, rid), nbytes, 1,
+                            sysm.config.pdc_stripe_count, readers,
+                        )
+                        server.clock.charge(sysm.cost.scan_time(cand), "scan")
+                else:
+                    server.ensure_region(
+                        region_key(name, rid), nbytes, 1,
+                        sysm.config.pdc_stripe_count, readers,
+                    )
+                    server.clock.charge(
+                        sysm.cost.scan_time(int(obj.counts[rid])), "scan"
+                    )
+            hits = int(interval.mask(obj.data).sum())
+            per_object[name] = hits
+            total_hits += hits
+
+        # Ship per-object counts back.
+        for server in sysm.alive_servers:
+            server.clock.charge(sysm.cost.net_time(16 * max(1, len(names))), "net")
+        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.charge(sysm.cost.net_time(16 * max(1, len(names))), "net")
+
+        t_end = sysm.sync_clocks()
+        return MetaDataQueryResult(
+            object_names=names,
+            per_object_hits=per_object,
+            total_hits=total_hits,
+            elapsed_s=t_end - t_start,
+        )
+
+    # -------------------------------------------------------- conjunct eval
+    def _eval_conjunct(
+        self,
+        conjunct: Conjunct,
+        constraint: Tuple[int, int],
+        strat: Strategy,
+        stats: QueryResult,
+    ) -> np.ndarray:
+        """Evaluate one AND-group of per-object intervals; returns sorted
+        hit coordinates."""
+        sysm = self.system
+        cstart, cstop = constraint
+
+        # Order conditions by estimated selectivity (histogram strategies).
+        items = list(conjunct.items())
+        if strat.uses_histogram and self.enable_ordering:
+            hists = {
+                n: sysm.get_object(n).meta.global_histogram
+                for n, _ in items
+                if sysm.get_object(n).meta.global_histogram is not None
+            }
+            ordered = [(n, iv) for n, iv, _ in order_by_selectivity(items, hists)]
+            # §III-C: if the histogram proves a condition matches nothing,
+            # skip the whole conjunct without touching storage.
+            for n, iv in ordered:
+                h = hists.get(n)
+                if h is not None and h.estimate_hits(iv)[1] == 0:
+                    return np.zeros(0, dtype=np.int64)
+        else:
+            ordered = items
+        stats.evaluation_order = [n for n, _ in ordered]
+
+        first_name, first_iv = ordered[0]
+
+        if strat is Strategy.SORT_HIST:
+            replica = sysm.replica_covering([n for n, _ in ordered])
+            if replica is not None and replica.replica.key_name == first_name:
+                return self._eval_sorted(replica, ordered, constraint, stats)
+            # Sorted replica not applicable (e.g. the planner put another
+            # object first, Fig. 4's low-energy-selectivity queries):
+            # §VI-B — behaves like the histogram-only path.
+
+        if strat is Strategy.FULL_SCAN:
+            # §III-D1: pre-load all queried objects' data entirely.
+            for name, _ in ordered:
+                obj = sysm.get_object(name)
+                all_regions = self._regions_in_constraint(obj, constraint)
+                self._charge_data_reads(obj, all_regions, stats)
+            obj = sysm.get_object(first_name)
+            self._charge_scan(obj, self._regions_in_constraint(obj, constraint), constraint)
+            coords = self._mask_coords(obj, first_iv, constraint)
+        else:
+            obj = sysm.get_object(first_name)
+            surviving = self._prune_regions(obj, first_iv, constraint, stats)
+            if strat is Strategy.HIST_INDEX and obj.indexes is not None:
+                self._charge_index_reads(obj, surviving, first_iv, stats)
+            else:
+                self._charge_data_reads(obj, surviving, stats)
+                self._charge_scan(obj, surviving, constraint)
+            coords = self._mask_coords(obj, first_iv, constraint)
+
+        # Subsequent conditions: check only already-selected locations.
+        for name, iv in ordered[1:]:
+            if coords.size == 0:
+                # §III-C special case: an empty intermediate result ends the
+                # conjunct immediately.
+                return coords
+            obj = sysm.get_object(name)
+            cand_regions = np.unique(obj.region_of_coords(coords))
+            if strat.uses_histogram and self.enable_pruning:
+                keep = iv.overlaps_range_arrays(
+                    obj.rmin[cand_regions], obj.rmax[cand_regions]
+                )
+                pruned = cand_regions[~keep]
+                stats.regions_pruned += int(pruned.size)
+                cand_regions = cand_regions[keep]
+                if pruned.size:
+                    # Coordinates in pruned regions cannot match (min/max is
+                    # exact); drop them without reading anything.
+                    coord_regions = obj.region_of_coords(coords)
+                    coords = coords[np.isin(coord_regions, cand_regions)]
+                    if coords.size == 0:
+                        return coords
+            if strat is Strategy.HIST_INDEX and obj.indexes is not None:
+                self._charge_index_reads(obj, cand_regions, iv, stats)
+            else:
+                self._charge_data_reads(obj, cand_regions, stats)
+                self._charge_candidate_scan(obj, coords)
+            coords = coords[iv.mask(obj.data[coords])]
+        return coords
+
+    def _eval_sorted(
+        self,
+        group: ReplicaGroup,
+        ordered: Sequence[Tuple[str, Interval]],
+        constraint: Tuple[int, int],
+        stats: QueryResult,
+    ) -> np.ndarray:
+        """PDC-SH fast path: binary search the sorted key, then contiguous
+        companion reads over the matching run (§III-D3)."""
+        sysm = self.system
+        replica = group.replica
+        (first_name, first_iv), rest = ordered[0], ordered[1:]
+
+        start, stop = replica.search_range(
+            first_iv.lo, first_iv.hi, first_iv.lo_closed, first_iv.hi_closed
+        )
+        run_len = stop - start
+
+        # Locating the run: the replica's per-region key min/max live in the
+        # cached metadata, so the boundary regions are found with zero I/O;
+        # only those (≤2) key regions are read for the in-memory binary
+        # search — and they stay cached for the query sequence.
+        if run_len > 0:
+            boundary = {start // group.region_elements,
+                        max(start, stop - 1) // group.region_elements}
+            boundary_ids = np.array(
+                sorted(min(b, group.n_regions - 1) for b in boundary), dtype=np.int64
+            )
+            key_itemsize = sysm.get_object(first_name).itemsize
+            self._charge_replica_regions(group, boundary_ids, "key", key_itemsize, stats)
+        sysm.servers[0].clock.charge(
+            sysm.cost.binary_search_time(replica.n_elements), "scan"
+        )
+
+        if run_len <= 0:
+            return np.zeros(0, dtype=np.int64)
+
+        run_regions = group.regions_of_run(start, stop)
+        stats.regions_pruned += group.n_regions - int(run_regions.size)
+
+        # Read the permutation (coordinates) over the run — contiguous.
+        self._charge_replica_regions(group, run_regions, "perm", 8, stats)
+        # Each further condition reads its companion slice — contiguous.
+        for name, _ in rest:
+            itemsize = sysm.get_object(name).itemsize
+            self._charge_replica_regions(group, run_regions, name, itemsize, stats)
+            per_server_elems = self._replica_elems_per_server(group, run_regions)
+            for server, n in zip(sysm.alive_servers, per_server_elems):
+                if n:
+                    server.clock.charge(sysm.cost.scan_time(int(n)), "scan")
+
+        # Exact answer from the replica arrays.
+        mask = np.ones(run_len, dtype=bool)
+        for name, iv in rest:
+            mask &= iv.mask(replica.companion_slice(name, start, stop))
+        coords = replica.original_coords(start, stop)[mask]
+        cstart, cstop = constraint
+        if cstart > 0 or cstop < replica.n_elements:
+            coords = coords[(coords >= cstart) & (coords < cstop)]
+        coords.sort()
+        return coords
+
+    # ---------------------------------------------------------- cost helpers
+    def _ensure_metadata(self, names: Sequence[str]) -> None:
+        """First query on an object distributes its region metadata +
+        global histogram to every server (§III-C); afterwards it is cached."""
+        sysm = self.system
+        for name in names:
+            obj = sysm.get_object(name)
+            hist = obj.meta.global_histogram
+            hist_bytes = hist.merged.nbytes if hist is not None else 0
+            for server in sysm.alive_servers:
+                if name in server.meta_cached:
+                    continue
+                n_assigned = (obj.n_regions + sysm.n_servers - 1) // sysm.n_servers
+                server.clock.charge(
+                    sysm.cost.net_time(
+                        _REGION_META_BYTES * n_assigned + hist_bytes + 16 * obj.n_regions,
+                        scaled=False,
+                    ),
+                    "meta",
+                )
+                server.meta_cached.add(name)
+
+    def _regions_in_constraint(
+        self, obj: StoredObject, constraint: Tuple[int, int]
+    ) -> np.ndarray:
+        cstart, cstop = constraint
+        first = cstart // obj.region_elements
+        last = min((cstop - 1) // obj.region_elements, obj.n_regions - 1)
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def _prune_regions(
+        self,
+        obj: StoredObject,
+        interval: Interval,
+        constraint: Tuple[int, int],
+        stats: QueryResult,
+    ) -> np.ndarray:
+        """Histogram region elimination (§III-D2): regions whose min/max
+        cannot overlap the condition are never read."""
+        candidates = self._regions_in_constraint(obj, constraint)
+        if not self.enable_pruning:
+            return candidates
+        keep = interval.overlaps_range_arrays(obj.rmin[candidates], obj.rmax[candidates])
+        stats.regions_pruned += int((~keep).sum())
+        return candidates[keep]
+
+    def _regions_by_server(self, region_ids: np.ndarray):
+        """(server, its region ids) pairs over the *alive* servers —
+        failed servers (§ fault tolerance) receive no work."""
+        alive = self.system.alive_servers
+        n = len(alive)
+        idx = region_ids % n
+        return [(alive[i], region_ids[idx == i]) for i in range(n)]
+
+    def _active_readers(self, region_ids: np.ndarray) -> int:
+        """Servers actually reading in this phase — what contends on the
+        PFS.  (A selective query touching 5 regions does not suffer
+        512-server contention.)"""
+        if region_ids.size == 0:
+            return 1
+        return int(np.unique(region_ids % len(self.system.alive_servers)).size)
+
+    def _charge_data_reads(
+        self, obj: StoredObject, region_ids: np.ndarray, stats: QueryResult
+    ) -> None:
+        """Charge each server for making its share of regions resident."""
+        sysm = self.system
+        readers = self._active_readers(region_ids)
+        for server, mine in self._regions_by_server(region_ids):
+            for rid in mine:
+                key = region_key(obj.name, int(rid))
+                nbytes = int(obj.counts[rid]) * obj.itemsize
+                hit = server.ensure_region(
+                    key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
+                    tier=obj.tier_of(int(rid)),
+                )
+                if hit:
+                    stats.regions_cached += 1
+                else:
+                    stats.regions_read += 1
+                    stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+
+    def _charge_scan(
+        self, obj: StoredObject, region_ids: np.ndarray, constraint: Tuple[int, int]
+    ) -> None:
+        """Charge the per-server full scan of the given regions (clipped to
+        the spatial constraint)."""
+        sysm = self.system
+        cstart, cstop = constraint
+        starts = np.maximum(obj.offsets[region_ids], cstart)
+        stops = np.minimum(obj.offsets[region_ids] + obj.counts[region_ids], cstop)
+        elems = np.maximum(stops - starts, 0)
+        alive = sysm.alive_servers
+        servers_of = region_ids % len(alive)
+        per_server = np.bincount(servers_of, weights=elems, minlength=len(alive))
+        for server, n in zip(alive, per_server):
+            if n:
+                server.clock.charge(sysm.cost.scan_time(int(n)), "scan")
+
+    def _charge_candidate_scan(self, obj: StoredObject, coords: np.ndarray) -> None:
+        """Charge checking only already-selected locations (§III-C AND
+        optimization)."""
+        sysm = self.system
+        alive = sysm.alive_servers
+        servers_of = obj.region_of_coords(coords) % len(alive)
+        per_server = np.bincount(servers_of, minlength=len(alive))
+        for server, n in zip(alive, per_server):
+            if n:
+                server.clock.charge(sysm.cost.scan_time(int(n)), "scan")
+
+    def _charge_index_reads(
+        self,
+        obj: StoredObject,
+        region_ids: np.ndarray,
+        interval: Interval,
+        stats: QueryResult,
+    ) -> None:
+        """PDC-HI: probe region indexes instead of reading data (§III-D4).
+
+        FastBit seeks into the index file and reads only the bitmaps of
+        bins overlapping the condition (cached afterwards); candidate bins
+        (off-grid endpoints) additionally force a raw region read to verify
+        boundary values.
+        """
+        sysm = self.system
+        assert obj.indexes is not None and obj.index_nbytes is not None
+        readers = self._active_readers(region_ids)
+        for server, mine in self._regions_by_server(region_ids):
+            for rid in mine:
+                rid_i = int(rid)
+                probe = obj.indexes[rid_i].query_cost(interval)
+                stats.index_reads += 1
+                key = region_key(obj.name, rid_i, replica="idx")
+                if not server.cache.lookup(key):
+                    # Cold probe: one seek reading the bin directory plus
+                    # the touched bitmaps (FastBit seeks once into the
+                    # index file); the index stays cached afterwards, so
+                    # later probes of this region are in-memory.
+                    server.clock.charge(
+                        sysm.cost.pfs_read_time(
+                            probe.bytes_touched,
+                            1,
+                            sysm.config.pdc_stripe_count,
+                            readers,
+                        )
+                        + sysm.cost.pfs_read_time(
+                            probe.header_bytes, 0, 1, 1, scaled=False
+                        ),
+                        category="index_read",
+                    )
+                    server.cache.put(key, nbytes=int(obj.index_nbytes[rid_i]))
+                    stats.bytes_read_virtual += (
+                        probe.bytes_touched * sysm.cost.virtual_scale
+                    )
+                else:
+                    stats.regions_cached += 1
+                server.clock.charge(
+                    sysm.cost.wah_scan_time(probe.words_touched), "scan"
+                )
+                # Candidate check: boundary-bin members verified against raw
+                # values (whole-region read, block-index style).
+                if probe.candidates:
+                    nbytes = int(obj.counts[rid_i]) * obj.itemsize
+                    was_hit = server.ensure_region(
+                        region_key(obj.name, rid_i), nbytes, 1,
+                        sysm.config.pdc_stripe_count, readers,
+                    )
+                    server.clock.charge(sysm.cost.scan_time(probe.candidates), "scan")
+                    if was_hit:
+                        stats.regions_cached += 1
+                    else:
+                        stats.regions_read += 1
+                        stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+
+    def _charge_replica_regions(
+        self,
+        group: ReplicaGroup,
+        region_ids: np.ndarray,
+        which: str,
+        itemsize: int,
+        stats: QueryResult,
+    ) -> None:
+        """Charge contiguous reads of replica regions (perm or companion)."""
+        sysm = self.system
+        readers = self._active_readers(region_ids)
+        key_name = group.replica.key_name
+        for server, mine in self._regions_by_server(region_ids):
+            for rid in mine:
+                key = region_key(key_name, int(rid), replica=f"sorted:{which}")
+                nbytes = int(group.counts[rid]) * itemsize
+                hit = server.ensure_region(
+                    key, nbytes, 1, sysm.config.pdc_stripe_count, readers
+                )
+                if hit:
+                    stats.regions_cached += 1
+                else:
+                    stats.regions_read += 1
+
+    def _replica_elems_per_server(
+        self, group: ReplicaGroup, region_ids: np.ndarray
+    ) -> np.ndarray:
+        n_alive = len(self.system.alive_servers)
+        servers_of = region_ids % n_alive
+        return np.bincount(
+            servers_of, weights=group.counts[region_ids], minlength=n_alive
+        )
+
+    def _bytes_per_server(
+        self, obj: StoredObject, coords: np.ndarray, itemsize: int
+    ) -> np.ndarray:
+        """Result bytes each *alive* server ships, by hit ownership."""
+        n_alive = len(self.system.alive_servers)
+        if coords.size == 0:
+            return np.zeros(n_alive)
+        servers_of = obj.region_of_coords(coords) % n_alive
+        return np.bincount(servers_of, minlength=n_alive) * itemsize
+
+    def _charge_result_transfer(
+        self, obj: StoredObject, coords: np.ndarray, want_selection: bool
+    ) -> None:
+        """Servers send results; the client's background thread aggregates
+        (§III-C).
+
+        The "client" is a parallel application (§V: 31 cores per node next
+        to each server), so coordinate payloads stream server→application
+        in parallel; only the small per-server hit counts funnel through
+        the issuing rank.
+        """
+        sysm = self.system
+        if want_selection and coords.size:
+            per_server = self._bytes_per_server(obj, coords, 8)
+        else:
+            per_server = np.full(len(sysm.alive_servers), 8.0)
+        for server, nbytes in zip(sysm.alive_servers, per_server):
+            if nbytes:
+                server.clock.charge(
+                    sysm.cost.net_time(int(nbytes), scaled=nbytes > 8), "net"
+                )
+        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.charge(sysm.cost.net_time(16 * sysm.n_servers, scaled=False), "net")
+
+    def _mask_coords(
+        self, obj: StoredObject, interval: Interval, constraint: Tuple[int, int]
+    ) -> np.ndarray:
+        """Exact hit coordinates of one condition within the constraint."""
+        cstart, cstop = constraint
+        window = obj.data[cstart:cstop]
+        return np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+
+    # -------------------------------------------------------------- get_data
+    def _charge_get_data_original(
+        self, obj: StoredObject, selection: Selection, result: GetDataResult
+    ) -> None:
+        sysm = self.system
+        if selection.is_empty:
+            return
+        regions = np.unique(obj.region_of_coords(selection.coords))
+        readers = self._active_readers(regions)
+        whole_regions = sysm.config.get_data_whole_regions
+        for server, mine in self._regions_by_server(regions):
+            for rid in mine:
+                key = region_key(obj.name, int(rid))
+                nbytes = int(obj.counts[rid]) * obj.itemsize
+                if whole_regions or server.cache.contains(key):
+                    hit = server.ensure_region(
+                        key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
+                        hit_copy=True,
+                    )
+                    if hit:
+                        result.regions_cached += 1
+                    else:
+                        result.regions_read += 1
+                else:
+                    # Ablation mode: read only the hit extents, merged by
+                    # the §III-E aggregator (many small accesses when the
+                    # hits are scattered — the effect whole-region reads
+                    # avoid).
+                    off = int(obj.offsets[rid])
+                    in_region = selection.clip(off, off + int(obj.counts[rid])).coords
+                    extents = coords_to_extents(
+                        in_region, gap_threshold=sysm.config.aggregation_gap_elements
+                    )
+                    nb = sum(b - a for a, b in extents) * obj.itemsize
+                    server.clock.charge(
+                        sysm.cost.pfs_read_time(
+                            nb, len(extents), sysm.config.pdc_stripe_count, readers
+                        ),
+                        "pfs_read",
+                    )
+                    result.regions_read += 1
+
+    def _charge_get_data_replica(
+        self, group: ReplicaGroup, object_name: str, selection: Selection,
+        result: GetDataResult,
+    ) -> None:
+        """PDC-SH get_data: hits live contiguously on the sorted replica,
+        already cached by the evaluation pass."""
+        sysm = self.system
+        if selection.is_empty:
+            return
+        inv = self._inverse_permutation(group)
+        positions = np.sort(inv[selection.coords])
+        regions = np.unique(positions // group.region_elements)
+        regions = np.minimum(regions, group.n_regions - 1)
+        itemsize = sysm.get_object(object_name).itemsize
+        readers = self._active_readers(regions)
+        which = object_name if object_name != group.replica.key_name else "key"
+        for server, mine in self._regions_by_server(regions):
+            for rid in mine:
+                key = region_key(
+                    group.replica.key_name, int(rid), replica=f"sorted:{which}"
+                )
+                nbytes = int(group.counts[rid]) * itemsize
+                hit = server.ensure_region(
+                    key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
+                    hit_copy=True,
+                )
+                if hit:
+                    result.regions_cached += 1
+                else:
+                    result.regions_read += 1
+
+    def _inverse_permutation(self, group: ReplicaGroup) -> np.ndarray:
+        inv = getattr(group, "_inverse_perm", None)
+        if inv is None:
+            inv = np.empty_like(group.replica.permutation)
+            inv[group.replica.permutation] = np.arange(
+                group.replica.n_elements, dtype=np.int64
+            )
+            group._inverse_perm = inv  # type: ignore[attr-defined]
+        return inv

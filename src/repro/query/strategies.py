@@ -1,0 +1,6 @@
+"""Compatibility shim: strategies live at :mod:`repro.strategies` (they are
+shared by the PDC substrate and the query engine)."""
+
+from ..strategies import STRATEGY_ENV_VAR, Strategy, strategy_from_env
+
+__all__ = ["STRATEGY_ENV_VAR", "Strategy", "strategy_from_env"]

@@ -1,0 +1,30 @@
+"""Simulated SPMD/MPI runtime: threaded communicator, launcher, reduction
+operators, and simulated-time phase helpers.
+
+Drop-in shaped like mpi4py's pickle-based API (``comm.send`` / ``comm.recv``
+/ ``comm.bcast`` / ...) so the PDC transport code reads like the real thing.
+"""
+
+from .communicator import ANY_SOURCE, ANY_TAG, Communicator, CommWorld, Request
+from .launcher import run_spmd
+from .reduceops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, reduce_sequence
+from .timers import ClockGroup, phase_end
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "CommWorld",
+    "Request",
+    "run_spmd",
+    "CONCAT",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "PROD",
+    "SUM",
+    "reduce_sequence",
+    "ClockGroup",
+    "phase_end",
+]

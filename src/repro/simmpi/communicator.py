@@ -1,0 +1,359 @@
+"""A threaded, deterministic MPI-style communicator.
+
+The PDC client library *"serializes the query conditions and broadcasts
+them to all available servers"* and a background thread *"aggregates the
+results received from all servers"* (§III-C).  This module provides the
+message-passing substrate those components run on: an mpi4py-lookalike
+communicator whose ranks are Python threads in one process.
+
+Semantics follow mpi4py's lower-case (pickle-based) API:
+
+* ``send``/``recv`` are blocking point-to-point with (source, tag) matching
+  and FIFO ordering per (source, dest, tag) channel;
+* messages are deep-copied on send, so no mutable state is shared;
+* collectives (``bcast``, ``scatter``, ``gather``, ``allgather``,
+  ``reduce``, ``allreduce``, ``alltoall``, ``barrier``) are built from
+  point-to-point traffic on a reserved internal tag space, sequenced by a
+  per-rank collective counter — correct as long as usage is SPMD, which the
+  launcher enforces by construction.
+
+Reductions always fold in rank order (see ``reduce_sequence``), so results
+are bit-deterministic regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import TransportError
+from .reduceops import SUM, ReduceOp, reduce_sequence
+
+__all__ = ["Communicator", "Request", "ANY_SOURCE", "ANY_TAG", "CommWorld"]
+
+#: Wildcard source for ``recv``.
+ANY_SOURCE = -1
+#: Wildcard tag for ``recv``.
+ANY_TAG = -1
+
+#: Internal collectives use tags at/above this value; user tags must be below.
+_COLL_TAG_BASE = 1 << 30
+
+
+def _copy_message(obj: Any) -> Any:
+    """Deep copy via pickle — models serialization across the wire."""
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class _Mailbox:
+    """Per-destination buffer of in-flight messages with condition-variable
+    wakeup."""
+
+    def __init__(self) -> None:
+        self._messages: List[Tuple[int, int, Any]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            if self._closed:
+                raise TransportError("mailbox closed (runtime shut down)")
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def take(self, source: int, tag: int, timeout: Optional[float]) -> Tuple[int, int, Any]:
+        """Blocking matched receive; FIFO among matching messages."""
+
+        def _match() -> Optional[int]:
+            for i, (src, t, _) in enumerate(self._messages):
+                if (source == ANY_SOURCE or src == source) and (tag == ANY_TAG or t == tag):
+                    return i
+            return None
+
+        with self._cond:
+            idx = _match()
+            while idx is None:
+                if self._closed:
+                    raise TransportError("mailbox closed while waiting for message")
+                if not self._cond.wait(timeout=timeout):
+                    raise TransportError(
+                        f"recv timed out waiting for source={source} tag={tag}"
+                    )
+                idx = _match()
+            return self._messages.pop(idx)
+
+    def try_take(self, source: int, tag: int) -> Optional[Tuple[int, int, Any]]:
+        """Non-blocking matched receive; None when nothing matches yet."""
+        with self._cond:
+            for i, (src, t, _) in enumerate(self._messages):
+                if (source == ANY_SOURCE or src == source) and (
+                    tag == ANY_TAG or t == tag
+                ):
+                    return self._messages.pop(i)
+            return None
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class Request:
+    """Handle for a non-blocking operation (cf. ``mpi4py.MPI.Request``).
+
+    ``test()`` polls without blocking; ``wait()`` blocks until completion
+    and returns the received payload (``None`` for sends).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        mailbox: Optional["_Mailbox"] = None,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.kind = kind
+        self._mailbox = mailbox
+        self._source = source
+        self._tag = tag
+        self._timeout = timeout
+        self._done = False
+        self._payload: Any = None
+
+    def _complete(self, payload: Any) -> None:
+        self._done = True
+        self._payload = payload
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def test(self) -> Tuple[bool, Any]:
+        """(done, payload-or-None) without blocking."""
+        if self._done:
+            return True, self._payload
+        assert self._mailbox is not None
+        hit = self._mailbox.try_take(self._source, self._tag)
+        if hit is None:
+            return False, None
+        self._complete(hit[2])
+        return True, self._payload
+
+    def wait(self) -> Any:
+        """Block until the operation completes; returns the payload."""
+        if self._done:
+            return self._payload
+        assert self._mailbox is not None
+        _, _, payload = self._mailbox.take(self._source, self._tag, self._timeout)
+        self._complete(payload)
+        return self._payload
+
+    @staticmethod
+    def waitall(requests: Sequence["Request"]) -> List[Any]:
+        """Wait on many requests; payloads in request order."""
+        return [r.wait() for r in requests]
+
+
+class _SharedState:
+    """State shared by all rank views of one communicator."""
+
+    def __init__(self, size: int, timeout: Optional[float]) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+    def close(self) -> None:
+        for mb in self.mailboxes:
+            mb.close()
+
+
+class Communicator:
+    """One rank's view of the communicator (cf. ``MPI.COMM_WORLD``)."""
+
+    def __init__(self, state: _SharedState, rank: int) -> None:
+        self._state = state
+        self._rank = rank
+        self._coll_seq = 0
+
+    # ----------------------------------------------------------- environment
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    def Get_rank(self) -> int:  # mpi4py spelling
+        return self._rank
+
+    def Get_size(self) -> int:  # mpi4py spelling
+        return self._state.size
+
+    # --------------------------------------------------------- point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (buffered: completes immediately after enqueue,
+        like a small-message eager send)."""
+        self._check_peer(dest)
+        self._check_user_tag(tag)
+        self._state.mailboxes[dest].put(self._rank, tag, _copy_message(obj))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Non-blocking send; returns a :class:`Request`.
+
+        The eager-buffered transport copies the payload at call time, so
+        the request is already complete — matching mpi4py's behaviour for
+        small messages.
+        """
+        self.send(obj, dest, tag)
+        req = Request(kind="send")
+        req._complete(None)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Non-blocking receive; ``Request.wait()`` yields the payload.
+
+        The matching message is claimed lazily: the first ``test``/``wait``
+        that finds it completes the request.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        return Request(
+            kind="recv",
+            mailbox=self._state.mailboxes[self._rank],
+            source=source,
+            tag=tag,
+            timeout=self._state.timeout,
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking matched receive; returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        _, _, payload = self._state.mailboxes[self._rank].take(
+            source, tag, self._state.timeout
+        )
+        return payload
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Tuple[Any, int, int]:
+        """Like :meth:`recv` but also returns ``(payload, source, tag)``."""
+        src, t, payload = self._state.mailboxes[self._rank].take(
+            source, tag, self._state.timeout
+        )
+        return payload, src, t
+
+    # ------------------------------------------------------------ collectives
+    def _next_coll_tag(self) -> int:
+        tag = _COLL_TAG_BASE + self._coll_seq
+        self._coll_seq += 1
+        return tag
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self._state.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            payload = _copy_message(obj)
+            for dest in range(self.size):
+                if dest != root:
+                    self._state.mailboxes[dest].put(root, tag, _copy_message(payload))
+            return payload
+        _, _, payload = self._state.mailboxes[self._rank].take(root, tag, self._state.timeout)
+        return payload
+
+    def scatter(self, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Distribute ``sendobjs[i]`` to rank ``i``; non-root passes None."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            if sendobjs is None or len(sendobjs) != self.size:
+                raise TransportError(
+                    f"scatter at root needs exactly {self.size} items"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self._state.mailboxes[dest].put(root, tag, _copy_message(sendobjs[dest]))
+            return _copy_message(sendobjs[root])
+        _, _, payload = self._state.mailboxes[self._rank].take(root, tag, self._state.timeout)
+        return payload
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Collect one value per rank at ``root`` (rank order); others get
+        None."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            results: List[Any] = [None] * self.size
+            results[root] = _copy_message(obj)
+            for _ in range(self.size - 1):
+                src, _, payload = self._state.mailboxes[root].take(
+                    ANY_SOURCE, tag, self._state.timeout
+                )
+                results[src] = payload
+            return results
+        self._state.mailboxes[root].put(self._rank, tag, _copy_message(obj))
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather to rank 0, then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
+        """Fold ``op`` over all ranks' values (rank order) at ``root``."""
+        gathered = self.gather(obj, root=root)
+        if self._rank == root:
+            assert gathered is not None
+            return reduce_sequence(gathered, op)
+        return None
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce then broadcast the result to everyone."""
+        reduced = self.reduce(obj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
+        """Rank ``i`` sends ``sendobjs[j]`` to rank ``j``; returns the list
+        of values received, indexed by source rank."""
+        if len(sendobjs) != self.size:
+            raise TransportError(f"alltoall needs exactly {self.size} items")
+        tag = self._next_coll_tag()
+        for dest in range(self.size):
+            if dest != self._rank:
+                self._state.mailboxes[dest].put(self._rank, tag, _copy_message(sendobjs[dest]))
+        results: List[Any] = [None] * self.size
+        results[self._rank] = _copy_message(sendobjs[self._rank])
+        for _ in range(self.size - 1):
+            src, _, payload = self._state.mailboxes[self._rank].take(
+                ANY_SOURCE, tag, self._state.timeout
+            )
+            results[src] = payload
+        return results
+
+    # ---------------------------------------------------------------- checks
+    def _check_peer(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise TransportError(f"rank {rank} out of range [0, {self.size})")
+
+    def _check_user_tag(self, tag: int) -> None:
+        if not (0 <= tag < _COLL_TAG_BASE):
+            raise TransportError(f"user tag {tag} out of range [0, {_COLL_TAG_BASE})")
+
+
+def CommWorld(size: int, timeout: Optional[float] = 60.0) -> List[Communicator]:
+    """Create ``size`` rank views sharing one communicator.
+
+    Primarily used by the launcher; tests may use it directly to drive
+    ranks from hand-managed threads.
+    """
+    if size < 1:
+        raise TransportError("communicator size must be >= 1")
+    state = _SharedState(size, timeout)
+    return [Communicator(state, r) for r in range(size)]

@@ -1,0 +1,66 @@
+"""SPMD launcher: run one function on N simulated ranks.
+
+The moral equivalent of ``mpiexec -n N python script.py`` for the threaded
+communicator.  Each rank runs ``fn(comm, *args, **kwargs)`` in its own
+thread; return values are collected in rank order.  If any rank raises, the
+whole job is torn down and a :class:`~repro.errors.RuntimeAbort` carrying
+the first failure is raised — mirroring ``MPI_Abort`` semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from ..errors import RuntimeAbort
+from .communicator import Communicator, CommWorld
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: Optional[float] = 60.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` ranks.
+
+    Returns the per-rank return values in rank order.
+
+    ``timeout`` bounds every blocking receive inside the job so a deadlocked
+    test fails fast instead of hanging the suite.
+    """
+    comms = CommWorld(n_ranks, timeout=timeout)
+    results: List[Any] = [None] * n_ranks
+    errors: List[Optional[BaseException]] = [None] * n_ranks
+    abort = threading.Event()
+
+    def _run(rank: int, comm: Communicator) -> None:
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported via RuntimeAbort
+            errors[rank] = exc
+            abort.set()
+            # Unblock peers stuck in recv/barrier.
+            comm._state.close()
+            comm._state.barrier.abort()
+
+    threads = [
+        threading.Thread(target=_run, args=(r, comms[r]), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=None if timeout is None else timeout * 2)
+        if t.is_alive():
+            comms[0]._state.close()
+            raise RuntimeAbort(f"rank thread {t.name} did not terminate")
+
+    if abort.is_set():
+        first = next(e for e in errors if e is not None)
+        failed = [r for r, e in enumerate(errors) if e is not None]
+        raise RuntimeAbort(f"rank(s) {failed} failed: {first!r}") from first
+    return results

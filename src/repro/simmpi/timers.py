@@ -1,0 +1,61 @@
+"""Per-rank simulated timers and parallel-phase timing helpers.
+
+Query elapsed time in the paper is end-to-end wall-clock of a parallel
+phase.  In the simulator each rank/server owns a
+:class:`~repro.storage.costmodel.SimClock`; a bulk-synchronous phase ends at
+the *maximum* of the participating clocks, after which all clocks are
+advanced to that instant (everyone waits at the implicit barrier).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..storage.costmodel import SimClock
+
+__all__ = ["ClockGroup", "phase_end"]
+
+
+def phase_end(clocks: Sequence[SimClock]) -> float:
+    """Close a bulk-synchronous phase: advance every clock to the max and
+    return the phase-end time."""
+    if not clocks:
+        raise ValueError("phase_end needs at least one clock")
+    t = max(c.now for c in clocks)
+    for c in clocks:
+        c.advance_to(t)
+    return t
+
+
+class ClockGroup:
+    """A named collection of clocks (one per server + one for the client)."""
+
+    def __init__(self, n_servers: int) -> None:
+        self.servers: List[SimClock] = [SimClock(f"server{i}") for i in range(n_servers)]
+        self.client = SimClock("client")
+
+    def all(self) -> List[SimClock]:
+        return [*self.servers, self.client]
+
+    def sync_all(self) -> float:
+        """Barrier across servers and client."""
+        return phase_end(self.all())
+
+    def sync_servers(self) -> float:
+        """Barrier across servers only (client may run ahead — §III-C:
+        the client *"can ... continue to other tasks when the servers are
+        processing"*)."""
+        return phase_end(self.servers)
+
+    def elapsed(self) -> float:
+        """Latest simulated instant across the group."""
+        return max(c.now for c in self.all())
+
+    def reset(self) -> None:
+        for c in self.all():
+            c.reset()
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-clock charged-seconds breakdown — benchmark observability."""
+        out = {c.name: c.breakdown() for c in self.all()}
+        return out

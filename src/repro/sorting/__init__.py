@@ -1,0 +1,6 @@
+"""Sorted-replica reorganization (§III-D3): by-value sorted copies of
+objects so range queries on the sort key hit contiguous storage."""
+
+from .reorganize import SortedReplica
+
+__all__ = ["SortedReplica"]

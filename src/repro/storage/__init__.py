@@ -1,0 +1,40 @@
+"""Simulated storage substrate: devices, tiers, parallel file system,
+read aggregation, region cache, and the simulated-time cost model.
+
+This package replaces the paper's Cori/Lustre testbed with a deterministic
+simulator — see DESIGN.md §2 for the substitution argument.
+"""
+
+from .aggregator import aggregate_extents, coords_to_extents, extent_stats
+from .cache import CacheStats, RegionCache
+from .costmodel import CORI_LIKE, CostModel, CostParameters, SimClock
+from .device import DeviceKind, StorageDevice
+from .file import ParallelFileSystem, SimFile
+from .tiers import (
+    default_hierarchy,
+    make_disk_device,
+    make_memory_device,
+    make_nvram_device,
+    make_tape_device,
+)
+
+__all__ = [
+    "aggregate_extents",
+    "coords_to_extents",
+    "extent_stats",
+    "CacheStats",
+    "RegionCache",
+    "CORI_LIKE",
+    "CostModel",
+    "CostParameters",
+    "SimClock",
+    "DeviceKind",
+    "StorageDevice",
+    "ParallelFileSystem",
+    "SimFile",
+    "default_hierarchy",
+    "make_disk_device",
+    "make_memory_device",
+    "make_nvram_device",
+    "make_tape_device",
+]

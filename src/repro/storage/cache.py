@@ -1,0 +1,141 @@
+"""Server-side LRU region cache.
+
+§VI-A observes *"a decrease in the query evaluation time when more data is
+selected ... due to the caching mechanism provided by the PDC: as the
+queries are evaluated sequentially, an increasing number of the regions'
+data are cached in the PDC servers' memory and do not require storage
+access."*  This cache reproduces that effect: each PDC server caches the
+region payloads it has read, bounded by the server memory limit (64 GB in
+the paper's runs — tracked in *virtual* bytes so the limit is meaningful at
+paper scale).
+
+Entries may carry a real payload array or be **size-only**: the query
+executor computes query answers on whole-object arrays (vectorized) while
+charging I/O per region, so for cost accounting the cache only needs to
+know *whether* a region is resident and how big it is.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+__all__ = ["RegionCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    payload: Optional[np.ndarray]
+    vbytes: float
+
+
+class RegionCache:
+    """LRU mapping from region key → (payload?, size), bounded in virtual
+    bytes.
+
+    ``virtual_scale`` converts real (scaled-down) payload sizes into the
+    paper-scale footprint the 64 GB limit applies to.  A single entry larger
+    than the capacity is simply not cached.
+    """
+
+    def __init__(self, capacity_bytes: float, virtual_scale: float = 1.0) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.virtual_scale = float(virtual_scale)
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._used = 0.0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------- api
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Cached payload (or ``None`` payload for size-only entries);
+        returns ``None`` and counts a miss when absent.  Refreshes LRU
+        position.  Use :meth:`lookup` to distinguish a size-only hit from a
+        miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.payload
+
+    def lookup(self, key: Hashable) -> bool:
+        """True when ``key`` is resident (counts hit/miss, refreshes LRU)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return True
+
+    def contains(self, key: Hashable) -> bool:
+        """Presence check that does not disturb LRU order or stats."""
+        return key in self._entries
+
+    def put(
+        self,
+        key: Hashable,
+        payload: Optional[np.ndarray] = None,
+        nbytes: Optional[int] = None,
+    ) -> bool:
+        """Insert an entry; pass ``nbytes`` for size-only entries.
+
+        Returns False when the entry cannot fit at all.
+        """
+        if nbytes is None:
+            if payload is None:
+                raise ValueError("put() needs a payload or an explicit nbytes")
+            nbytes = payload.nbytes
+        vsize = nbytes * self.virtual_scale
+        if vsize > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._used -= self._entries[key].vbytes
+            del self._entries[key]
+        while self._used + vsize > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted.vbytes
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(payload=payload, vbytes=vsize)
+        self._used += vsize
+        self.stats.inserts += 1
+        return True
+
+    def invalidate(self, key: Hashable) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry.vbytes
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0.0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def used_bytes(self) -> float:
+        """Virtual bytes currently cached."""
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,186 @@
+"""Simulated files on a striped parallel file system.
+
+PDC's internal data files (§III-E) are hidden from users and striped across
+the parallel file system's storage devices.  :class:`SimFile` stores the
+actual payload as a 1-D numpy array (so query answers are real), while
+:class:`ParallelFileSystem` accounts for simulated read/write time through a
+:class:`~repro.storage.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+from .costmodel import CostModel, SimClock
+
+__all__ = ["SimFile", "ParallelFileSystem", "Extent"]
+
+#: Half-open element range ``(start, stop)`` within a file.
+Extent = Tuple[int, int]
+
+
+@dataclass
+class SimFile:
+    """One file: a named, striped 1-D array of fixed dtype.
+
+    ``imbalance`` models OST hotspotting: PDC distributes its internal data
+    files across the PFS's storage devices and aggregates small reads
+    (§III-E), so its files read at balance ~1.0; ordinary files with default
+    striping collide on popular OSTs and straggle (the paper attributes
+    HDF5-F's ~2× slower reads to exactly this).
+    """
+
+    path: str
+    data: np.ndarray
+    stripe_count: int
+    imbalance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 1:
+            raise StorageError(f"SimFile {self.path!r} payload must be 1-D")
+        if self.stripe_count < 1:
+            raise StorageError("stripe_count must be >= 1")
+        if self.imbalance < 1.0:
+            raise StorageError("imbalance factor must be >= 1.0")
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+
+class ParallelFileSystem:
+    """A namespace of :class:`SimFile` objects with Lustre-like striping.
+
+    Reads return numpy views into the stored arrays (no copies — see the
+    hpc guide's "views not copies" rule); time is charged to the caller's
+    clock when one is supplied.
+    """
+
+    def __init__(self, cost: Optional[CostModel] = None, default_stripe_count: int = 8) -> None:
+        self.cost = cost or CostModel()
+        self.default_stripe_count = default_stripe_count
+        self._files: Dict[str, SimFile] = {}
+        #: Total (virtual) bytes read since creation — benchmark observability.
+        self.bytes_read: float = 0.0
+        self.bytes_written: float = 0.0
+        self.read_accesses: int = 0
+
+    # -------------------------------------------------------------- namespace
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def stat(self, path: str) -> SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise StorageError(f"no such file: {path!r}") from None
+
+    def listdir(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise StorageError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Real bytes stored under ``prefix`` (index-size accounting)."""
+        return sum(f.nbytes for p, f in self._files.items() if p.startswith(prefix))
+
+    # ------------------------------------------------------------------ write
+    def create(
+        self,
+        path: str,
+        data: np.ndarray,
+        stripe_count: Optional[int] = None,
+        clock: Optional[SimClock] = None,
+        concurrent_writers: int = 1,
+        imbalance: float = 1.0,
+    ) -> SimFile:
+        """Create ``path`` holding ``data`` (1-D); charges write time."""
+        if path in self._files:
+            raise StorageError(f"file exists: {path!r}")
+        data = np.ascontiguousarray(data)
+        f = SimFile(
+            path=path,
+            data=data,
+            stripe_count=stripe_count or self.default_stripe_count,
+            imbalance=imbalance,
+        )
+        self._files[path] = f
+        self.bytes_written += self.cost.virtual_bytes(f.nbytes)
+        if clock is not None:
+            clock.charge(
+                self.cost.pfs_write_time(f.nbytes, 1, f.stripe_count, concurrent_writers),
+                category="pfs_write",
+            )
+        return f
+
+    # ------------------------------------------------------------------- read
+    def read(
+        self,
+        path: str,
+        start: int = 0,
+        stop: Optional[int] = None,
+        clock: Optional[SimClock] = None,
+        concurrent_readers: int = 1,
+    ) -> np.ndarray:
+        """Read elements ``[start, stop)`` of ``path`` as one contiguous
+        access; returns a view."""
+        (view,) = self.read_extents(
+            path, [(start, stop if stop is not None else self.stat(path).n_elements)],
+            clock=clock, concurrent_readers=concurrent_readers,
+        )
+        return view
+
+    def read_extents(
+        self,
+        path: str,
+        extents: Sequence[Extent],
+        clock: Optional[SimClock] = None,
+        concurrent_readers: int = 1,
+    ) -> List[np.ndarray]:
+        """Read several element extents; each extent is one PFS access.
+
+        Callers wanting fewer accesses should merge extents first with
+        :func:`repro.storage.aggregator.aggregate_extents`.
+        """
+        f = self.stat(path)
+        views: List[np.ndarray] = []
+        nbytes = 0
+        for start, stop in extents:
+            if not (0 <= start <= stop <= f.n_elements):
+                raise StorageError(
+                    f"extent ({start}, {stop}) out of bounds for {path!r} "
+                    f"with {f.n_elements} elements"
+                )
+            views.append(f.data[start:stop])
+            nbytes += (stop - start) * f.itemsize
+        self.bytes_read += self.cost.virtual_bytes(nbytes)
+        self.read_accesses += len(extents)
+        if clock is not None and extents:
+            clock.charge(
+                f.imbalance
+                * self.cost.pfs_read_time(
+                    nbytes, len(extents), f.stripe_count, concurrent_readers
+                ),
+                category="pfs_read",
+            )
+        return views
+
+    def reset_counters(self) -> None:
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.read_accesses = 0

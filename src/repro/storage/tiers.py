@@ -1,0 +1,82 @@
+"""Factory functions for the standard memory/storage hierarchy tiers.
+
+§II of the paper: PDC moves data *"across a hierarchy of memory and storage
+layers"* — main memory, NVRAM (burst buffer), disk (Lustre), tape.  These
+factories build :class:`~repro.storage.device.StorageDevice` instances with
+Cori-flavoured performance constants; the exact numbers only matter
+relative to each other.
+"""
+
+from __future__ import annotations
+
+from ..types import GB, MB, TB
+from .device import DeviceKind, StorageDevice
+
+__all__ = [
+    "make_memory_device",
+    "make_nvram_device",
+    "make_disk_device",
+    "make_tape_device",
+    "default_hierarchy",
+]
+
+
+def make_memory_device(name: str = "dram", capacity_bytes: int = 64 * GB) -> StorageDevice:
+    """Compute-node DRAM.  The 64 GB default matches the paper's per-server
+    memory limit (§V: *"We set a memory limit of 64GB ... to be used by each
+    PDC server"*)."""
+    return StorageDevice(
+        name=name,
+        kind=DeviceKind.MEMORY,
+        capacity_bytes=capacity_bytes,
+        read_bandwidth_bps=40.0 * GB,
+        write_bandwidth_bps=30.0 * GB,
+        access_latency_s=100e-9,
+    )
+
+
+def make_nvram_device(name: str = "bb", capacity_bytes: int = 2 * TB) -> StorageDevice:
+    """Burst-buffer SSD tier."""
+    return StorageDevice(
+        name=name,
+        kind=DeviceKind.NVRAM,
+        capacity_bytes=capacity_bytes,
+        read_bandwidth_bps=6.0 * GB,
+        write_bandwidth_bps=5.0 * GB,
+        access_latency_s=80e-6,
+    )
+
+
+def make_disk_device(name: str = "ost", capacity_bytes: int = 100 * TB) -> StorageDevice:
+    """One Lustre object storage target (OST)."""
+    return StorageDevice(
+        name=name,
+        kind=DeviceKind.DISK,
+        capacity_bytes=capacity_bytes,
+        read_bandwidth_bps=1.2 * GB,
+        write_bandwidth_bps=1.0 * GB,
+        access_latency_s=2e-3,
+    )
+
+
+def make_tape_device(name: str = "hpss", capacity_bytes: int = 1000 * TB) -> StorageDevice:
+    """Archive tier; never used on the query fast path."""
+    return StorageDevice(
+        name=name,
+        kind=DeviceKind.TAPE,
+        capacity_bytes=capacity_bytes,
+        read_bandwidth_bps=300 * MB,
+        write_bandwidth_bps=300 * MB,
+        access_latency_s=30.0,
+    )
+
+
+def default_hierarchy(server_id: int = 0) -> dict:
+    """A per-server view of the hierarchy: its own DRAM plus the shared
+    lower tiers."""
+    return {
+        DeviceKind.MEMORY: make_memory_device(f"dram{server_id}"),
+        DeviceKind.NVRAM: make_nvram_device(f"bb{server_id}"),
+        DeviceKind.DISK: make_disk_device(f"ost{server_id}"),
+        DeviceKind.TAPE: make_tape_device(f"hpss{server_id}"),
+    }

@@ -1,0 +1,69 @@
+"""Query-evaluation strategies (§III-D).
+
+The paper exposes strategy selection through an environment variable set
+before the PDC servers start; histogram-only is the default.  The same
+knob exists here (``PDC_QUERY_STRATEGY``), plus programmatic selection.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+
+from .errors import QueryError
+
+__all__ = ["Strategy", "strategy_from_env"]
+
+
+class Strategy(enum.Enum):
+    """How servers evaluate query conditions against their regions."""
+
+    #: §III-D1 — read every region of every queried object, scan all
+    #: elements (the PDC-F configuration of the evaluation).
+    FULL_SCAN = "full_scan"
+    #: §III-D2 — global-histogram region elimination + selectivity-ordered
+    #: evaluation; read and scan only surviving regions (PDC-H, default).
+    HISTOGRAM = "histogram"
+    #: §III-D4 — histogram pruning + per-region WAH bitmap indexes; reads
+    #: index files instead of region data (PDC-HI).
+    HIST_INDEX = "hist_index"
+    #: §III-D3 — histogram + sorted replica; binary search on the sort key
+    #: and contiguous companion reads (PDC-SH).
+    SORT_HIST = "sort_hist"
+    #: Extension (the paper's §IX future work): the cost-based planner
+    #: picks the cheapest of the four per query.
+    AUTO = "auto"
+
+    @property
+    def uses_histogram(self) -> bool:
+        return self is not Strategy.FULL_SCAN
+
+    @property
+    def paper_label(self) -> str:
+        """Series label used in the paper's figures."""
+        return {
+            Strategy.FULL_SCAN: "PDC-F",
+            Strategy.HISTOGRAM: "PDC-H",
+            Strategy.HIST_INDEX: "PDC-HI",
+            Strategy.SORT_HIST: "PDC-SH",
+            Strategy.AUTO: "PDC-AUTO",
+        }[self]
+
+
+#: Environment variable consulted by :func:`strategy_from_env`.
+STRATEGY_ENV_VAR = "PDC_QUERY_STRATEGY"
+
+
+def strategy_from_env(default: Strategy = Strategy.HISTOGRAM) -> Strategy:
+    """Strategy from ``$PDC_QUERY_STRATEGY`` (falls back to histogram —
+    *"The histogram only approach is selected by default"*)."""
+    raw = os.environ.get(STRATEGY_ENV_VAR)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return Strategy(raw.strip().lower())
+    except ValueError:
+        valid = ", ".join(s.value for s in Strategy)
+        raise QueryError(
+            f"bad {STRATEGY_ENV_VAR}={raw!r}; valid values: {valid}"
+        ) from None

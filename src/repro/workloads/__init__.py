@@ -1,0 +1,32 @@
+"""Synthetic workloads standing in for the paper's datasets (§V): the VPIC
+particle data, the H5BOSS catalog, and the 21-query evaluation workload."""
+
+from .boss import BOSSConfig, BOSSDataset, BOSSFiber, generate_boss
+from .queries import (
+    QuerySpec,
+    boss_flux_windows,
+    build_pdc_query,
+    multi_object_queries,
+    scaling_query,
+    single_object_queries,
+    spec_truth_mask,
+)
+from .vpic import VARIABLES, VPICConfig, VPICDataset, generate_vpic
+
+__all__ = [
+    "BOSSConfig",
+    "BOSSDataset",
+    "BOSSFiber",
+    "generate_boss",
+    "QuerySpec",
+    "boss_flux_windows",
+    "build_pdc_query",
+    "multi_object_queries",
+    "scaling_query",
+    "single_object_queries",
+    "spec_truth_mask",
+    "VARIABLES",
+    "VPICConfig",
+    "VPICDataset",
+    "generate_vpic",
+]

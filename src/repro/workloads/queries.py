@@ -1,0 +1,143 @@
+"""The paper's query workload (§V): 21 VPIC queries + the BOSS sweep.
+
+* 15 single-variable queries: energy windows ``c < Energy < c + 0.1`` with
+  ``c`` stepping from 3.5 (0.0004 % selectivity) down to 2.1 (1.3 %).
+* 6 multi-variable queries on (Energy, x, y, z), from highly
+  energy-selective (``Energy > 2.0 AND 100 < x < 200 AND -90 < y < 0 AND
+  0 < z < 66``) to weakly energy-selective (``Energy > 1.3 AND
+  100 < x < 140 ...``) — the last queries are the ones where the planner
+  evaluates ``x`` first and the sorted replica loses its edge (§VI-B).
+* BOSS flux windows from low to high selectivity (§VI-C).
+
+Queries are expressed as plain data (object, operator, value triples) so
+both the PDC engine and the HDF5 baseline can consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..pdc.system import PDCSystem
+from ..query.api import PDCQuery, PDCquery_and, PDCquery_create
+from ..types import QueryOp
+
+__all__ = [
+    "QuerySpec",
+    "single_object_queries",
+    "multi_object_queries",
+    "boss_flux_windows",
+    "build_pdc_query",
+    "spec_truth_mask",
+]
+
+#: One condition as plain data: (object name, operator, value).
+CondSpec = Tuple[str, str, float]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A query as data, with a human-readable label."""
+
+    label: str
+    conditions: Tuple[CondSpec, ...]
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def single_object_queries(n: int = 15) -> List[QuerySpec]:
+    """The 15 single-variable energy-window queries, most selective first
+    (matching the paper's x-axis ordering from 0.0004 % to 1.3 %)."""
+    lows = np.linspace(3.5, 2.1, n)
+    specs = []
+    for c in lows:
+        c = round(float(c), 1)
+        specs.append(
+            QuerySpec(
+                label=f"{c:.1f}<Energy<{c + 0.1:.1f}",
+                conditions=(
+                    ("Energy", ">", c),
+                    ("Energy", "<", round(c + 0.1, 1)),
+                ),
+            )
+        )
+    return specs
+
+
+def multi_object_queries() -> List[QuerySpec]:
+    """The 6 multi-variable queries on Energy, x, y, z.
+
+    Endpoints follow the paper's two printed examples; the middle queries
+    interpolate the energy threshold.  Selectivity decreases on Energy from
+    Q1 to Q6 while the spatial windows tighten, so the planner's evaluation
+    order flips from Energy-first to x-first for the final queries.
+    """
+    energy_lo = [2.0, 1.9, 1.8, 1.7, 1.35, 1.3]
+    x_hi = [200.0, 185.0, 170.0, 155.0, 130.0, 125.0]
+    y_lo = [-90.0, -92.0, -94.0, -96.0, -98.0, -100.0]
+    specs = []
+    for i, (e, xh, yl) in enumerate(zip(energy_lo, x_hi, y_lo), start=1):
+        specs.append(
+            QuerySpec(
+                label=f"Q{i}: E>{e:g}, 100<x<{xh:g}, {yl:g}<y<0, 0<z<66",
+                conditions=(
+                    ("Energy", ">", e),
+                    ("x", ">", 100.0),
+                    ("x", "<", xh),
+                    ("y", ">", yl),
+                    ("y", "<", 0.0),
+                    ("z", ">", 0.0),
+                    ("z", "<", 66.0),
+                ),
+            )
+        )
+    return specs
+
+
+def scaling_query() -> QuerySpec:
+    """The Fig. 6 scaling query: a multi-object condition with ~0.011 %
+    selectivity on the synthetic dataset (the paper scales a 0.011 %
+    multi-object query from 32 to 512 servers)."""
+    return QuerySpec(
+        label="scaling: E>2.6, 100<x<150, -90<y<0, 0<z<66",
+        conditions=(
+            ("Energy", ">", 2.6),
+            ("x", ">", 100.0),
+            ("x", "<", 150.0),
+            ("y", ">", -90.0),
+            ("y", "<", 0.0),
+            ("z", ">", 0.0),
+            ("z", "<", 66.0),
+        ),
+    )
+
+
+def boss_flux_windows() -> List[Tuple[float, float]]:
+    """Flux windows swept in Fig. 5, from the paper's endpoints
+    ``0 < flux < 20`` to ``5 < flux < 20``."""
+    return [(0.0, 20.0), (1.0, 20.0), (2.0, 20.0), (3.0, 20.0), (4.0, 20.0), (5.0, 20.0)]
+
+
+def build_pdc_query(system: PDCSystem, spec: QuerySpec) -> PDCQuery:
+    """Materialize a spec against a PDC system via the paper API."""
+    query: Optional[PDCQuery] = None
+    for obj_name, op, value in spec.conditions:
+        obj = system.get_object(obj_name)
+        q = PDCquery_create(
+            system, obj.meta.object_id, op, obj.meta.pdc_type, value
+        )
+        query = q if query is None else PDCquery_and(query, q)
+    assert query is not None
+    return query
+
+
+def spec_truth_mask(arrays: dict, spec: QuerySpec) -> np.ndarray:
+    """Ground-truth boolean mask of a spec over raw arrays (test oracle)."""
+    mask = None
+    for obj_name, op, value in spec.conditions:
+        m = QueryOp(op).apply(arrays[obj_name], value)
+        mask = m if mask is None else (mask & m)
+    return mask

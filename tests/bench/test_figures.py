@@ -1,0 +1,124 @@
+"""Figure drivers at tiny scale: each must run, verify answers, and
+reproduce the paper's qualitative orderings where scale permits."""
+
+import pytest
+
+from repro.bench.figures import run_fig3, run_fig4, run_fig5, run_fig6, run_index_size
+from repro.bench.harness import SCALES
+from repro.bench.report import format_kv_table, format_series_table, format_speedup_summary
+from repro.bench.harness import QueryRow
+from repro.types import MB
+
+TINY = SCALES["tiny"]
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig3(TINY, region_sizes=[32 * MB], n_queries=4, quiet=True)
+
+    def test_all_series_present(self, results):
+        series = results[32 * MB]
+        assert set(series) == {"HDF5-F", "PDC-F", "PDC-H", "PDC-HI", "PDC-SH"}
+
+    def test_rows_aligned(self, results):
+        series = results[32 * MB]
+        lengths = {len(rows) for rows in series.values()}
+        assert lengths == {4}
+        labels = [r.label for r in series["PDC-H"]]
+        assert labels == [r.label for r in series["HDF5-F"]]
+
+    def test_pdc_f_beats_hdf5(self, results):
+        series = results[32 * MB]
+        for h5, f in zip(series["HDF5-F"], series["PDC-F"]):
+            assert f.query_s < h5.query_s
+
+
+class TestFig4:
+    def test_runs_and_sorted_falls_back_on_last_queries(self):
+        series = run_fig4(TINY, quiet=True)
+        assert set(series) == {"HDF5-F", "PDC-F", "PDC-H", "PDC-HI", "PDC-SH"}
+        # §VI-B: on the last query the planner evaluates x first, so the
+        # sorted approach takes ~the same time as histogram-only.
+        sh = series["PDC-SH"][-1].query_s
+        h = series["PDC-H"][-1].query_s
+        assert sh == pytest.approx(h, rel=0.35)
+
+
+class TestFig5:
+    def test_pdc_beats_hdf5_traversal(self):
+        series = run_fig5(TINY, quiet=True)
+        assert set(series) == {"HDF5", "PDC-H", "PDC-HI"}
+        for h5, h in zip(series["HDF5"], series["PDC-H"]):
+            assert h.query_s < h5.query_s
+            assert h.nhits == h5.nhits  # both engines agree on answers
+
+
+class TestFig6:
+    def test_scaling_improves_or_flat(self):
+        results = run_fig6(TINY, server_counts=(2, 4, 8), quiet=True)
+        for label, points in results.items():
+            counts = [n for n, _ in points]
+            assert counts == [2, 4, 8]
+            times = [t for _, t in points]
+            # More servers must not make queries dramatically slower.
+            assert times[-1] <= times[0] * 1.5, label
+
+
+class TestIndexSize:
+    def test_reports_fractions(self):
+        out = run_index_size(TINY, region_sizes=[32 * MB], quiet=True)
+        frac = out[32 * MB]
+        assert 0.01 < frac < 10.0
+
+
+class TestReportRendering:
+    def test_series_table(self):
+        rows = [QueryRow(label="q1", selectivity=0.01, nhits=10, query_s=0.5, get_data_s=0.1)]
+        text = format_series_table("T", {"A": rows, "B": rows})
+        assert "q1" in text and "A" in text and "B" in text
+
+    def test_speedup_summary(self):
+        base = [QueryRow("q", 0.01, 10, query_s=1.0)]
+        fast = [QueryRow("q", 0.01, 10, query_s=0.25)]
+        text = format_speedup_summary({"base": base, "fast": fast}, baseline="base")
+        assert "4.0x" in text
+
+    def test_kv_table(self):
+        text = format_kv_table("T", [("k", "v"), ("longer-key", 3)])
+        assert "longer-key" in text
+
+    def test_time_formatting(self):
+        from repro.bench.report import _fmt_time
+
+        assert _fmt_time(2.5).strip().endswith("s")
+        assert "ms" in _fmt_time(0.005)
+        assert "us" in _fmt_time(5e-6)
+
+
+class TestSeriesChart:
+    def test_chart_renders_log_bars(self):
+        from repro.bench.report import format_series_chart
+
+        series = {
+            "SLOW": [QueryRow("q1", 0.01, 10, query_s=0.1)],
+            "FAST": [QueryRow("q1", 0.01, 10, query_s=0.001)],
+        }
+        text = format_series_chart("T", series)
+        lines = text.splitlines()
+        slow_bar = next(l for l in lines if "SLOW" in l).count("#")
+        fast_bar = next(l for l in lines if "FAST" in l).count("#")
+        assert slow_bar > fast_bar >= 1
+
+    def test_chart_handles_empty(self):
+        from repro.bench.report import format_series_chart
+
+        assert "no data" in format_series_chart("T", {"A": []})
+
+    def test_chart_total_mode(self):
+        from repro.bench.report import format_series_chart
+
+        series = {"A": [QueryRow("q", 0.5, 1, query_s=0.001, get_data_s=0.1)]}
+        with_total = format_series_chart("T", series, use_total=True)
+        without = format_series_chart("T", series, use_total=False)
+        assert "101.00ms" in with_total and "1.00ms" in without

@@ -1,0 +1,112 @@
+"""Benchmark harness at tiny scale: series runners verify answers against
+ground truth while producing timing rows."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    PAPER_REGION_SIZES,
+    SCALES,
+    BenchScale,
+    build_boss_system,
+    build_vpic_system,
+    get_vpic_dataset,
+    run_hdf5_series,
+    run_pdc_series,
+    scale_from_env,
+)
+from repro.strategies import Strategy
+from repro.types import MB
+from repro.workloads.queries import single_object_queries
+
+TINY = SCALES["tiny"]
+
+
+class TestScales:
+    def test_paper_region_sizes(self):
+        assert [s // MB for s in PAPER_REGION_SIZES] == [4, 8, 16, 32, 64, 128]
+
+    def test_presets_exist(self):
+        assert {"tiny", "small", "full"} <= set(SCALES)
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert scale_from_env().name == "tiny"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert scale_from_env("small").name == "small"
+
+
+class TestBuilders:
+    def test_vpic_system(self):
+        system, ds = build_vpic_system(TINY, 32 * MB, ("Energy", "x"))
+        assert set(system.objects) == {"Energy", "x"}
+        assert system.config.virtual_scale == TINY.virtual_scale
+
+    def test_dataset_cached_across_builds(self):
+        ds1 = get_vpic_dataset(TINY)
+        ds2 = get_vpic_dataset(TINY)
+        assert ds1 is ds2
+
+    def test_with_index_and_replica(self):
+        system, _ = build_vpic_system(
+            TINY, 32 * MB, ("Energy", "x"), with_index=("Energy",), sorted_by="Energy"
+        )
+        assert system.get_object("Energy").indexes is not None
+        assert "Energy" in system.replicas
+
+    def test_boss_system(self):
+        system, ds = build_boss_system(TINY)
+        assert len(system.objects) == TINY.boss_objects
+        # Small objects: one region each (§VI-C).
+        assert all(o.n_regions == 1 for o in list(system.objects.values())[:20])
+
+
+class TestRunners:
+    @pytest.mark.parametrize(
+        "strategy,preload",
+        [
+            (Strategy.FULL_SCAN, True),
+            (Strategy.HISTOGRAM, False),
+        ],
+    )
+    def test_pdc_series_rows(self, strategy, preload):
+        system, ds = build_vpic_system(TINY, 32 * MB, ("Energy",))
+        specs = single_object_queries(4)
+        rows = run_pdc_series(system, ds, specs, strategy, preload=preload)
+        assert len(rows) == 4
+        for row, spec in zip(rows, specs):
+            assert row.label == spec.label
+            assert row.query_s > 0
+            assert 0.0 <= row.selectivity <= 1.0
+            assert row.total_s == pytest.approx(row.query_s + row.get_data_s)
+
+    def test_pdc_series_verifies_answers(self):
+        """The runner cross-checks every query against numpy ground truth
+        (verify=True is the default); a passing run IS the correctness
+        check."""
+        system, ds = build_vpic_system(
+            TINY, 32 * MB, ("Energy",), with_index=("Energy",)
+        )
+        rows = run_pdc_series(
+            system, ds, single_object_queries(3), Strategy.HIST_INDEX
+        )
+        total_hits = sum(r.nhits for r in rows)
+        assert total_hits > 0
+
+    def test_hdf5_series(self):
+        system, ds = build_vpic_system(TINY, 32 * MB, ("Energy",))
+        rows = run_hdf5_series(system, ds, single_object_queries(3))
+        assert len(rows) == 3
+        assert all(r.query_s > 0 for r in rows)
+
+    def test_sorted_series(self):
+        system, ds = build_vpic_system(
+            TINY, 32 * MB, ("Energy", "x"), sorted_by="Energy"
+        )
+        rows = run_pdc_series(system, ds, single_object_queries(3), Strategy.SORT_HIST)
+        assert all(r.query_s > 0 for r in rows)

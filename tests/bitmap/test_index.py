@@ -1,0 +1,165 @@
+"""Region bitmap indexes: exactness, candidate handling, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.index import RegionBitmapIndex
+from repro.errors import IndexError_
+from repro.interval import Interval
+from repro.types import QueryOp
+
+
+def resolve(idx, interval, data):
+    """Index answer = sure hits + verified candidates (the FastBit query
+    protocol)."""
+    res = idx.query(interval)
+    sure = set(res.sure_positions.tolist())
+    verified = {int(p) for p in res.candidate_positions if interval.contains_value(float(data[p]))}
+    assert not (sure & verified)
+    return sure | verified
+
+
+@pytest.fixture
+def gamma_data(rng):
+    return rng.gamma(2.0, 0.7, 8000).astype(np.float32).astype(np.float64)
+
+
+@pytest.fixture
+def idx(gamma_data):
+    return RegionBitmapIndex.build(gamma_data, precision=2)
+
+
+class TestBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            RegionBitmapIndex.build(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(IndexError_):
+            RegionBitmapIndex.build(np.zeros((3, 3)))
+
+    def test_each_element_in_exactly_one_bitmap(self, idx, gamma_data):
+        from repro.bitmap import wah
+
+        total = sum(wah.count_set_bits(w) for w in idx.bitmaps.values())
+        assert total == gamma_data.size
+
+    def test_bin_minmax_consistent(self, idx, gamma_data):
+        from repro.bitmap import wah
+
+        for k, b in enumerate(idx.bin_ids):
+            positions = np.flatnonzero(
+                wah.decompress(idx.bitmaps[int(b)], idx.n_elements)
+            )
+            members = gamma_data[positions]
+            assert idx.bin_min[k] == members.min()
+            assert idx.bin_max[k] == members.max()
+
+    def test_constant_data(self):
+        idx = RegionBitmapIndex.build(np.full(100, 2.5))
+        assert idx.n_occupied_bins == 1
+        got = resolve(idx, Interval(lo=2.0, hi=3.0), np.full(100, 2.5))
+        assert got == set(range(100))
+
+
+class TestQueryExactness:
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [(2.1, 2.2), (0.5, 1.0), (3.5, 3.6), (0.0, 10.0), (5.0, 6.0)],
+    )
+    def test_on_grid_windows_no_candidates(self, idx, gamma_data, lo, hi):
+        iv = Interval(lo=lo, hi=hi, lo_closed=False, hi_closed=False)
+        res = idx.query(iv)
+        assert res.candidate_positions.size == 0
+        truth = np.flatnonzero(iv.mask(gamma_data))
+        assert np.array_equal(np.sort(res.sure_positions), truth)
+
+    @given(
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=8.0),
+        st.booleans(),
+        st.booleans(),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_windows_resolve_exactly(self, a, b, lc, hc, seed):
+        lo, hi = min(a, b), max(a, b)
+        assume(lo < hi or (lc and hc))
+        iv = Interval(lo=lo, hi=hi, lo_closed=lc, hi_closed=hc)
+        data = (
+            np.random.default_rng(seed)
+            .gamma(2.0, 0.7, 2000)
+            .astype(np.float32)
+            .astype(np.float64)
+        )
+        idx = RegionBitmapIndex.build(data, precision=2)
+        got = resolve(idx, iv, data)
+        truth = set(np.flatnonzero(iv.mask(data)).tolist())
+        assert got == truth
+
+    def test_one_sided_conditions(self, idx, gamma_data):
+        for op in QueryOp:
+            iv = Interval.from_op(op, 1.5)
+            got = resolve(idx, iv, gamma_data)
+            truth = set(np.flatnonzero(op.apply(gamma_data, 1.5)).tolist())
+            assert got == truth, op
+
+    def test_equality_condition_uses_candidates(self, idx, gamma_data):
+        v = float(gamma_data[17])
+        iv = Interval(lo=v, hi=v)
+        got = resolve(idx, iv, gamma_data)
+        assert got == set(np.flatnonzero(gamma_data == v).tolist())
+
+    def test_empty_result(self, idx, gamma_data):
+        iv = Interval(lo=1e6, hi=2e6)
+        res = idx.query(iv)
+        assert res.sure_positions.size == 0 and res.candidate_positions.size == 0
+
+
+class TestCountsAndCosts:
+    def test_count_range_matches_query(self, idx, gamma_data):
+        iv = Interval(lo=2.1, hi=2.2, lo_closed=False, hi_closed=False)
+        sure, cand = idx.count_range(iv)
+        res = idx.query(iv)
+        assert sure == res.sure_positions.size
+        assert cand == res.candidate_positions.size
+
+    def test_query_cost_fields(self, idx):
+        iv = Interval(lo=2.1, hi=2.2, lo_closed=False, hi_closed=False)
+        probe = idx.query_cost(iv)
+        assert probe.bytes_touched == probe.words_touched * 8
+        assert probe.header_bytes > 0
+        assert probe.n_bins_touched >= 1
+        assert probe.candidates == 0
+
+    def test_query_cost_scales_with_window(self, idx):
+        narrow = idx.query_cost(Interval(lo=2.1, hi=2.2))
+        wide = idx.query_cost(Interval(lo=0.1, hi=5.0))
+        assert wide.words_touched >= narrow.words_touched
+        assert wide.n_bins_touched > narrow.n_bins_touched
+
+    def test_nbytes_accounts_everything(self, idx):
+        assert idx.nbytes > idx.total_words() * 8
+
+
+class TestSerialization:
+    def test_array_roundtrip(self, idx, gamma_data):
+        idx2 = RegionBitmapIndex.from_arrays(idx.to_arrays())
+        iv = Interval(lo=1.0, hi=2.0)
+        assert resolve(idx2, iv, gamma_data) == resolve(idx, iv, gamma_data)
+        assert np.array_equal(idx2.bin_min, idx.bin_min)
+
+    def test_bytes_roundtrip(self, idx, gamma_data):
+        buf = idx.to_bytes()
+        assert buf.dtype == np.uint8
+        idx2 = RegionBitmapIndex.from_bytes(buf)
+        iv = Interval(lo=0.5, hi=1.5)
+        assert resolve(idx2, iv, gamma_data) == resolve(idx, iv, gamma_data)
+        assert idx2.n_elements == idx.n_elements
+
+    def test_corrupt_bytes_rejected(self, idx):
+        buf = idx.to_bytes()
+        with pytest.raises(IndexError_):
+            RegionBitmapIndex.from_bytes(np.concatenate([buf, np.zeros(3, np.uint8)]))

@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny deterministic datasets and PDC deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdc import PDCConfig, PDCSystem
+from repro.strategies import Strategy
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_arrays(rng):
+    """Two correlated-ish float32 arrays shaped like the VPIC variables."""
+    n = 1 << 14
+    return {
+        "energy": rng.gamma(2.0, 0.7, n).astype(np.float32),
+        "x": (rng.random(n) * 300.0).astype(np.float32),
+    }
+
+
+def make_system(
+    n_servers: int = 4,
+    region_size_bytes: int = 1 << 13,
+    strategy: Strategy = Strategy.HISTOGRAM,
+    **kwargs,
+) -> PDCSystem:
+    """A tiny deployment: 4 servers, 8 KiB regions, no virtual scaling."""
+    return PDCSystem(
+        PDCConfig(
+            n_servers=n_servers,
+            region_size_bytes=region_size_bytes,
+            strategy=strategy,
+            **kwargs,
+        )
+    )
+
+
+@pytest.fixture
+def system(small_arrays):
+    """A deployment pre-loaded with the two small objects."""
+    sysm = make_system()
+    sysm.create_object("energy", small_arrays["energy"])
+    sysm.create_object("x", small_arrays["x"])
+    return sysm
+
+
+@pytest.fixture
+def indexed_system(system):
+    system.build_index("energy")
+    system.build_index("x")
+    return system
+
+
+@pytest.fixture
+def replicated_system(system):
+    system.build_sorted_replica("energy", ["x"])
+    return system

@@ -1,0 +1,241 @@
+"""Algorithm 1 invariants and merge exactness — the paper's core data
+structure."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QueryError
+from repro.histogram.mergeable import MergeableHistogram, round_down_pow2
+from repro.interval import Interval
+from repro.types import QueryOp
+
+# Data arrays with a wide spread of magnitudes, float32-ish like VPIC.
+data_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 400),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+)
+
+
+def is_power_of_two(x: float) -> bool:
+    m, e = math.frexp(x)
+    return m == 0.5
+
+
+class TestRoundDownPow2:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1.0, 1.0), (1.5, 1.0), (2.0, 2.0), (3.99, 2.0), (0.3, 0.25), (0.125, 0.125)],
+    )
+    def test_examples(self, x, expected):
+        assert round_down_pow2(x) == expected
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    @settings(max_examples=200, deadline=None)
+    def test_result_is_pow2_and_bounded(self, x):
+        r = round_down_pow2(x)
+        assert is_power_of_two(r)
+        assert r <= x < 2 * r
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_inputs(self, bad):
+        with pytest.raises(ValueError):
+            round_down_pow2(bad)
+
+
+class TestAlgorithm1Invariants:
+    @given(data_arrays, st.integers(1, 128))
+    @settings(max_examples=150, deadline=None)
+    def test_construction_invariants(self, data, n_bins):
+        h = MergeableHistogram.from_data(data, n_bins=n_bins)
+        # Width is a power of two.
+        assert is_power_of_two(h.bin_width)
+        # Start is an exact multiple of the width (grid alignment).
+        assert math.floor(h.start / h.bin_width) * h.bin_width == h.start
+        # Counts are exact.
+        assert h.total == data.size
+        # True extrema recorded.
+        assert h.data_min == data.min()
+        assert h.data_max == data.max()
+        # All data lie inside the bin span.
+        assert h.start <= h.data_min
+        assert h.data_max < h.start + h.n_bins * h.bin_width or (
+            h.data_max == h.start + h.n_bins * h.bin_width  # right-edge value
+        )
+
+    def test_bin_counts_match_numpy(self, rng):
+        data = rng.normal(5.0, 2.0, 10_000)
+        h = MergeableHistogram.from_data(data, n_bins=64)
+        counts, _ = np.histogram(data, bins=h.boundaries)
+        # The last numpy bin is closed; ours is half-open with the max value
+        # in the final bin either way.
+        assert counts.sum() == h.total
+        assert np.array_equal(counts, h.counts)
+
+    def test_constant_data(self):
+        h = MergeableHistogram.from_data(np.full(100, 3.7))
+        assert h.total == 100
+        assert h.data_min == h.data_max == pytest.approx(3.7)
+
+    def test_zero_data(self):
+        h = MergeableHistogram.from_data(np.zeros(10))
+        assert h.total == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            MergeableHistogram.from_data(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(QueryError):
+            MergeableHistogram.from_data(np.zeros((2, 2)))
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(QueryError):
+            MergeableHistogram.from_data(np.arange(10.0), n_bins=0)
+
+    def test_requests_at_least_n_bins(self, rng):
+        """Algorithm 1: the result has at least Nbin bins (width rounds
+        *down*), except for degenerate near-constant data."""
+        data = rng.random(5000) * 100
+        for n_bins in (8, 32, 64, 128):
+            h = MergeableHistogram.from_data(data, n_bins=n_bins)
+            assert h.n_bins >= n_bins
+
+    def test_outliers_extend_rather_than_clamp(self, rng):
+        """Sampling may miss the extremes; the full pass must still count
+        them exactly (our variant extends the grid)."""
+        data = np.concatenate([rng.random(1000), [1e4], [-1e4]])
+        h = MergeableHistogram.from_data(data, n_bins=32, sample_fraction=0.05)
+        assert h.total == data.size
+        assert h.data_min == -1e4 and h.data_max == 1e4
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.random(1000)
+        a = MergeableHistogram.from_data(data, seed=7)
+        b = MergeableHistogram.from_data(data, seed=7)
+        assert a.bin_width == b.bin_width and np.array_equal(a.counts, b.counts)
+
+
+class TestMerge:
+    @given(st.lists(data_arrays, min_size=2, max_size=5), st.integers(4, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_histogram_of_concatenation(self, arrays, n_bins):
+        """Merging region histograms == one histogram over all data,
+        re-binned onto the merged grid.  This is the exactness claim of §IV."""
+        hists = [MergeableHistogram.from_data(a, n_bins=n_bins) for a in arrays]
+        merged = MergeableHistogram.merge_many(hists)
+        alldata = np.concatenate(arrays)
+        # Count preservation.
+        assert merged.total == alldata.size
+        assert merged.data_min == alldata.min()
+        assert merged.data_max == alldata.max()
+        # Exact per-bin equality with a direct count on the merged grid
+        # (searchsorted compares exactly, unlike a floor division).
+        idx = np.searchsorted(merged.boundaries, alldata, side="right") - 1
+        np.clip(idx, 0, merged.n_bins - 1, out=idx)
+        direct = np.bincount(idx, minlength=merged.n_bins)
+        assert np.array_equal(direct, merged.counts)
+
+    @given(data_arrays, data_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_pairwise_merge_commutative(self, a, b):
+        ha = MergeableHistogram.from_data(a, n_bins=16)
+        hb = MergeableHistogram.from_data(b, n_bins=16)
+        ab = ha.merge(hb)
+        ba = hb.merge(ha)
+        assert ab.bin_width == ba.bin_width
+        assert ab.start == ba.start
+        assert np.array_equal(ab.counts, ba.counts)
+
+    def test_merged_width_is_max(self, rng):
+        narrow = MergeableHistogram.from_data(rng.random(500), n_bins=64)
+        wide = MergeableHistogram.from_data(rng.random(500) * 1000, n_bins=8)
+        merged = narrow.merge(wide)
+        assert merged.bin_width == max(narrow.bin_width, wide.bin_width)
+
+    def test_merge_many_empty_rejected(self):
+        with pytest.raises(QueryError):
+            MergeableHistogram.merge_many([])
+
+    def test_coarsen_preserves_total(self, rng):
+        h = MergeableHistogram.from_data(rng.random(2000), n_bins=64)
+        c = h.coarsened(h.bin_width * 8)
+        assert c.total == h.total
+        assert c.bin_width == h.bin_width * 8
+
+    def test_coarsen_identity(self, rng):
+        h = MergeableHistogram.from_data(rng.random(100), n_bins=8)
+        assert h.coarsened(h.bin_width) is h
+
+    def test_coarsen_non_multiple_rejected(self, rng):
+        h = MergeableHistogram.from_data(rng.random(100), n_bins=8)
+        with pytest.raises(QueryError):
+            h.coarsened(h.bin_width * 3)
+        with pytest.raises(QueryError):
+            h.coarsened(h.bin_width / 2)
+
+
+class TestEstimation:
+    @given(
+        data_arrays,
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_bracket_truth(self, data, a, b):
+        """§III-D2: lower/upper hit bounds must bracket the exact count."""
+        lo, hi = min(a, b), max(a, b)
+        assume(lo < hi)  # open-open needs a non-degenerate window
+        iv = Interval(lo=lo, hi=hi, lo_closed=False, hi_closed=False)
+        h = MergeableHistogram.from_data(data, n_bins=32)
+        lower, upper = h.estimate_hits(iv)
+        truth = int(((data > lo) & (data < hi)).sum())
+        assert lower <= truth <= upper
+
+    @given(data_arrays, st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_one_sided_bounds_bracket_truth(self, data, v):
+        for op in (QueryOp.GT, QueryOp.GTE, QueryOp.LT, QueryOp.LTE):
+            iv = Interval.from_op(op, v)
+            h = MergeableHistogram.from_data(data, n_bins=32)
+            lower, upper = h.estimate_hits(iv)
+            truth = int(op.apply(data, v).sum())
+            assert lower <= truth <= upper, op
+
+    def test_selectivity_in_unit_range(self, rng):
+        data = rng.random(1000)
+        h = MergeableHistogram.from_data(data)
+        lo, hi = h.estimate_selectivity(Interval(lo=0.2, hi=0.4))
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_no_overlap_estimates_zero(self, rng):
+        data = rng.random(1000)
+        h = MergeableHistogram.from_data(data)
+        assert h.estimate_hits(Interval(lo=5.0, hi=6.0)) == (0, 0)
+        assert not h.overlaps(Interval(lo=5.0, hi=6.0))
+
+    def test_covering_interval_estimates_total(self, rng):
+        data = rng.random(1000)
+        h = MergeableHistogram.from_data(data)
+        lower, upper = h.estimate_hits(Interval(lo=-1.0, hi=2.0))
+        assert lower == upper == 1000
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng):
+        h = MergeableHistogram.from_data(rng.normal(0, 3, 500), n_bins=32)
+        h2 = MergeableHistogram.from_dict(h.to_dict())
+        assert h2.bin_width == h.bin_width
+        assert h2.start == h.start
+        assert np.array_equal(h2.counts, h.counts)
+        assert (h2.data_min, h2.data_max) == (h.data_min, h.data_max)
+
+    def test_nbytes_positive_and_scales_with_bins(self, rng):
+        small = MergeableHistogram.from_data(rng.random(500), n_bins=8)
+        big = MergeableHistogram.from_data(rng.random(500), n_bins=128)
+        assert 0 < small.nbytes < big.nbytes

@@ -1,0 +1,96 @@
+"""ObjectMeta and Container behavior."""
+
+import pytest
+
+from repro.errors import MetadataError, ObjectNotFoundError
+from repro.pdc.container import Container
+from repro.pdc.metadata import ObjectMeta
+from repro.pdc.region import RegionMeta
+from repro.types import PDCType
+
+
+def make_meta(name="o", n=100, tags=None, regions=None):
+    return ObjectMeta(
+        name=name,
+        object_id=1,
+        pdc_type=PDCType.FLOAT,
+        n_elements=n,
+        tags=tags or {},
+        regions=regions or [],
+    )
+
+
+class TestObjectMeta:
+    def test_nbytes(self):
+        assert make_meta(n=100).nbytes == 400
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetadataError):
+            make_meta(name="")
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(MetadataError):
+            make_meta(n=0)
+
+    def test_matches_tags(self):
+        m = make_meta(tags={"RADEG": 153.17, "PLATE": 3})
+        assert m.matches_tags({"RADEG": 153.17})
+        assert m.matches_tags({"RADEG": 153.17, "PLATE": 3})
+        assert not m.matches_tags({"RADEG": 99.0})
+        assert not m.matches_tags({"MISSING": 1})
+        assert m.matches_tags({})
+
+    def test_region_lookup(self):
+        regions = [
+            RegionMeta(region_id=i, object_name="o", offset=i * 50, n_elements=50, file_path="/p")
+            for i in range(4)
+        ]
+        m = make_meta(n=200, regions=regions)
+        assert m.n_regions == 4
+        assert m.region_by_id(2).offset == 100
+        with pytest.raises(MetadataError):
+            m.region_by_id(9)
+
+    def test_regions_overlapping(self):
+        regions = [
+            RegionMeta(region_id=i, object_name="o", offset=i * 50, n_elements=50, file_path="/p")
+            for i in range(4)
+        ]
+        m = make_meta(n=200, regions=regions)
+        hits = m.regions_overlapping(60, 120)
+        assert [r.region_id for r in hits] == [1, 2]
+
+    def test_summary_is_transportable(self):
+        m = make_meta(tags={"a": 1})
+        s = m.summary()
+        assert s["name"] == "o" and s["tags"] == {"a": 1}
+        import pickle
+
+        pickle.dumps(s)
+
+
+class TestContainer:
+    def test_add_and_members(self):
+        c = Container("c")
+        c.add("obj1")
+        c.add("obj2")
+        assert c.members() == ["obj1", "obj2"]
+        assert "obj1" in c and len(c) == 2
+
+    def test_duplicate_add_rejected(self):
+        c = Container("c")
+        c.add("o")
+        with pytest.raises(MetadataError):
+            c.add("o")
+
+    def test_remove(self):
+        c = Container("c")
+        c.add("o")
+        c.remove("o")
+        assert len(c) == 0
+        with pytest.raises(ObjectNotFoundError):
+            c.remove("o")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetadataError):
+            Container("")

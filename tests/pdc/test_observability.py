@@ -1,0 +1,81 @@
+"""Deployment observability snapshots and reports."""
+
+import numpy as np
+import pytest
+
+from repro.pdc.observability import report, snapshot
+from repro.query.ast import Condition
+from repro.query.executor import QueryEngine
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture
+def env(rng):
+    sysm = make_system(n_servers=4, region_size_bytes=1 << 11)
+    sysm.create_object("energy", rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32))
+    sysm.build_index("energy")
+    sysm.build_sorted_replica("energy")
+    return sysm
+
+
+class TestSnapshot:
+    def test_inventory(self, env):
+        snap = snapshot(env)
+        assert snap.n_servers == snap.n_alive == 4
+        assert snap.n_objects == 1
+        assert snap.indexed_objects == ["energy"]
+        assert snap.replicas == ["energy"]
+        assert snap.metadata_records == 1
+        assert snap.pfs_files > 0 and snap.pfs_bytes_stored > 0
+
+    def test_counters_move_with_queries(self, env):
+        before = snapshot(env)
+        QueryEngine(env).execute(cond("energy", ">", 1.0))
+        after = snapshot(env)
+        assert after.elapsed_s > before.elapsed_s
+        assert sum(s.busy_s for s in after.servers) > sum(
+            s.busy_s for s in before.servers
+        )
+        assert any(s.cache_entries > 0 for s in after.servers)
+
+    def test_failure_visible(self, env):
+        env.fail_server(2)
+        snap = snapshot(env)
+        assert snap.n_alive == 3
+        assert not snap.servers[2].alive
+
+    def test_load_imbalance_defined(self, env):
+        snap = snapshot(env)
+        assert snap.load_imbalance >= 1.0
+        QueryEngine(env).execute(cond("energy", ">", 1.0))
+        assert snapshot(env).load_imbalance >= 1.0
+
+    def test_snapshot_has_no_side_effects(self, env):
+        QueryEngine(env).execute(cond("energy", ">", 1.0))
+        t = max(c.now for c in env.all_clocks())
+        snapshot(env)
+        assert max(c.now for c in env.all_clocks()) == t
+
+
+class TestReport:
+    def test_renders_key_facts(self, env):
+        QueryEngine(env).execute(cond("energy", ">", 1.0))
+        text = report(env)
+        assert "4/4 servers alive" in text
+        assert "energy" in text
+        assert "server" in text and "cache" in text
+
+    def test_marks_failed_servers(self, env):
+        env.fail_server(1)
+        assert "[FAILED]" in report(env, top_servers=4)
+
+    def test_truncates_long_fleets(self, rng):
+        sysm = make_system(n_servers=16)
+        sysm.create_object("o", rng.random(1 << 12).astype(np.float32))
+        text = report(sysm, top_servers=4)
+        assert "and 12 more" in text

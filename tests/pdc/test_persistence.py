@@ -1,0 +1,106 @@
+"""Save/load whole deployments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PDCError
+from repro.pdc.persistence import load_system, save_system
+from repro.query.api import PDCquery_create, PDCquery_get_nhits
+from repro.query.executor import QueryEngine
+from repro.storage.device import DeviceKind
+from repro.strategies import Strategy
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def built(rng):
+    sysm = make_system(n_servers=3, region_size_bytes=1 << 11)
+    e = rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+    grid = rng.random((32, 64)).astype(np.float32)
+    sysm.create_object("energy", e, tags={"unit": "mc2"}, container="vpic")
+    sysm.create_object("grid", grid)
+    sysm.build_index("energy")
+    sysm.build_sorted_replica("energy")
+    sysm.migrate_regions("energy", [0, 1], DeviceKind.NVRAM)
+    return sysm, e, grid
+
+
+class TestRoundtrip:
+    def test_everything_restored(self, built, tmp_path):
+        sysm, e, grid = built
+        save_system(sysm, tmp_path / "dep")
+        loaded = load_system(tmp_path / "dep")
+
+        # Payloads and shapes.
+        assert np.array_equal(loaded.get_object("energy").data, e)
+        assert loaded.get_object("grid").meta.dims == (32, 64)
+        # Tags, containers, ids.
+        assert loaded.get_object("energy").meta.tags == {"unit": "mc2"}
+        assert "energy" in loaded.containers["vpic"]
+        assert (
+            loaded.get_object("energy").meta.object_id
+            == sysm.get_object("energy").meta.object_id
+        )
+        # Accelerators.
+        assert loaded.get_object("energy").indexes is not None
+        assert "energy" in loaded.replicas
+        # Tier placement.
+        assert loaded.get_object("energy").tier_of(0) == DeviceKind.NVRAM
+        assert loaded.get_object("energy").tier_of(2) == DeviceKind.DISK
+
+    def test_queries_identical_after_reload(self, built, tmp_path):
+        sysm, e, _ = built
+        save_system(sysm, tmp_path / "dep")
+        loaded = load_system(tmp_path / "dep")
+        for strat in (Strategy.HISTOGRAM, Strategy.HIST_INDEX, Strategy.SORT_HIST):
+            q_orig = PDCquery_create(
+                sysm, sysm.get_object("energy").meta.object_id, ">", "float", 2.0
+            )
+            q_load = PDCquery_create(
+                loaded, loaded.get_object("energy").meta.object_id, ">", "float", 2.0
+            )
+            q_orig.strategy = q_load.strategy = strat
+            assert PDCquery_get_nhits(q_load) == PDCquery_get_nhits(q_orig)
+
+    def test_histograms_rebuilt_identically(self, built, tmp_path):
+        sysm, _, _ = built
+        save_system(sysm, tmp_path / "dep")
+        loaded = load_system(tmp_path / "dep")
+        a = sysm.get_object("energy").meta.global_histogram
+        b = loaded.get_object("energy").meta.global_histogram
+        assert a.merged.bin_width == b.merged.bin_width
+        assert np.array_equal(a.merged.counts, b.merged.counts)
+
+    def test_loaded_clocks_fresh(self, built, tmp_path):
+        sysm, _, _ = built
+        QueryEngine(sysm).execute(
+            PDCquery_create(
+                sysm, sysm.get_object("energy").meta.object_id, ">", "float", 1.0
+            ).node
+        )
+        save_system(sysm, tmp_path / "dep")
+        loaded = load_system(tmp_path / "dep")
+        assert all(c.now == 0.0 for c in loaded.all_clocks())
+
+    def test_save_is_idempotent_overwrite(self, built, tmp_path):
+        sysm, _, _ = built
+        save_system(sysm, tmp_path / "dep")
+        save_system(sysm, tmp_path / "dep")
+        assert load_system(tmp_path / "dep").get_object("energy")
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PDCError):
+            load_system(tmp_path / "nope")
+
+    def test_bad_format_version(self, built, tmp_path):
+        import json
+
+        sysm, _, _ = built
+        p = save_system(sysm, tmp_path / "dep")
+        manifest = json.loads((p / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (p / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PDCError):
+            load_system(p)

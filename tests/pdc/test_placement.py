@@ -1,0 +1,75 @@
+"""Region-to-server placement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PDCError
+from repro.pdc.placement import POLICIES, block, least_loaded, round_robin
+from repro.pdc.region import RegionMeta
+
+
+def make_regions(sizes):
+    return [
+        RegionMeta(region_id=i, object_name="o", offset=0, n_elements=s, file_path="/p")
+        for i, s in enumerate(sizes)
+    ]
+
+
+@pytest.mark.parametrize("policy", list(POLICIES.values()))
+class TestAllPolicies:
+    @given(st.lists(st.integers(1, 1000), min_size=0, max_size=60), st.integers(1, 9))
+    @settings(max_examples=100, deadline=None)
+    def test_every_region_assigned_exactly_once(self, policy, sizes, n_servers):
+        regions = make_regions(sizes)
+        assignment = policy(regions, n_servers)
+        assert set(assignment) == set(range(n_servers))
+        seen = [r.region_id for regs in assignment.values() for r in regs]
+        assert sorted(seen) == list(range(len(regions)))
+
+    def test_zero_servers_rejected(self, policy):
+        with pytest.raises(PDCError):
+            policy(make_regions([10]), 0)
+
+
+class TestRoundRobin:
+    def test_modulo_mapping(self):
+        a = round_robin(make_regions([10] * 7), 3)
+        assert [r.region_id for r in a[0]] == [0, 3, 6]
+        assert [r.region_id for r in a[1]] == [1, 4]
+        assert [r.region_id for r in a[2]] == [2, 5]
+
+
+class TestBlock:
+    def test_contiguous_blocks(self):
+        a = block(make_regions([10] * 10), 3)
+        assert [r.region_id for r in a[0]] == [0, 1, 2, 3]
+        assert [r.region_id for r in a[1]] == [4, 5, 6]
+        assert [r.region_id for r in a[2]] == [7, 8, 9]
+
+
+class TestLeastLoaded:
+    def test_balances_uneven_sizes(self):
+        # One huge region + many small ones: LPT keeps loads close.
+        sizes = [1000] + [100] * 10
+        a = least_loaded(make_regions(sizes), 2)
+        loads = [sum(r.n_elements for r in regs) for regs in a.values()]
+        assert max(loads) - min(loads) <= 1000
+
+    def test_beats_round_robin_on_skew(self):
+        sizes = [1000, 1, 1000, 1, 1000, 1]
+        regions = make_regions(sizes)
+        rr_loads = [
+            sum(r.n_elements for r in regs) for regs in round_robin(regions, 2).values()
+        ]
+        ll_loads = [
+            sum(r.n_elements for r in regs) for regs in least_loaded(regions, 2).values()
+        ]
+        assert max(ll_loads) <= max(rr_loads)
+
+    def test_region_order_preserved_within_server(self):
+        a = least_loaded(make_regions([5, 4, 3, 2, 1]), 2)
+        for regs in a.values():
+            ids = [r.region_id for r in regs]
+            assert ids == sorted(ids)

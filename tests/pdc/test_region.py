@@ -1,0 +1,83 @@
+"""Region partitioning and metadata."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PDCError
+from repro.pdc.region import RegionMeta, partition, region_key
+
+
+class TestPartition:
+    @given(st.integers(1, 10_000), st.integers(1, 500))
+    @settings(max_examples=300, deadline=None)
+    def test_covers_exactly(self, n, size):
+        chunks = partition(n, size)
+        # Contiguous, ordered, exact coverage.
+        assert chunks[0][0] == 0
+        total = 0
+        prev_stop = 0
+        for off, count in chunks:
+            assert off == prev_stop
+            assert 1 <= count <= size
+            prev_stop = off + count
+            total += count
+        assert total == n
+        # Only the final chunk may be short.
+        for off, count in chunks[:-1]:
+            assert count == size
+
+    def test_single_region(self):
+        assert partition(10, 100) == [(0, 10)]
+
+    def test_exact_multiple(self):
+        assert partition(100, 25) == [(0, 25), (25, 25), (50, 25), (75, 25)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(PDCError):
+            partition(0, 10)
+
+    def test_bad_region_size_rejected(self):
+        with pytest.raises(PDCError):
+            partition(10, 0)
+
+
+class TestRegionMeta:
+    def make(self, offset=0, n=100):
+        return RegionMeta(
+            region_id=0, object_name="o", offset=offset, n_elements=n, file_path="/p"
+        )
+
+    def test_extent(self):
+        r = self.make(offset=50, n=100)
+        assert r.extent == (50, 150)
+        assert r.stop == 150
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(PDCError):
+            self.make(offset=-1)
+        with pytest.raises(PDCError):
+            self.make(n=0)
+
+    def test_overlaps_coords(self):
+        r = self.make(offset=100, n=100)  # [100, 200)
+        assert r.overlaps_coords(150, 160)
+        assert r.overlaps_coords(0, 101)
+        assert r.overlaps_coords(199, 300)
+        assert not r.overlaps_coords(200, 300)
+        assert not r.overlaps_coords(0, 100)
+
+    def test_minmax_requires_histogram(self):
+        with pytest.raises(PDCError):
+            self.make().minmax
+
+
+class TestRegionKey:
+    def test_distinct_replicas_distinct_keys(self):
+        keys = {
+            region_key("o", 1),
+            region_key("o", 1, replica="idx"),
+            region_key("o", 2),
+            region_key("other", 1),
+        }
+        assert len(keys) == 4

@@ -1,0 +1,237 @@
+"""PDCSystem: object import, regions, indexes, replicas, containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObjectNotFoundError, PDCError, QueryError
+from repro.pdc import PDCConfig, PDCSystem
+from repro.pdc.server import PDCServer
+from repro.storage.costmodel import CostModel
+from tests.conftest import make_system
+
+
+class TestConfig:
+    def test_region_elements(self):
+        cfg = PDCConfig(region_size_bytes=1 << 20, virtual_scale=1.0)
+        assert cfg.region_elements(4) == (1 << 20) // 4
+
+    def test_region_elements_with_scale(self):
+        cfg = PDCConfig(region_size_bytes=1 << 20, virtual_scale=256.0)
+        assert cfg.region_elements(4) == (1 << 20) // 4 // 256
+
+    def test_too_small_region_rejected(self):
+        cfg = PDCConfig(region_size_bytes=16, virtual_scale=1000.0)
+        with pytest.raises(PDCError):
+            cfg.region_elements(4)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(PDCError):
+            PDCSystem(PDCConfig(n_servers=0))
+
+
+class TestCreateObject:
+    def test_partitioning(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)  # 1024 f32 elements
+        data = rng.random(5000).astype(np.float32)
+        obj = sysm.create_object("o", data)
+        assert obj.n_regions == 5
+        assert obj.counts.tolist() == [1024, 1024, 1024, 1024, 904]
+        assert obj.offsets.tolist() == [0, 1024, 2048, 3072, 4096]
+
+    def test_files_created(self, rng):
+        sysm = make_system()
+        sysm.create_object("o", rng.random(100).astype(np.float32))
+        assert sysm.pfs.exists("/pdc/data/o")
+        assert sysm.pfs.exists("/hdf5/o.h5")
+
+    def test_histograms_and_minmax(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)
+        data = rng.random(4096).astype(np.float32)
+        obj = sysm.create_object("o", data)
+        assert obj.meta.global_histogram is not None
+        assert obj.meta.global_histogram.total == 4096
+        for rid in range(obj.n_regions):
+            seg = data[obj.offsets[rid] : obj.offsets[rid] + obj.counts[rid]]
+            assert obj.rmin[rid] == seg.min()
+            assert obj.rmax[rid] == seg.max()
+
+    def test_metadata_registered(self, rng):
+        sysm = make_system()
+        obj = sysm.create_object("o", rng.random(100).astype(np.float32), tags={"a": 1})
+        meta = sysm.metadata.get("o")
+        assert meta.object_id == obj.meta.object_id
+        assert meta.tags == {"a": 1}
+
+    def test_duplicate_rejected(self, rng):
+        sysm = make_system()
+        sysm.create_object("o", rng.random(100).astype(np.float32))
+        with pytest.raises(PDCError):
+            sysm.create_object("o", rng.random(100).astype(np.float32))
+
+    def test_2d_accepted_and_flattened(self, rng):
+        sysm = make_system()
+        obj = sysm.create_object("o", rng.random((10, 10)).astype(np.float32))
+        assert obj.meta.dims == (10, 10)
+        assert obj.data.ndim == 1 and obj.n_elements == 100
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(PDCError):
+            make_system().create_object("o", np.zeros(0, dtype=np.float32))
+
+    def test_container_membership(self, rng):
+        sysm = make_system()
+        sysm.create_object("o", rng.random(10).astype(np.float32), container="vpic")
+        assert "o" in sysm.containers["vpic"]
+
+    def test_get_object_missing(self):
+        with pytest.raises(ObjectNotFoundError):
+            make_system().get_object("nope")
+        with pytest.raises(ObjectNotFoundError):
+            make_system().get_object_by_id(42)
+
+    def test_region_of_coords(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)
+        obj = sysm.create_object("o", rng.random(3000).astype(np.float32))
+        coords = np.array([0, 1023, 1024, 2999])
+        assert obj.region_of_coords(coords).tolist() == [0, 0, 1, 2]
+
+    def test_no_histogram_mode(self, rng):
+        sysm = make_system()
+        obj = sysm.create_object(
+            "o", rng.random(100).astype(np.float32), build_histograms=False
+        )
+        assert obj.meta.global_histogram is None
+        assert obj.rmin[0] == obj.data.min()
+
+
+class TestIndexes:
+    def test_build_and_size(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)
+        sysm.create_object("o", rng.gamma(2, 0.7, 4096).astype(np.float32))
+        sysm.build_index("o")
+        obj = sysm.get_object("o")
+        assert obj.indexes is not None and len(obj.indexes) == obj.n_regions
+        assert sysm.index_size_bytes("o") == int(obj.index_nbytes.sum())
+        assert sysm.pfs.exists("/pdc/index/o")
+
+    def test_idempotent(self, rng):
+        sysm = make_system()
+        sysm.create_object("o", rng.random(100).astype(np.float32))
+        sysm.build_index("o")
+        first = sysm.get_object("o").indexes
+        sysm.build_index("o")
+        assert sysm.get_object("o").indexes is first
+
+    def test_size_requires_index(self, rng):
+        sysm = make_system()
+        sysm.create_object("o", rng.random(100).astype(np.float32))
+        with pytest.raises(QueryError):
+            sysm.index_size_bytes("o")
+
+
+class TestReplicas:
+    def test_build(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)
+        e = rng.random(4096).astype(np.float32)
+        x = rng.random(4096).astype(np.float32)
+        sysm.create_object("e", e)
+        sysm.create_object("x", x)
+        group = sysm.build_sorted_replica("e", ["x"])
+        assert group.n_regions == 4
+        assert np.all(np.diff(group.replica.key_values) >= 0)
+        # Per-region key min/max consistent with the sorted order.
+        assert np.all(group.key_rmin[1:] >= group.key_rmax[:-1])
+        assert group.build_time_s > 0
+        assert sysm.pfs.exists("/pdc/sorted/e/key")
+        assert sysm.pfs.exists("/pdc/sorted/e/perm")
+        assert sysm.pfs.exists("/pdc/sorted/e/x")
+
+    def test_idempotent(self, rng):
+        sysm = make_system()
+        sysm.create_object("e", rng.random(100).astype(np.float32))
+        g1 = sysm.build_sorted_replica("e")
+        g2 = sysm.build_sorted_replica("e")
+        assert g1 is g2
+
+    def test_replica_covering(self, rng):
+        sysm = make_system()
+        for n in ("e", "x", "y"):
+            sysm.create_object(n, rng.random(100).astype(np.float32))
+        sysm.build_sorted_replica("e", ["x"])
+        assert sysm.replica_covering(["e", "x"]) is not None
+        assert sysm.replica_covering(["e"]) is not None
+        assert sysm.replica_covering(["e", "y"]) is None
+
+    def test_regions_of_run(self, rng):
+        sysm = make_system(region_size_bytes=1 << 12)
+        sysm.create_object("e", rng.random(4096).astype(np.float32))
+        g = sysm.build_sorted_replica("e")
+        assert g.regions_of_run(0, 0).size == 0
+        assert g.regions_of_run(0, 1024).tolist() == [0]
+        assert g.regions_of_run(1000, 1100).tolist() == [0, 1]
+        assert g.regions_of_run(0, 4096).tolist() == [0, 1, 2, 3]
+
+
+class TestServerAndClocks:
+    def test_stable_server_mapping(self):
+        sysm = make_system(n_servers=4)
+        assert [sysm.server_of_region(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_sync_clocks(self, rng):
+        sysm = make_system()
+        sysm.servers[0].clock.charge(5.0)
+        t = sysm.sync_clocks()
+        assert t == 5.0
+        assert all(c.now == 5.0 for c in sysm.all_clocks())
+
+    def test_ensure_region_miss_then_hit(self):
+        server = PDCServer(0, CostModel())
+        t0 = server.clock.now
+        hit = server.ensure_region("k", 1 << 20, 1, 8, 1)
+        assert not hit and server.clock.now > t0
+        t1 = server.clock.now
+        hit = server.ensure_region("k", 1 << 20, 1, 8, 1)
+        assert hit and server.clock.now == t1  # evaluation hits are free
+        hit = server.ensure_region("k", 1 << 20, 1, 8, 1, hit_copy=True)
+        assert hit and server.clock.now > t1  # get_data hits pay the copy
+
+    def test_drop_caches(self):
+        server = PDCServer(0, CostModel())
+        server.ensure_region("k", 100, 1, 8, 1)
+        server.meta_cached.add("o")
+        server.drop_caches()
+        assert len(server.cache) == 0 and not server.meta_cached
+
+    def test_create_container_duplicate(self):
+        sysm = make_system()
+        sysm.create_container("c")
+        with pytest.raises(PDCError):
+            sysm.create_container("c")
+
+
+class TestAdaptiveHistogramBins:
+    """§III-D2: 'Depending on the region size, we use 50 to 100 bins.'"""
+
+    def test_adaptive_rule_spans_50_to_100(self):
+        from repro.pdc.system import PDCConfig
+        from repro.types import MB
+
+        cfg = PDCConfig(histogram_bins=0)
+        assert cfg.histogram_bins_for(4 * MB) == 50
+        assert cfg.histogram_bins_for(128 * MB) == 100
+        mid = cfg.histogram_bins_for(32 * MB)
+        assert 50 < mid < 100
+
+    def test_explicit_bins_override(self):
+        from repro.pdc.system import PDCConfig
+        from repro.types import MB
+
+        cfg = PDCConfig(histogram_bins=64)
+        assert cfg.histogram_bins_for(4 * MB) == 64
+        assert cfg.histogram_bins_for(128 * MB) == 64
+
+    def test_objects_get_at_least_requested_bins(self, rng):
+        sysm = make_system(region_size_bytes=1 << 14, histogram_bins=50)
+        obj = sysm.create_object("o", rng.random(1 << 14).astype(np.float32))
+        for region in obj.meta.regions:
+            assert region.histogram.n_bins >= 50

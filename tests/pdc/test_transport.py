@@ -1,0 +1,82 @@
+"""Wire-level query transport over simmpi."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.pdc.transport import QueryRequest, run_distributed_query
+from repro.query.ast import Condition, combine_and, combine_or
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture
+def env(rng):
+    sysm = make_system(region_size_bytes=1 << 11)
+    e = rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+    x = (rng.random(1 << 12) * 300).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    return sysm, e, x
+
+
+class TestQueryRequest:
+    def test_wire_roundtrip(self):
+        req = QueryRequest(tree=cond("e", ">", 1.0).to_dict(), region_constraint=(5, 10))
+        back = QueryRequest.from_wire(req.to_wire())
+        assert back == req
+
+    def test_no_constraint(self):
+        req = QueryRequest(tree=cond("e", ">", 1.0).to_dict())
+        assert QueryRequest.from_wire(req.to_wire()).region_constraint is None
+
+
+class TestDistributedQuery:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 7])
+    def test_matches_truth_any_rank_count(self, env, n_ranks):
+        sysm, e, x = env
+        node = combine_and(cond("energy", ">", 2.0), cond("x", "<", 150.0))
+        got = run_distributed_query(sysm, node, n_server_ranks=n_ranks)
+        truth = np.flatnonzero((e > 2.0) & (x < 150.0))
+        assert np.array_equal(got, truth)
+
+    def test_or_deduplicates(self, env):
+        sysm, e, x = env
+        # Overlapping disjuncts would duplicate coords without the merge.
+        node = combine_or(cond("energy", ">", 1.0), cond("energy", ">", 2.0))
+        got = run_distributed_query(sysm, node, n_server_ranks=3)
+        truth = np.flatnonzero(e > 1.0)
+        assert np.array_equal(got, truth)
+
+    def test_region_constraint_applied(self, env):
+        sysm, e, _ = env
+        got = run_distributed_query(
+            sysm, cond("energy", ">", 2.0), n_server_ranks=2,
+            region_constraint=(100, 1500),
+        )
+        truth = np.flatnonzero(e > 2.0)
+        truth = truth[(truth >= 100) & (truth < 1500)]
+        assert np.array_equal(got, truth)
+
+    def test_empty_result(self, env):
+        sysm, _, _ = env
+        got = run_distributed_query(sysm, cond("energy", ">", 1e9), n_server_ranks=2)
+        assert got.size == 0
+
+    def test_more_ranks_than_regions(self, env):
+        """Servers with no regions must return empty shares, not crash."""
+        sysm, e, _ = env
+        n_regions = sysm.get_object("energy").n_regions
+        got = run_distributed_query(
+            sysm, cond("energy", ">", 2.0), n_server_ranks=n_regions + 3
+        )
+        assert np.array_equal(got, np.flatnonzero(e > 2.0))
+
+    def test_zero_ranks_rejected(self, env):
+        sysm, _, _ = env
+        with pytest.raises(TransportError):
+            run_distributed_query(sysm, cond("energy", ">", 2.0), n_server_ranks=0)

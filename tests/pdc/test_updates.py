@@ -1,0 +1,131 @@
+"""Object updates with derived-state maintenance (histograms, indexes,
+replicas, caches)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PDCError
+from repro.query.ast import Condition
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture
+def env(rng):
+    sysm = make_system(region_size_bytes=1 << 11)  # 512 f32/region
+    data = rng.random(1 << 12).astype(np.float32)
+    sysm.create_object("obj", data)
+    return sysm, data
+
+
+class TestBasicUpdate:
+    def test_data_written_through(self, env, rng):
+        sysm, _ = env
+        new = np.full(100, 7.5, dtype=np.float32)
+        sysm.update_object_region("obj", 600, new)
+        obj = sysm.get_object("obj")
+        assert np.array_equal(obj.data[600:700], new)
+        # PFS file shares the same payload.
+        assert np.array_equal(sysm.pfs.read("/pdc/data/obj", 600, 700), new)
+
+    def test_affected_regions_reported(self, env):
+        sysm, _ = env
+        affected = sysm.update_object_region(
+            "obj", 500, np.zeros(100, dtype=np.float32)
+        )
+        assert affected == [0, 1]  # spans the 512-element boundary
+
+    def test_bounds_checked(self, env):
+        sysm, _ = env
+        with pytest.raises(PDCError):
+            sysm.update_object_region("obj", -1, np.zeros(10, dtype=np.float32))
+        with pytest.raises(PDCError):
+            sysm.update_object_region("obj", 4000, np.zeros(200, dtype=np.float32))
+        with pytest.raises(PDCError):
+            sysm.update_object_region("obj", 0, np.zeros(0, dtype=np.float32))
+
+
+class TestDerivedStateMaintenance:
+    def test_histograms_and_minmax_refreshed(self, env):
+        sysm, _ = env
+        sysm.update_object_region("obj", 0, np.full(512, 99.0, dtype=np.float32))
+        obj = sysm.get_object("obj")
+        assert obj.rmin[0] == 99.0 and obj.rmax[0] == 99.0
+        assert obj.meta.global_histogram.merged.data_max == 99.0
+
+    def test_queries_correct_after_update(self, env):
+        sysm, _ = env
+        engine = QueryEngine(sysm)
+        before = engine.execute(cond("obj", ">", 50.0)).nhits
+        assert before == 0
+        sysm.update_object_region("obj", 100, np.full(50, 99.0, dtype=np.float32))
+        after = engine.execute(cond("obj", ">", 50.0))
+        assert after.nhits == 50
+        truth = np.flatnonzero(sysm.get_object("obj").data > 50.0)
+        assert np.array_equal(after.selection.coords, truth)
+
+    def test_index_rebuilt_and_consistent(self, env):
+        sysm, _ = env
+        sysm.build_index("obj")
+        sysm.update_object_region("obj", 0, np.full(512, 42.0, dtype=np.float32))
+        engine = QueryEngine(sysm)
+        res = engine.execute(cond("obj", "=", 42.0), strategy=Strategy.HIST_INDEX)
+        assert res.nhits == 512
+        obj = sysm.get_object("obj")
+        # The region's rebuilt index has one occupied bin.
+        assert obj.indexes[0].n_occupied_bins == 1
+        assert sysm.pfs.exists("/pdc/index/obj")
+
+    def test_replica_dropped_on_update(self, env, rng):
+        sysm, _ = env
+        sysm.create_object("companion", rng.random(1 << 12).astype(np.float32))
+        sysm.build_sorted_replica("obj", ["companion"])
+        assert "obj" in sysm.replicas
+        sysm.update_object_region("obj", 0, np.zeros(10, dtype=np.float32))
+        assert "obj" not in sysm.replicas
+        assert not sysm.pfs.exists("/pdc/sorted/obj/key")
+        assert sysm.get_object("obj").meta.sorted_by is None
+
+    def test_update_of_companion_drops_replica_too(self, env, rng):
+        sysm, _ = env
+        sysm.create_object("companion", rng.random(1 << 12).astype(np.float32))
+        sysm.build_sorted_replica("obj", ["companion"])
+        sysm.update_object_region("companion", 0, np.zeros(10, dtype=np.float32))
+        assert "obj" not in sysm.replicas
+
+    def test_sorted_strategy_falls_back_after_drop(self, env, rng):
+        """SORT_HIST on a dropped replica degrades gracefully to the
+        histogram path with exact answers."""
+        sysm, _ = env
+        sysm.build_sorted_replica("obj")
+        sysm.update_object_region("obj", 0, np.full(20, 5.0, dtype=np.float32))
+        res = QueryEngine(sysm).execute(cond("obj", ">", 4.0), strategy=Strategy.SORT_HIST)
+        assert res.nhits == 20
+
+    def test_stale_caches_invalidated(self, env):
+        sysm, _ = env
+        engine = QueryEngine(sysm)
+        engine.execute(cond("obj", ">", 0.5))  # warm caches
+        sysm.update_object_region("obj", 0, np.full(512, 0.9, dtype=np.float32))
+        res = engine.execute(cond("obj", ">", 0.5))
+        # Region 0 was invalidated: it must be re-read, not served stale.
+        assert res.regions_read >= 1
+
+    def test_write_cost_charged(self, env):
+        sysm, _ = env
+        before = max(s.clock.now for s in sysm.servers)
+        sysm.update_object_region("obj", 0, np.zeros(512, dtype=np.float32))
+        assert max(s.clock.now for s in sysm.servers) > before
+
+    def test_drop_replica_idempotent(self, env):
+        sysm, _ = env
+        sysm.build_sorted_replica("obj")
+        sysm.drop_sorted_replica("obj")
+        sysm.drop_sorted_replica("obj")  # no error
+        assert "obj" not in sysm.replicas

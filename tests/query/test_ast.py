@@ -1,0 +1,120 @@
+"""Query condition trees: construction, DNF, serialization."""
+
+import pytest
+
+from repro.errors import QueryError, QueryTypeError
+from repro.query.ast import (
+    AndNode,
+    Condition,
+    OrNode,
+    combine_and,
+    combine_or,
+    conjunct_intervals,
+    node_from_dict,
+    objects_of,
+    to_dnf,
+)
+from repro.types import PDCType, QueryOp
+
+
+def cond(name="e", op=QueryOp.GT, value=2.0):
+    return Condition(object_name=name, op=op, pdc_type=PDCType.FLOAT, value=value)
+
+
+class TestCondition:
+    def test_interval(self):
+        iv = cond(op=QueryOp.LT, value=3.0).interval
+        assert iv.hi == pytest.approx(3.0) and iv.lo is None and not iv.hi_closed
+
+    def test_value_type_checked(self):
+        with pytest.raises(QueryTypeError):
+            Condition("e", QueryOp.GT, PDCType.INT, 2.5)
+
+    def test_str(self):
+        assert str(cond()) == "e > 2"
+
+
+class TestCombinators:
+    def test_and_flattens(self):
+        q = combine_and(combine_and(cond("a"), cond("b")), cond("c"))
+        assert isinstance(q, AndNode) and len(q.children) == 3
+
+    def test_or_flattens(self):
+        q = combine_or(cond("a"), combine_or(cond("b"), cond("c")))
+        assert isinstance(q, OrNode) and len(q.children) == 3
+
+    def test_mixed_not_flattened_across_kinds(self):
+        q = combine_and(combine_or(cond("a"), cond("b")), cond("c"))
+        assert isinstance(q, AndNode) and len(q.children) == 2
+
+    def test_objects_of_dedup_ordered(self):
+        q = combine_and(combine_and(cond("b"), cond("a")), cond("b"))
+        assert objects_of(q) == ["b", "a"]
+
+
+class TestDNF:
+    def test_single_condition(self):
+        assert to_dnf(cond()) == [[cond()]]
+
+    def test_and_one_conjunct(self):
+        q = combine_and(cond("a"), cond("b"))
+        [conj] = to_dnf(q)
+        assert [c.object_name for c in conj] == ["a", "b"]
+
+    def test_or_many_conjuncts(self):
+        q = combine_or(cond("a"), cond("b"))
+        assert len(to_dnf(q)) == 2
+
+    def test_and_over_or_distributes(self):
+        # (a OR b) AND c -> (a AND c) OR (b AND c)
+        q = combine_and(combine_or(cond("a"), cond("b")), cond("c"))
+        dnf = to_dnf(q)
+        assert len(dnf) == 2
+        assert [c.object_name for c in dnf[0]] == ["a", "c"]
+        assert [c.object_name for c in dnf[1]] == ["b", "c"]
+
+    def test_explosion_guarded(self):
+        q = cond("x0")
+        for i in range(1, 8):
+            q = combine_and(q, combine_or(cond(f"a{i}"), cond(f"b{i}")))
+        with pytest.raises(QueryError):
+            to_dnf(q)
+
+
+class TestConjunctIntervals:
+    def test_same_object_intersected(self):
+        leaves = [cond(op=QueryOp.GT, value=1.0), cond(op=QueryOp.LT, value=2.0)]
+        conj = conjunct_intervals(leaves)
+        assert conj is not None
+        iv = conj["e"]
+        assert iv.lo == 1.0 and iv.hi == 2.0
+
+    def test_contradiction_returns_none(self):
+        leaves = [cond(op=QueryOp.GT, value=5.0), cond(op=QueryOp.LT, value=3.0)]
+        assert conjunct_intervals(leaves) is None
+
+    def test_multiple_objects(self):
+        conj = conjunct_intervals([cond("a"), cond("b", QueryOp.LT, 1.0)])
+        assert set(conj) == {"a", "b"}
+
+
+class TestSerialization:
+    def test_roundtrip_complex_tree(self):
+        q = combine_or(
+            combine_and(cond("a"), cond("b", QueryOp.LTE, 5.0)),
+            cond("c", QueryOp.EQ, 1.0),
+        )
+        back = node_from_dict(q.to_dict())
+        assert back == q
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(QueryError):
+            node_from_dict({"kind": "xor", "children": []})
+
+    def test_single_child_combinator_rejected(self):
+        with pytest.raises(QueryError):
+            node_from_dict({"kind": "and", "children": [cond().to_dict()]})
+
+    def test_str_rendering(self):
+        q = combine_and(cond("a"), cond("b", QueryOp.LT, 1.0))
+        assert str(q) == "(a > 2 AND b < 1)"

@@ -1,0 +1,123 @@
+"""Async query client (§III-C's non-blocking submission)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, QueryShapeError
+from repro.query.async_client import AsyncQueryClient
+from repro.query.ast import Condition, combine_and
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture
+def env(rng):
+    sysm = make_system(region_size_bytes=1 << 11)
+    e = rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+    x = (rng.random(1 << 12) * 300).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    return sysm, e, x
+
+
+class TestSubmit:
+    def test_future_resolves_with_result(self, env):
+        sysm, e, _ = env
+        with AsyncQueryClient(sysm) as client:
+            f = client.submit(cond("energy", ">", 2.0))
+            res = f.result(timeout=10)
+        assert res.nhits == int((e > 2.0).sum())
+        assert res.selection is not None
+
+    def test_client_continues_while_servers_process(self, env):
+        """§III-C: submission returns immediately; the caller does other
+        work; results arrive via the aggregator thread."""
+        sysm, e, x = env
+        with AsyncQueryClient(sysm) as client:
+            futures = [
+                client.submit(cond("energy", ">", v)) for v in (0.5, 1.0, 2.0, 3.0)
+            ]
+            side_work = sum(i * i for i in range(1000))  # the "other tasks"
+            counts = [f.result(timeout=10).nhits for f in futures]
+        assert side_work > 0
+        assert counts == [int((e > v).sum()) for v in (0.5, 1.0, 2.0, 3.0)]
+
+    def test_fifo_ordering(self, env):
+        """Requests are evaluated in submission order (server clocks are a
+        shared sequence, like the paper's sequential evaluation)."""
+        sysm, _, _ = env
+        with AsyncQueryClient(sysm) as client:
+            f1 = client.submit(cond("energy", ">", 1.0))
+            f2 = client.submit(cond("energy", ">", 2.0))
+            r1, r2 = f1.result(10), f2.result(10)
+        # The second query starts after the first finished: warm caches.
+        assert r2.regions_read <= r1.regions_read + r1.regions_cached
+
+    def test_get_data_pipeline(self, env):
+        sysm, e, x = env
+        with AsyncQueryClient(sysm) as client:
+            sel = client.submit(cond("energy", ">", 2.0)).result(10).selection
+            gd = client.submit_get_data(sel, "x").result(10)
+        assert np.array_equal(gd.values, x[e > 2.0])
+
+    def test_multi_object_and_constraint(self, env):
+        sysm, e, x = env
+        node = combine_and(cond("energy", ">", 1.5), cond("x", "<", 100.0))
+        with AsyncQueryClient(sysm) as client:
+            res = client.submit(node, region_constraint=(100, 3000)).result(10)
+        truth = (e > 1.5) & (x < 100.0)
+        assert res.nhits == int(truth[100:3000].sum())
+
+
+class TestFailures:
+    def test_error_delivered_via_future(self, env, rng):
+        sysm, _, _ = env
+        sysm.create_object("short", rng.random(10).astype(np.float32))
+        node = combine_and(cond("energy", ">", 1.0), cond("short", ">", 0.5))
+        with AsyncQueryClient(sysm) as client:
+            f = client.submit(node)
+            with pytest.raises(QueryShapeError):
+                f.result(timeout=10)
+
+    def test_failure_does_not_kill_the_worker(self, env):
+        sysm, e, _ = env
+        with AsyncQueryClient(sysm) as client:
+            bad = client.submit(cond("missing-object", ">", 1.0))
+            good = client.submit(cond("energy", ">", 2.0))
+            with pytest.raises(Exception):
+                bad.result(timeout=10)
+            assert good.result(timeout=10).nhits == int((e > 2.0).sum())
+
+
+class TestLifecycle:
+    def test_wait_all(self, env):
+        sysm, _, _ = env
+        client = AsyncQueryClient(sysm)
+        futures = [client.submit(cond("energy", ">", v)) for v in (1.0, 2.0)]
+        client.wait_all(timeout=10)
+        assert all(f.done() for f in futures)
+        client.shutdown()
+
+    def test_shutdown_idempotent(self, env):
+        sysm, _, _ = env
+        client = AsyncQueryClient(sysm)
+        client.shutdown()
+        client.shutdown()
+
+    def test_submit_after_shutdown_rejected(self, env):
+        sysm, _, _ = env
+        client = AsyncQueryClient(sysm)
+        client.shutdown()
+        with pytest.raises(QueryError):
+            client.submit(cond("energy", ">", 1.0))
+
+    def test_shutdown_drains_pending_requests(self, env):
+        sysm, e, _ = env
+        client = AsyncQueryClient(sysm)
+        f = client.submit(cond("energy", ">", 2.0))
+        client.shutdown()
+        assert f.result(timeout=1).nhits == int((e > 2.0).sum())

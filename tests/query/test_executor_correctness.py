@@ -1,0 +1,202 @@
+"""The central correctness property: every evaluation strategy returns
+exactly the numpy ground truth, for any query shape.
+
+All four strategies (full scan, histogram, histogram+index, sorted+
+histogram), the simmpi transport path, and the HDF5 baseline must agree
+with each other and with a direct mask evaluation — including AND/OR
+combinations, equality conditions, spatial region constraints, empty and
+full results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import combine_and, combine_or, Condition
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+ALL_STRATEGIES = list(Strategy)
+
+
+def build_full_system(rng, n=1 << 13, region_bytes=1 << 11, n_servers=4):
+    """System with energy/x objects, indexes, and an energy-sorted replica."""
+    sysm = make_system(n_servers=n_servers, region_size_bytes=region_bytes)
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300.0).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    sysm.build_index("energy")
+    sysm.build_index("x")
+    sysm.build_sorted_replica("energy", ["x"])
+    return sysm, e, x
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = np.random.default_rng(99)
+    return build_full_system(rng)
+
+
+def check_all_strategies(env, node, truth_mask, constraint=None):
+    sysm, e, x = env
+    truth = np.flatnonzero(truth_mask)
+    if constraint is not None:
+        truth = truth[(truth >= constraint[0]) & (truth < constraint[1])]
+    engine = QueryEngine(sysm)
+    for strat in ALL_STRATEGIES:
+        res = engine.execute(
+            node, want_selection=True, region_constraint=constraint, strategy=strat
+        )
+        assert res.nhits == truth.size, (strat, res.nhits, truth.size)
+        assert np.array_equal(res.selection.coords, truth), strat
+
+
+class TestSingleObject:
+    @pytest.mark.parametrize("op", [">", ">=", "<", "<="])
+    @pytest.mark.parametrize("value", [0.5, 2.0, 2.1, 10.0, -1.0])
+    def test_one_sided(self, env, op, value):
+        _, e, _ = env
+        check_all_strategies(env, cond("energy", op, value), QueryOp(op).apply(e, value))
+
+    def test_equality(self, env):
+        sysm, e, _ = env
+        v = float(e[1234])
+        check_all_strategies(env, cond("energy", "=", v), e == v)
+
+    def test_window(self, env):
+        _, e, _ = env
+        node = combine_and(cond("energy", ">", 2.1), cond("energy", "<", 2.2))
+        check_all_strategies(env, node, (e > 2.1) & (e < 2.2))
+
+    def test_empty_result(self, env):
+        _, e, _ = env
+        check_all_strategies(env, cond("energy", ">", 1e9), np.zeros_like(e, dtype=bool))
+
+    def test_full_result(self, env):
+        _, e, _ = env
+        check_all_strategies(env, cond("energy", ">=", -1.0), np.ones_like(e, dtype=bool))
+
+    def test_contradictory_window(self, env):
+        _, e, _ = env
+        node = combine_and(cond("energy", ">", 5.0), cond("energy", "<", 1.0))
+        check_all_strategies(env, node, np.zeros_like(e, dtype=bool))
+
+
+class TestMultiObject:
+    def test_and_across_objects(self, env):
+        _, e, x = env
+        node = combine_and(cond("energy", ">", 2.0), cond("x", "<", 100.0))
+        check_all_strategies(env, node, (e > 2.0) & (x < 100.0))
+
+    def test_or_across_objects(self, env):
+        _, e, x = env
+        node = combine_or(cond("energy", ">", 3.0), cond("x", ">", 290.0))
+        check_all_strategies(env, node, (e > 3.0) | (x > 290.0))
+
+    def test_nested_and_or(self, env):
+        _, e, x = env
+        node = combine_or(
+            combine_and(cond("energy", ">", 2.0), cond("x", "<", 50.0)),
+            combine_and(cond("energy", "<", 0.1), cond("x", ">", 250.0)),
+        )
+        truth = ((e > 2.0) & (x < 50.0)) | ((e < 0.1) & (x > 250.0))
+        check_all_strategies(env, node, truth)
+
+    def test_four_way_and(self, env):
+        _, e, x = env
+        node = combine_and(
+            combine_and(cond("energy", ">", 1.0), cond("energy", "<", 3.0)),
+            combine_and(cond("x", ">", 100.0), cond("x", "<", 200.0)),
+        )
+        truth = (e > 1.0) & (e < 3.0) & (x > 100.0) & (x < 200.0)
+        check_all_strategies(env, node, truth)
+
+
+class TestRegionConstraint:
+    def test_constraint_clips_results(self, env):
+        _, e, _ = env
+        node = cond("energy", ">", 2.0)
+        check_all_strategies(env, node, e > 2.0, constraint=(1000, 5000))
+
+    def test_constraint_not_aligned_to_regions(self, env):
+        """§III-A: 'the region selection can be arbitrary and does not need
+        to match any of the existing PDC internal region partitions'."""
+        _, e, _ = env
+        check_all_strategies(env, cond("energy", ">", 1.5), e > 1.5, constraint=(777, 3333))
+
+    def test_constraint_with_multi_object(self, env):
+        _, e, x = env
+        node = combine_and(cond("energy", ">", 1.5), cond("x", "<", 150.0))
+        check_all_strategies(env, node, (e > 1.5) & (x < 150.0), constraint=(100, 8000))
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(0, 2**31),
+        op1=st.sampled_from([">", ">=", "<", "<="]),
+        v1=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        op2=st.sampled_from([">", ">=", "<", "<="]),
+        v2=st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+        use_or=st.booleans(),
+        strat=st.sampled_from(ALL_STRATEGIES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_two_object_queries(self, seed, op1, v1, op2, v2, use_or, strat):
+        rng = np.random.default_rng(seed)
+        sysm = make_system(n_servers=3, region_size_bytes=1 << 11)
+        n = 1 << 11
+        e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+        x = (rng.random(n) * 300.0).astype(np.float32)
+        sysm.create_object("energy", e)
+        sysm.create_object("x", x)
+        if strat is Strategy.HIST_INDEX:
+            sysm.build_index("energy")
+            sysm.build_index("x")
+        if strat is Strategy.SORT_HIST:
+            sysm.build_sorted_replica("energy", ["x"])
+        combine = combine_or if use_or else combine_and
+        node = combine(cond("energy", op1, v1), cond("x", op2, v2))
+        m1 = QueryOp(op1).apply(e, np.float32(v1))
+        m2 = QueryOp(op2).apply(x, np.float32(v2))
+        truth = np.flatnonzero(m1 | m2 if use_or else m1 & m2)
+        res = QueryEngine(sysm).execute(node, want_selection=True, strategy=strat)
+        assert np.array_equal(res.selection.coords, truth)
+
+
+class TestTransportAgreement:
+    def test_simmpi_path_matches_engine(self, env):
+        from repro.pdc.transport import run_distributed_query
+
+        sysm, e, x = env
+        node = combine_or(
+            combine_and(cond("energy", ">", 2.0), cond("x", "<", 80.0)),
+            cond("energy", ">", 3.2),
+        )
+        engine_res = QueryEngine(sysm).execute(node, strategy=Strategy.HISTOGRAM)
+        wire_res = run_distributed_query(sysm, node, n_server_ranks=3)
+        assert np.array_equal(engine_res.selection.coords, wire_res)
+
+
+class TestHDF5BaselineAgreement:
+    def test_baseline_matches_truth(self, env):
+        from repro.baselines import HDF5FullScanEngine
+        from repro.workloads.queries import QuerySpec
+
+        sysm, e, x = env
+        spec = QuerySpec(
+            label="t",
+            conditions=(("energy", ">", 2.0), ("x", "<", 100.0)),
+        )
+        h5 = HDF5FullScanEngine(sysm, n_processes=4)
+        h5.preload(["energy", "x"])
+        res = h5.query(spec, want_selection=True)
+        truth = np.flatnonzero((e > 2.0) & (x < 100.0))
+        assert np.array_equal(res.coords, truth)

@@ -1,0 +1,221 @@
+"""Cost-model behaviour of the executor: the paper's qualitative claims
+must hold in the simulator (caching, pruning, ordering, index economy)."""
+
+import numpy as np
+import pytest
+
+from repro.query.ast import Condition, combine_and
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+def build_clustered_system(rng, n=1 << 13, region_bytes=1 << 11, **kwargs):
+    """energy has spatially-clustered high values so pruning can bite."""
+    sysm = make_system(region_size_bytes=region_bytes, **kwargs)
+    e = rng.gamma(2.0, 0.4, n).astype(np.float32)
+    hot = slice(n // 2, n // 2 + n // 16)  # one hot stretch of the array
+    e[hot] += 5.0
+    x = (rng.random(n) * 300.0).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    return sysm, e, x
+
+
+class TestCaching:
+    def test_repeat_query_faster(self, rng):
+        """§VI-A: sequential queries speed up as regions get cached."""
+        sysm, _, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        node = cond("energy", ">", 1.0)
+        cold = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        warm = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        assert warm.elapsed_s < cold.elapsed_s
+        assert warm.regions_read == 0
+        assert warm.regions_cached > 0
+
+    def test_preload_makes_full_scan_warm(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        t = engine.preload(["energy"])
+        assert t > 0
+        res = engine.execute(cond("energy", ">", 1.0), strategy=Strategy.FULL_SCAN)
+        assert res.regions_read == 0
+
+    def test_drop_caches_resets(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        engine.execute(cond("energy", ">", 1.0), strategy=Strategy.HISTOGRAM)
+        sysm.drop_all_caches()
+        res = engine.execute(cond("energy", ">", 1.0), strategy=Strategy.HISTOGRAM)
+        assert res.regions_read > 0
+
+
+class TestPruning:
+    def test_histogram_prunes_cold_regions(self, rng):
+        sysm, e, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        res = engine.execute(cond("energy", ">", 4.0), strategy=Strategy.HISTOGRAM)
+        assert res.regions_pruned > 0
+        # Only the hot stretch's regions get read.
+        obj = sysm.get_object("energy")
+        hot_regions = np.unique(np.flatnonzero(e > 4.0) // obj.region_elements)
+        assert res.regions_read <= hot_regions.size
+
+    def test_full_scan_never_prunes(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        res = QueryEngine(sysm).execute(cond("energy", ">", 4.0), strategy=Strategy.FULL_SCAN)
+        assert res.regions_pruned == 0
+        assert res.regions_read == sysm.get_object("energy").n_regions
+
+    def test_pruning_toggle(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        on = QueryEngine(sysm, enable_pruning=True).execute(
+            cond("energy", ">", 4.0), strategy=Strategy.HISTOGRAM
+        )
+        sysm.drop_all_caches()
+        off = QueryEngine(sysm, enable_pruning=False).execute(
+            cond("energy", ">", 4.0), strategy=Strategy.HISTOGRAM
+        )
+        assert off.regions_read > on.regions_read
+        assert off.regions_pruned == 0
+
+    def test_histogram_beats_full_scan_on_selective_query(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        h = engine.execute(cond("energy", ">", 4.0), strategy=Strategy.HISTOGRAM)
+        sysm.drop_all_caches()
+        f = engine.execute(cond("energy", ">", 4.0), strategy=Strategy.FULL_SCAN)
+        assert h.elapsed_s < f.elapsed_s
+
+    def test_impossible_condition_reads_nothing(self, rng):
+        """Histogram upper bound 0 → skip the conjunct without I/O."""
+        sysm, _, _ = build_clustered_system(rng)
+        node = combine_and(cond("energy", ">", 100.0), cond("x", "<", 150.0))
+        res = QueryEngine(sysm).execute(node, strategy=Strategy.HISTOGRAM)
+        assert res.nhits == 0
+        assert res.regions_read == 0
+
+
+class TestOrdering:
+    def test_most_selective_object_first(self, rng):
+        sysm, e, x = build_clustered_system(rng)
+        # energy > 4 is rare; x < 290 is ~97%.
+        node = combine_and(cond("x", "<", 290.0), cond("energy", ">", 4.0))
+        res = QueryEngine(sysm).execute(node, strategy=Strategy.HISTOGRAM)
+        assert res.evaluation_order[0] == "energy"
+
+    def test_ordering_toggle_respects_user_order(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        node = combine_and(cond("x", "<", 290.0), cond("energy", ">", 4.0))
+        res = QueryEngine(sysm, enable_ordering=False).execute(
+            node, strategy=Strategy.HISTOGRAM
+        )
+        assert res.evaluation_order[0] == "x"
+
+    def test_ordering_reduces_candidate_work(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        node = combine_and(cond("x", "<", 290.0), cond("energy", ">", 4.0))
+        ordered = QueryEngine(sysm, enable_ordering=True).execute(
+            node, strategy=Strategy.HISTOGRAM
+        )
+        sysm.drop_all_caches()
+        unordered = QueryEngine(sysm, enable_ordering=False).execute(
+            node, strategy=Strategy.HISTOGRAM
+        )
+        assert ordered.elapsed_s < unordered.elapsed_s
+
+
+class TestIndexEconomy:
+    def test_index_reads_fewer_virtual_bytes_than_data(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        sysm.build_index("energy")
+        engine = QueryEngine(sysm)
+        node = combine_and(cond("energy", ">", 4.1), cond("energy", "<", 4.2))
+        hi = engine.execute(node, strategy=Strategy.HIST_INDEX)
+        sysm.drop_all_caches()
+        h = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        assert hi.bytes_read_virtual < h.bytes_read_virtual
+        assert hi.index_reads > 0
+
+    def test_index_falls_back_to_scan_without_index(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        res = QueryEngine(sysm).execute(
+            cond("energy", ">", 4.0), strategy=Strategy.HIST_INDEX
+        )
+        # No index built: behaves like histogram (data regions read).
+        assert res.index_reads == 0
+        assert res.regions_read > 0
+
+
+class TestSortedPath:
+    def test_sorted_fast_for_selective_key_query(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        sysm.build_sorted_replica("energy", ["x"])
+        engine = QueryEngine(sysm)
+        node = combine_and(cond("energy", ">", 4.1), cond("energy", "<", 4.15))
+        warm_h = None
+        for _ in range(2):  # warm both paths
+            sh = engine.execute(node, strategy=Strategy.SORT_HIST)
+            warm_h = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        assert sh.elapsed_s < warm_h.elapsed_s
+
+    def test_sorted_prunes_by_run(self, rng):
+        sysm, e, _ = build_clustered_system(rng)
+        sysm.build_sorted_replica("energy", ["x"])
+        res = QueryEngine(sysm).execute(
+            cond("energy", ">", 4.5), strategy=Strategy.SORT_HIST
+        )
+        assert res.regions_pruned > 0
+
+    def test_sorted_falls_back_when_planner_picks_other_object(self, rng):
+        """§VI-B: when x is evaluated first the sorted replica is not used
+        — the evaluation order starts with x."""
+        sysm, _, _ = build_clustered_system(rng)
+        sysm.build_sorted_replica("energy", ["x"])
+        # x < 1.0 is far more selective than energy > 0.1 (~everything).
+        node = combine_and(cond("energy", ">", 0.1), cond("x", "<", 1.0))
+        res = QueryEngine(sysm).execute(node, strategy=Strategy.SORT_HIST)
+        assert res.evaluation_order[0] == "x"
+
+
+class TestTransfers:
+    def test_selection_transfer_grows_with_hits(self, rng):
+        sysm, _, _ = build_clustered_system(rng, virtual_scale=1024.0, region_bytes=1 << 21)
+        engine = QueryEngine(sysm)
+        engine.preload(["energy"])
+        small = engine.execute(cond("energy", ">", 4.5), strategy=Strategy.FULL_SCAN)
+        big = engine.execute(cond("energy", ">", 0.1), strategy=Strategy.FULL_SCAN)
+        assert big.nhits > small.nhits
+        assert big.elapsed_s > small.elapsed_s
+
+    def test_nhits_only_cheaper_than_selection(self, rng):
+        sysm, _, _ = build_clustered_system(rng, virtual_scale=1024.0, region_bytes=1 << 21)
+        engine = QueryEngine(sysm)
+        engine.preload(["energy"])
+        with_sel = engine.execute(
+            cond("energy", ">", 0.1), want_selection=True, strategy=Strategy.FULL_SCAN
+        )
+        count_only = engine.execute(
+            cond("energy", ">", 0.1), want_selection=False, strategy=Strategy.FULL_SCAN
+        )
+        assert count_only.elapsed_s < with_sel.elapsed_s
+        assert count_only.selection is None
+
+
+class TestClockDiscipline:
+    def test_elapsed_positive_and_clocks_monotonic(self, rng):
+        sysm, _, _ = build_clustered_system(rng)
+        engine = QueryEngine(sysm)
+        before = [c.now for c in sysm.all_clocks()]
+        res = engine.execute(cond("energy", ">", 1.0))
+        after = [c.now for c in sysm.all_clocks()]
+        assert res.elapsed_s > 0
+        assert all(b <= a for b, a in zip(before, after))
+        # Bulk-synchronous: all clocks aligned after a query.
+        assert len(set(after)) == 1

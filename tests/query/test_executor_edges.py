@@ -1,0 +1,123 @@
+"""Executor edge paths not covered by the main correctness suites."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.interval import Interval
+from repro.query.ast import Condition, combine_and, combine_or
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture
+def env(rng):
+    sysm = make_system(region_size_bytes=1 << 11)
+    e = rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+    x = (rng.random(1 << 12) * 300).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    return sysm, e, x
+
+
+class TestShortCircuits:
+    def test_or_full_domain_stops_early(self, env):
+        """§III-C: 'if one part of the union selects all elements, we can
+        return them immediately' — the second disjunct is never evaluated."""
+        sysm, e, _ = env
+        node = combine_or(cond("energy", ">=", -1.0), cond("x", "<", 50.0))
+        engine = QueryEngine(sysm)
+        res = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        assert res.nhits == e.size
+        # Only the energy object's metadata was distributed: x untouched.
+        assert all("x" not in s.meta_cached or "energy" in s.meta_cached
+                   for s in sysm.servers)
+
+    def test_and_empty_intermediate_stops(self, env):
+        sysm, _, _ = env
+        engine = QueryEngine(sysm)
+        node = combine_and(cond("energy", ">", 1e6), cond("x", "<", 150.0))
+        res = engine.execute(node, strategy=Strategy.HISTOGRAM)
+        assert res.nhits == 0
+        assert res.regions_read == 0  # histogram upper bound said: impossible
+
+    def test_all_conjuncts_contradictory(self, env):
+        sysm, _, _ = env
+        node = combine_or(
+            combine_and(cond("energy", ">", 5.0), cond("energy", "<", 1.0)),
+            combine_and(cond("x", ">", 200.0), cond("x", "<", 100.0)),
+        )
+        res = QueryEngine(sysm).execute(node)
+        assert res.nhits == 0 and res.selection.is_empty
+
+
+class TestPreload:
+    def test_preload_idempotent_costs(self, env):
+        sysm, _, _ = env
+        engine = QueryEngine(sysm)
+        t1 = engine.preload(["energy", "x"])
+        t2 = engine.preload(["energy", "x"])
+        assert t1 > 0
+        assert t2 < t1 * 0.01  # everything cached: only barrier noise
+
+    def test_unknown_object_rejected(self, env):
+        sysm, _, _ = env
+        from repro.errors import ObjectNotFoundError
+
+        with pytest.raises(ObjectNotFoundError):
+            QueryEngine(sysm).preload(["nope"])
+
+
+class TestVirtualScaleExactness:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_scaled_systems_stay_exact(self, rng, strategy):
+        """virtual_scale affects only time, never answers."""
+        sysm = make_system(region_size_bytes=1 << 18, virtual_scale=128.0)
+        e = rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+        sysm.create_object("energy", e)
+        sysm.build_index("energy")
+        sysm.build_sorted_replica("energy")
+        node = combine_and(cond("energy", ">", 2.1), cond("energy", "<", 2.2))
+        res = QueryEngine(sysm).execute(node, strategy=strategy)
+        assert res.nhits == int(((e > 2.1) & (e < 2.2)).sum())
+
+
+class TestEqualityAcrossStrategies:
+    def test_eq_condition_exact_everywhere(self, env):
+        sysm, e, _ = env
+        sysm.build_index("energy")
+        sysm.build_sorted_replica("energy")
+        v = float(e[321])
+        truth = int((e == np.float32(v)).sum())
+        for strategy in Strategy:
+            res = QueryEngine(sysm).execute(cond("energy", "=", v), strategy=strategy)
+            assert res.nhits == truth, strategy
+
+
+class TestMultiRegionMetadataDataQuery:
+    def test_large_tagged_object_spans_regions(self, rng):
+        """§VI-C path on an object big enough for several regions (the
+        BOSS case is single-region; the code must not assume that)."""
+        sysm = make_system(region_size_bytes=1 << 11)
+        flux = (rng.random(1 << 12) * 30).astype(np.float32)
+        sysm.create_object("bigfiber", flux, tags={"RADEG": 153.17})
+        res = QueryEngine(sysm).metadata_data_query(
+            {"RADEG": 153.17}, Interval(lo=0.0, hi=20.0, lo_closed=False, hi_closed=False)
+        )
+        assert res.total_hits == int(((flux > 0) & (flux < 20)).sum())
+        assert sysm.get_object("bigfiber").n_regions > 1
+
+
+class TestNoObjectsQuery:
+    def test_engine_requires_known_objects(self, env):
+        sysm, _, _ = env
+        from repro.errors import ObjectNotFoundError
+
+        with pytest.raises(ObjectNotFoundError):
+            QueryEngine(sysm).execute(cond("ghost", ">", 1.0))

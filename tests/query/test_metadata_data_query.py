@@ -1,0 +1,108 @@
+"""Combined metadata + data queries (§VI-C, the BOSS path)."""
+
+import numpy as np
+import pytest
+
+from repro.interval import Interval
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def boss_env(rng):
+    sysm = make_system(region_size_bytes=1 << 16)  # small objects: 1 region
+    truth = {}
+    for i in range(30):
+        plate = i // 10
+        flux = (rng.random(128) * 30.0).astype(np.float32)
+        name = f"fiber{i:03d}"
+        sysm.create_object(
+            name, flux, tags={"RADEG": 153.17 if plate == 0 else 10.0 * plate, "DECDEG": 23.06}
+        )
+        truth[name] = flux
+    return sysm, truth
+
+
+class TestMetadataDataQuery:
+    def test_counts_match_truth(self, boss_env):
+        sysm, truth = boss_env
+        engine = QueryEngine(sysm)
+        iv = Interval(lo=0.0, hi=20.0, lo_closed=False, hi_closed=False)
+        res = engine.metadata_data_query({"RADEG": 153.17, "DECDEG": 23.06}, iv)
+        selected = [n for n in truth if n < "fiber010"]
+        assert res.object_names == sorted(selected)
+        expected = sum(int(((truth[n] > 0) & (truth[n] < 20)).sum()) for n in selected)
+        assert res.total_hits == expected
+        for n in selected:
+            assert res.per_object_hits[n] == int(((truth[n] > 0) & (truth[n] < 20)).sum())
+
+    def test_no_matching_objects(self, boss_env):
+        sysm, _ = boss_env
+        res = QueryEngine(sysm).metadata_data_query(
+            {"RADEG": -1.0}, Interval(lo=0.0, hi=20.0)
+        )
+        assert res.object_names == [] and res.total_hits == 0
+        assert res.elapsed_s > 0
+
+    def test_index_strategy_agrees(self, boss_env):
+        sysm, truth = boss_env
+        for name in truth:
+            sysm.build_index(name)
+        engine = QueryEngine(sysm)
+        iv = Interval(lo=5.0, hi=20.0, lo_closed=False, hi_closed=False)
+        h = engine.metadata_data_query(
+            {"RADEG": 153.17, "DECDEG": 23.06}, iv, strategy=Strategy.HISTOGRAM
+        )
+        hi = engine.metadata_data_query(
+            {"RADEG": 153.17, "DECDEG": 23.06}, iv, strategy=Strategy.HIST_INDEX
+        )
+        assert h.total_hits == hi.total_hits
+
+    def test_metadata_phase_charges_client(self, boss_env):
+        sysm, _ = boss_env
+        t0 = sysm.client_clock.now
+        QueryEngine(sysm).metadata_data_query({"RADEG": 153.17}, Interval(lo=0.0, hi=1.0))
+        assert sysm.client_clock.now > t0
+
+    def test_faster_than_hdf5_traversal(self, boss_env):
+        """Fig. 5's claim: PDC's metadata service avoids traversing every
+        file."""
+        from repro.baselines import HDF5FullScanEngine
+
+        sysm, truth = boss_env
+        iv = Interval(lo=0.0, hi=20.0, lo_closed=False, hi_closed=False)
+        pdc = QueryEngine(sysm).metadata_data_query(
+            {"RADEG": 153.17, "DECDEG": 23.06}, iv
+        )
+        h5 = HDF5FullScanEngine(sysm).boss_traverse(
+            {"RADEG": 153.17, "DECDEG": 23.06}, iv, sorted(truth)
+        )
+        assert h5.nhits == pdc.total_hits
+        assert pdc.elapsed_s < h5.elapsed_s
+
+
+class TestRangeMetadataPredicates:
+    """Extension: the §VI-C path with range predicates on numeric tags."""
+
+    def test_interval_tag_predicate_selects_objects(self, boss_env):
+        from repro.interval import Interval
+
+        sysm, truth = boss_env
+        engine = QueryEngine(sysm)
+        res = engine.metadata_data_query(
+            {"RADEG": Interval(lo=100.0, hi=200.0)},
+            Interval(lo=0.0, hi=20.0, lo_closed=False, hi_closed=False),
+        )
+        # Only plate 0 (RADEG=153.17) falls in [100, 200].
+        selected = [n for n in truth if n < "fiber010"]
+        assert res.object_names == sorted(selected)
+
+    def test_op_tag_predicate(self, boss_env):
+        sysm, truth = boss_env
+        engine = QueryEngine(sysm)
+        res = engine.metadata_data_query(
+            {"RADEG": (">", 15.0)}, Interval(lo=0.0, hi=20.0)
+        )
+        # Plates 0 (153.17) and 2 (20.0) match; plate 1 (10.0) does not.
+        assert len(res.object_names) == 20

@@ -1,0 +1,154 @@
+"""Metamorphic properties of the query engine.
+
+Rather than comparing to an oracle, these tests check relations that must
+hold between *related* queries — a complementary net to the ground-truth
+comparisons, good at catching planner/pruning bugs that an oracle test
+with the same blind spot would miss:
+
+* AND-ing an extra condition never increases the hit set (monotonicity);
+* OR-ing never decreases it;
+* widening an interval never loses hits; narrowing never gains;
+* a query's hits within a region constraint = unconstrained hits ∩ range;
+* complementary conditions partition the domain;
+* OR of a partition of an interval = the whole interval;
+* results are invariant to strategy, to condition order, and to repeated
+  evaluation (caching must not change answers).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import Condition, combine_and, combine_or
+from repro.query.executor import QueryEngine
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value)
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = np.random.default_rng(7)
+    sysm = make_system(region_size_bytes=1 << 11)
+    n = 1 << 13
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    sysm.build_index("energy")
+    sysm.build_index("x")
+    sysm.build_sorted_replica("energy", ["x"])
+    return sysm
+
+
+def coords_of(sysm, node, strategy=Strategy.HISTOGRAM, constraint=None):
+    res = QueryEngine(sysm).execute(
+        node, want_selection=True, strategy=strategy, region_constraint=constraint
+    )
+    return set(res.selection.coords.tolist())
+
+
+values_e = st.floats(min_value=0.0, max_value=6.0, allow_nan=False)
+values_x = st.floats(min_value=0.0, max_value=300.0, allow_nan=False)
+ops = st.sampled_from([">", ">=", "<", "<="])
+strategies_all = st.sampled_from(list(Strategy))
+
+
+class TestSetMonotonicity:
+    @given(op1=ops, v1=values_e, op2=ops, v2=values_x, strat=strategies_all)
+    @settings(max_examples=40, deadline=None)
+    def test_and_shrinks_or_grows(self, env, op1, v1, op2, v2, strat):
+        base = cond("energy", op1, v1)
+        extra = cond("x", op2, v2)
+        s_base = coords_of(env, base, strat)
+        s_and = coords_of(env, combine_and(base, extra), strat)
+        s_or = coords_of(env, combine_or(base, extra), strat)
+        assert s_and <= s_base <= s_or
+
+    @given(v=values_e, delta=st.floats(min_value=0.01, max_value=2.0), strat=strategies_all)
+    @settings(max_examples=40, deadline=None)
+    def test_widening_interval_gains_hits(self, env, v, delta, strat):
+        narrow = combine_and(cond("energy", ">", v), cond("energy", "<", v + delta))
+        wide = combine_and(
+            cond("energy", ">", max(0.0, v - delta)),
+            cond("energy", "<", v + 2 * delta),
+        )
+        assert coords_of(env, narrow, strat) <= coords_of(env, wide, strat)
+
+
+class TestPartitions:
+    @given(v=values_e, strat=strategies_all)
+    @settings(max_examples=40, deadline=None)
+    def test_complement_partitions_domain(self, env, v, strat):
+        gt = coords_of(env, cond("energy", ">", v), strat)
+        lte = coords_of(env, cond("energy", "<=", v), strat)
+        n = env.get_object("energy").n_elements
+        assert gt.isdisjoint(lte)
+        assert len(gt) + len(lte) == n
+
+    @given(a=values_e, b=values_e, c=values_e)
+    @settings(max_examples=40, deadline=None)
+    def test_or_of_split_equals_whole(self, env, a, b, c):
+        lo, mid, hi = sorted((a, b, c))
+        if lo == mid or mid == hi:
+            return
+        whole = combine_and(cond("energy", ">", lo), cond("energy", "<", hi))
+        left = combine_and(cond("energy", ">", lo), cond("energy", "<=", mid))
+        right = combine_and(cond("energy", ">", mid), cond("energy", "<", hi))
+        assert coords_of(env, whole) == coords_of(env, left) | coords_of(env, right)
+
+
+class TestInvariances:
+    @given(op1=ops, v1=values_e, op2=ops, v2=values_x)
+    @settings(max_examples=30, deadline=None)
+    def test_strategy_invariance(self, env, op1, v1, op2, v2):
+        node = combine_and(cond("energy", op1, v1), cond("x", op2, v2))
+        results = {
+            strat: coords_of(env, node, strat) for strat in Strategy
+        }
+        first = next(iter(results.values()))
+        assert all(r == first for r in results.values())
+
+    @given(op1=ops, v1=values_e, op2=ops, v2=values_x, strat=strategies_all)
+    @settings(max_examples=30, deadline=None)
+    def test_condition_order_invariance(self, env, op1, v1, op2, v2, strat):
+        ab = combine_and(cond("energy", op1, v1), cond("x", op2, v2))
+        ba = combine_and(cond("x", op2, v2), cond("energy", op1, v1))
+        assert coords_of(env, ab, strat) == coords_of(env, ba, strat)
+
+    @given(v=values_e, strat=strategies_all)
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_invariance(self, env, v, strat):
+        """Caching across evaluations must never change the answer."""
+        node = cond("energy", ">", v)
+        assert coords_of(env, node, strat) == coords_of(env, node, strat)
+
+    @given(
+        v=values_e,
+        start=st.integers(0, 8000),
+        length=st.integers(1, 4000),
+        strat=strategies_all,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constraint_equals_intersection(self, env, v, start, length, strat):
+        n = env.get_object("energy").n_elements
+        start = min(start, n - 1)
+        stop = min(n, start + length)
+        node = cond("energy", ">", v)
+        unconstrained = coords_of(env, node, strat)
+        constrained = coords_of(env, node, strat, constraint=(start, stop))
+        assert constrained == {c for c in unconstrained if start <= c < stop}
+
+    @given(v=values_e)
+    @settings(max_examples=20, deadline=None)
+    def test_nhits_equals_selection_size(self, env, v):
+        engine = QueryEngine(env)
+        node = cond("energy", ">", v)
+        with_sel = engine.execute(node, want_selection=True)
+        count_only = engine.execute(node, want_selection=False)
+        assert count_only.nhits == with_sel.nhits == with_sel.selection.nhits

@@ -1,0 +1,167 @@
+"""Hyperslab constraints and N-D object support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, SelectionError
+from repro.query.api import (
+    PDCquery_create,
+    PDCquery_get_nhits,
+    PDCquery_get_selection,
+    PDCquery_set_region,
+)
+from repro.query.region_constraint import HyperSlab, normalize_constraint
+from repro.strategies import Strategy
+from tests.conftest import make_system
+
+
+class TestHyperSlab:
+    def test_geometry(self):
+        slab = HyperSlab(shape=(10, 20), ranges=((2, 5), (4, 10)))
+        assert slab.n_elements == 3 * 6
+        lo, hi = slab.flat_bounds()
+        assert lo == 2 * 20 + 4
+        assert hi == 4 * 20 + 9 + 1
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            HyperSlab(shape=(10,), ranges=((0, 5), (0, 5)))
+        with pytest.raises(QueryError):
+            HyperSlab(shape=(10,), ranges=((5, 5),))
+        with pytest.raises(QueryError):
+            HyperSlab(shape=(10,), ranges=((0, 11),))
+        with pytest.raises(QueryError):
+            HyperSlab(shape=(), ranges=())
+
+    def test_contains_flat(self):
+        slab = HyperSlab(shape=(4, 4), ranges=((1, 3), (1, 3)))
+        inside = np.array([5, 6, 9, 10])   # rows 1-2, cols 1-2
+        outside = np.array([0, 3, 12, 15])
+        assert slab.contains_flat(inside).all()
+        assert not slab.contains_flat(outside).any()
+
+    def test_flat_contiguous_detection(self):
+        full_rows = HyperSlab(shape=(8, 16), ranges=((2, 5), (0, 16)))
+        assert full_rows.is_flat_contiguous
+        partial = HyperSlab(shape=(8, 16), ranges=((2, 5), (3, 9)))
+        assert not partial.is_flat_contiguous
+
+    @given(
+        st.integers(2, 12), st.integers(2, 12),
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_filter_matches_brute_force(self, rows, cols, data):
+        r0 = data.draw(st.integers(0, rows - 1))
+        r1 = data.draw(st.integers(r0 + 1, rows))
+        c0 = data.draw(st.integers(0, cols - 1))
+        c1 = data.draw(st.integers(c0 + 1, cols))
+        slab = HyperSlab(shape=(rows, cols), ranges=((r0, r1), (c0, c1)))
+        coords = np.arange(rows * cols, dtype=np.int64)
+        got = set(slab.filter_flat(coords).tolist())
+        expected = {
+            r * cols + c for r in range(r0, r1) for c in range(c0, c1)
+        }
+        assert got == expected
+        assert slab.n_elements == len(expected)
+        lo, hi = slab.flat_bounds()
+        assert all(lo <= x < hi for x in expected)
+
+
+class TestNormalize:
+    def test_none(self):
+        assert normalize_constraint(None, 100) == ((0, 100), None)
+
+    def test_tuple_clipped(self):
+        (lo, hi), f = normalize_constraint((-5, 1000), 100)
+        assert (lo, hi) == (0, 100) and f is None
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(QueryError):
+            normalize_constraint((5, 5), 100)
+
+    def test_contiguous_slab_needs_no_filter(self):
+        slab = HyperSlab(shape=(10, 10), ranges=((2, 5), (0, 10)))
+        (lo, hi), f = normalize_constraint(slab, 100)
+        assert (lo, hi) == (20, 50) and f is None
+
+    def test_sparse_slab_keeps_filter(self):
+        slab = HyperSlab(shape=(10, 10), ranges=((2, 5), (3, 7)))
+        _, f = normalize_constraint(slab, 100)
+        assert f is slab
+
+    def test_shape_mismatch_rejected(self):
+        slab = HyperSlab(shape=(10, 10), ranges=((0, 10), (0, 10)))
+        with pytest.raises(QueryError):
+            normalize_constraint(slab, 99)
+
+
+class TestNDQueries:
+    @pytest.fixture
+    def env(self, rng):
+        sysm = make_system(region_size_bytes=1 << 11)
+        grid = rng.random((64, 64)).astype(np.float32)
+        obj = sysm.create_object("temp", grid)
+        return sysm, grid, obj
+
+    def test_dims_recorded(self, env):
+        _, _, obj = env
+        assert obj.meta.dims == (64, 64)
+        assert obj.n_elements == 64 * 64
+
+    def test_slab_query_all_strategies(self, env):
+        sysm, grid, obj = env
+        sysm.build_index("temp")
+        slab = HyperSlab(shape=(64, 64), ranges=((10, 40), (5, 30)))
+        truth = np.zeros_like(grid, dtype=bool)
+        truth[10:40, 5:30] = grid[10:40, 5:30] > 0.8
+        for strat in (Strategy.FULL_SCAN, Strategy.HISTOGRAM, Strategy.HIST_INDEX):
+            q = PDCquery_create(sysm, obj.meta.object_id, ">", "float", 0.8)
+            PDCquery_set_region(q, slab)
+            q.strategy = strat
+            assert PDCquery_get_nhits(q) == int(truth.sum()), strat
+
+    def test_selection_unravels(self, env):
+        sysm, grid, obj = env
+        q = PDCquery_create(sysm, obj.meta.object_id, ">", "float", 0.95)
+        slab = HyperSlab(shape=(64, 64), ranges=((0, 32), (0, 64)))
+        PDCquery_set_region(q, slab)
+        sel = PDCquery_get_selection(q)
+        rows, cols = sel.coords_nd((64, 64))
+        assert (rows < 32).all()
+        assert np.array_equal(
+            np.ravel_multi_index((rows, cols), (64, 64)), sel.coords
+        )
+
+    def test_coords_nd_shape_mismatch(self, env):
+        sysm, _, obj = env
+        q = PDCquery_create(sysm, obj.meta.object_id, ">", "float", 0.5)
+        sel = PDCquery_get_selection(q)
+        with pytest.raises(SelectionError):
+            sel.coords_nd((10, 10))
+
+    def test_dim_mismatch_across_objects_rejected(self, env, rng):
+        from repro.errors import QueryShapeError
+        from repro.query.api import PDCquery_and
+
+        sysm, _, obj = env
+        flat = sysm.create_object("flat", rng.random(64 * 64).astype(np.float32))
+        q = PDCquery_and(
+            PDCquery_create(sysm, obj.meta.object_id, ">", "float", 0.5),
+            PDCquery_create(sysm, flat.meta.object_id, ">", "float", 0.5),
+        )
+        with pytest.raises(QueryShapeError):
+            PDCquery_get_nhits(q)
+
+    def test_3d_object(self, rng):
+        sysm = make_system(region_size_bytes=1 << 11)
+        cube = rng.random((8, 8, 8)).astype(np.float32)
+        obj = sysm.create_object("cube", cube)
+        slab = HyperSlab(shape=(8, 8, 8), ranges=((2, 6), (0, 8), (3, 5)))
+        q = PDCquery_create(sysm, obj.meta.object_id, "<", "float", 0.2)
+        PDCquery_set_region(q, slab)
+        truth = np.zeros_like(cube, dtype=bool)
+        truth[2:6, :, 3:5] = cube[2:6, :, 3:5] < 0.2
+        assert PDCquery_get_nhits(q) == int(truth.sum())

@@ -1,0 +1,107 @@
+"""Tests for the LRU region cache."""
+
+import numpy as np
+import pytest
+
+from repro.storage.cache import RegionCache
+
+
+def arr(n):
+    return np.zeros(n, dtype=np.uint8)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = RegionCache(100)
+        assert c.get("a") is None
+        c.put("a", arr(10))
+        assert c.get("a") is not None
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_lookup_size_only_entry(self):
+        c = RegionCache(100)
+        c.put("a", nbytes=10)
+        assert c.lookup("a")
+        assert c.get("a") is None or c.get("a") is not None  # payload may be None
+        assert c.contains("a")
+
+    def test_put_requires_size(self):
+        with pytest.raises(ValueError):
+            RegionCache(100).put("a")
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RegionCache(0)
+
+    def test_invalidate(self):
+        c = RegionCache(100)
+        c.put("a", arr(10))
+        assert c.invalidate("a")
+        assert not c.invalidate("a")
+        assert not c.contains("a")
+
+    def test_clear(self):
+        c = RegionCache(100)
+        c.put("a", arr(10))
+        c.put("b", arr(10))
+        c.clear()
+        assert len(c) == 0 and c.used_bytes == 0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        c = RegionCache(30)
+        c.put("a", arr(10))
+        c.put("b", arr(10))
+        c.put("c", arr(10))
+        c.get("a")  # refresh a → b is LRU
+        c.put("d", arr(10))
+        assert c.contains("a") and c.contains("c") and c.contains("d")
+        assert not c.contains("b")
+        assert c.stats.evictions == 1
+
+    def test_oversized_entry_not_cached(self):
+        c = RegionCache(10)
+        assert not c.put("big", arr(20))
+        assert len(c) == 0
+
+    def test_replace_same_key(self):
+        c = RegionCache(100)
+        c.put("a", arr(10))
+        c.put("a", arr(30))
+        assert c.used_bytes == 30 and len(c) == 1
+
+    def test_capacity_respected(self):
+        c = RegionCache(50)
+        for i in range(20):
+            c.put(f"k{i}", arr(10))
+        assert c.used_bytes <= 50
+        assert len(c) <= 5
+
+
+class TestVirtualScale:
+    def test_virtual_bytes_counted(self):
+        # 64 "virtual GB" capacity with scale 1000: a 1 KB real payload
+        # occupies 1 MB virtual.
+        c = RegionCache(5_000_000, virtual_scale=1000.0)
+        c.put("a", arr(1000))
+        assert c.used_bytes == pytest.approx(1_000_000)
+        for i in range(10):
+            c.put(f"k{i}", arr(1000))
+        assert c.used_bytes <= 5_000_000
+
+    def test_contains_does_not_touch_stats(self):
+        c = RegionCache(100)
+        c.put("a", arr(10))
+        h, m = c.stats.hits, c.stats.misses
+        c.contains("a")
+        c.contains("zzz")
+        assert (c.stats.hits, c.stats.misses) == (h, m)
+
+    def test_hit_rate(self):
+        c = RegionCache(100)
+        assert c.stats.hit_rate == 0.0
+        c.put("a", arr(1))
+        c.get("a")
+        c.get("b")
+        assert c.stats.hit_rate == pytest.approx(0.5)

@@ -1,0 +1,125 @@
+"""Tests for the simulated parallel file system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.costmodel import CostModel, SimClock
+from repro.storage.file import ParallelFileSystem, SimFile
+
+
+@pytest.fixture
+def pfs():
+    return ParallelFileSystem(cost=CostModel())
+
+
+@pytest.fixture
+def data():
+    return np.arange(1000, dtype=np.float32)
+
+
+class TestSimFile:
+    def test_rejects_2d(self):
+        with pytest.raises(StorageError):
+            SimFile("p", np.zeros((2, 2)), 1)
+
+    def test_rejects_bad_stripe(self, data):
+        with pytest.raises(StorageError):
+            SimFile("p", data, 0)
+
+    def test_rejects_bad_imbalance(self, data):
+        with pytest.raises(StorageError):
+            SimFile("p", data, 1, imbalance=0.5)
+
+    def test_properties(self, data):
+        f = SimFile("p", data, 4)
+        assert f.n_elements == 1000
+        assert f.nbytes == 4000
+        assert f.itemsize == 4
+
+
+class TestNamespace:
+    def test_create_and_stat(self, pfs, data):
+        pfs.create("/a/b", data)
+        assert pfs.exists("/a/b")
+        assert pfs.stat("/a/b").n_elements == 1000
+
+    def test_duplicate_create_rejected(self, pfs, data):
+        pfs.create("/a", data)
+        with pytest.raises(StorageError):
+            pfs.create("/a", data)
+
+    def test_stat_missing(self, pfs):
+        with pytest.raises(StorageError):
+            pfs.stat("/nope")
+
+    def test_delete(self, pfs, data):
+        pfs.create("/a", data)
+        pfs.delete("/a")
+        assert not pfs.exists("/a")
+        with pytest.raises(StorageError):
+            pfs.delete("/a")
+
+    def test_listdir_prefix(self, pfs, data):
+        pfs.create("/x/1", data)
+        pfs.create("/x/2", data)
+        pfs.create("/y/1", data)
+        assert pfs.listdir("/x/") == ["/x/1", "/x/2"]
+
+    def test_total_bytes(self, pfs, data):
+        pfs.create("/x/1", data)
+        pfs.create("/x/2", data)
+        assert pfs.total_bytes("/x/") == 8000
+
+
+class TestReads:
+    def test_read_returns_view_not_copy(self, pfs, data):
+        pfs.create("/a", data)
+        view = pfs.read("/a", 10, 20)
+        assert view.base is not None
+        assert np.array_equal(view, data[10:20])
+
+    def test_read_whole_file_default(self, pfs, data):
+        pfs.create("/a", data)
+        assert pfs.read("/a").size == 1000
+
+    def test_out_of_bounds_extent(self, pfs, data):
+        pfs.create("/a", data)
+        with pytest.raises(StorageError):
+            pfs.read_extents("/a", [(990, 1010)])
+        with pytest.raises(StorageError):
+            pfs.read_extents("/a", [(-1, 10)])
+
+    def test_read_charges_clock(self, pfs, data):
+        pfs.create("/a", data)
+        clock = SimClock()
+        pfs.read("/a", clock=clock)
+        assert clock.now > 0
+
+    def test_multiple_extents_charge_multiple_accesses(self, pfs, data):
+        pfs.create("/a", data)
+        one, many = SimClock(), SimClock()
+        pfs.read_extents("/a", [(0, 100)], clock=one)
+        pfs.read_extents("/a", [(0, 25), (25, 50), (50, 75), (75, 100)], clock=many)
+        assert many.now > one.now
+
+    def test_imbalance_multiplies_time(self, pfs, data):
+        pfs.create("/fast", data, imbalance=1.0)
+        pfs.create("/slow", data.copy(), imbalance=2.0)
+        fast, slow = SimClock(), SimClock()
+        pfs.read("/fast", clock=fast)
+        pfs.read("/slow", clock=slow)
+        assert slow.now == pytest.approx(2.0 * fast.now)
+
+    def test_counters(self, pfs, data):
+        pfs.create("/a", data)
+        pfs.read("/a", 0, 500)
+        assert pfs.bytes_read == 2000
+        assert pfs.read_accesses == 1
+        pfs.reset_counters()
+        assert pfs.bytes_read == 0 and pfs.read_accesses == 0
+
+    def test_write_charges_clock(self, pfs, data):
+        clock = SimClock()
+        pfs.create("/a", data, clock=clock)
+        assert clock.now > 0

@@ -1,0 +1,52 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInProcess:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PDC-Query" in out
+        assert "PDC-SH" in out
+        assert "tiny" in out and "full" in out
+
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest: PASS" in out
+        assert out.count("ok") >= 6  # five strategies + wire path
+
+    def test_fig3_tiny_one_size(self, capsys):
+        assert main(["fig3", "--scale", "tiny", "--region-sizes", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out and "PDC-SH" in out
+
+    def test_index_size(self, capsys):
+        assert main(["index-size", "--scale", "tiny"]) == 0
+        assert "Index size" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "gigantic"])
+
+
+class TestSubprocess:
+    def test_module_entrypoint(self):
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert res.returncode == 0
+        assert "PDC-Query" in res.stdout

@@ -1,0 +1,123 @@
+"""Sorted replicas (§III-D3): build invariants and range search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QueryError
+from repro.sorting import SortedReplica
+
+key_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 300),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=32),
+)
+
+
+class TestBuild:
+    @given(key_arrays)
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, keys):
+        r = SortedReplica.build("k", keys)
+        # Ascending.
+        assert np.all(np.diff(r.key_values) >= 0)
+        # Permutation is a bijection back to original coordinates.
+        assert np.array_equal(np.sort(r.permutation), np.arange(keys.size))
+        # Values preserved through the permutation.
+        assert np.array_equal(keys[r.permutation], r.key_values)
+
+    def test_companions_follow_permutation(self, rng):
+        keys = rng.random(500)
+        x = rng.random(500)
+        r = SortedReplica.build("energy", keys, {"x": x})
+        assert np.array_equal(r.companions["x"], x[r.permutation])
+
+    def test_row_alignment_preserved(self, rng):
+        """The paper sorts all variables by energy so matching rows stay
+        together: (key[i], companion[i]) pairs must be preserved."""
+        keys = rng.random(200)
+        x = keys * 2.0 + 1.0  # perfectly correlated marker
+        r = SortedReplica.build("k", keys, {"x": x})
+        assert np.allclose(r.companions["x"], r.key_values * 2.0 + 1.0)
+
+    def test_stable_for_ties(self):
+        keys = np.array([1.0, 0.0, 1.0, 0.0])
+        r = SortedReplica.build("k", keys)
+        assert r.permutation.tolist() == [1, 3, 0, 2]
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(QueryError):
+            SortedReplica.build("k", rng.random(10), {"x": rng.random(5)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            SortedReplica.build("k", np.array([]))
+
+    def test_nbytes_counts_everything(self, rng):
+        keys = rng.random(100)
+        r = SortedReplica.build("k", keys, {"x": rng.random(100)})
+        assert r.nbytes == keys.nbytes + r.permutation.nbytes + keys.nbytes
+
+
+class TestSearchRange:
+    @given(
+        key_arrays,
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_run_matches_mask(self, keys, a, b, lc, hc):
+        lo, hi = min(a, b), max(a, b)
+        r = SortedReplica.build("k", keys)
+        start, stop = r.search_range(lo, hi, lo_closed=lc, hi_closed=hc)
+        in_lo = (r.key_values >= lo) if lc else (r.key_values > lo)
+        in_hi = (r.key_values <= hi) if hc else (r.key_values < hi)
+        truth = np.flatnonzero(in_lo & in_hi)
+        got = np.arange(start, stop)
+        assert np.array_equal(got, truth)
+
+    def test_unbounded_sides(self, rng):
+        keys = rng.random(100)
+        r = SortedReplica.build("k", keys)
+        assert r.search_range(None, None) == (0, 100)
+        start, stop = r.search_range(0.5, None)
+        assert stop == 100
+        assert np.all(r.key_values[start:] >= 0.5)
+
+    def test_empty_run(self, rng):
+        r = SortedReplica.build("k", rng.random(50))
+        start, stop = r.search_range(5.0, 6.0)
+        assert start == stop
+
+    def test_original_coords_of_run(self, rng):
+        keys = rng.random(200)
+        r = SortedReplica.build("k", keys)
+        start, stop = r.search_range(0.25, 0.75)
+        coords = r.original_coords(start, stop)
+        assert set(coords.tolist()) == set(
+            np.flatnonzero((keys >= 0.25) & (keys <= 0.75)).tolist()
+        )
+
+    def test_bad_run_rejected(self, rng):
+        r = SortedReplica.build("k", rng.random(10))
+        with pytest.raises(QueryError):
+            r.original_coords(5, 3)
+        with pytest.raises(QueryError):
+            r.original_coords(0, 11)
+
+    def test_companion_slice(self, rng):
+        keys = rng.random(100)
+        x = rng.random(100)
+        r = SortedReplica.build("k", keys, {"x": x})
+        start, stop = r.search_range(0.4, 0.6)
+        assert np.array_equal(r.companion_slice("x", start, stop), x[r.permutation][start:stop])
+        assert np.array_equal(r.companion_slice("k", start, stop), r.key_values[start:stop])
+
+    def test_unknown_companion_rejected(self, rng):
+        r = SortedReplica.build("k", rng.random(10))
+        with pytest.raises(QueryError):
+            r.companion_slice("nope", 0, 1)

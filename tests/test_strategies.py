@@ -1,0 +1,79 @@
+"""Strategy enum and the paper's environment-variable selection."""
+
+import pytest
+
+from repro.errors import PDCError, QueryError
+from repro.strategies import STRATEGY_ENV_VAR, Strategy, strategy_from_env
+
+
+class TestStrategy:
+    def test_paper_labels(self):
+        assert Strategy.FULL_SCAN.paper_label == "PDC-F"
+        assert Strategy.HISTOGRAM.paper_label == "PDC-H"
+        assert Strategy.HIST_INDEX.paper_label == "PDC-HI"
+        assert Strategy.SORT_HIST.paper_label == "PDC-SH"
+
+    def test_histogram_usage_flags(self):
+        assert not Strategy.FULL_SCAN.uses_histogram
+        assert all(
+            s.uses_histogram
+            for s in (Strategy.HISTOGRAM, Strategy.HIST_INDEX, Strategy.SORT_HIST)
+        )
+
+    def test_values_roundtrip(self):
+        for s in Strategy:
+            assert Strategy(s.value) is s
+
+
+class TestEnvSelection:
+    def test_default_is_histogram(self, monkeypatch):
+        """§III-D: 'The histogram only approach is selected by default.'"""
+        monkeypatch.delenv(STRATEGY_ENV_VAR, raising=False)
+        assert strategy_from_env() is Strategy.HISTOGRAM
+
+    def test_env_value_selected(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "sort_hist")
+        assert strategy_from_env() is Strategy.SORT_HIST
+
+    def test_env_case_and_whitespace_tolerant(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "  FULL_SCAN ")
+        assert strategy_from_env() is Strategy.FULL_SCAN
+
+    def test_empty_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "")
+        assert strategy_from_env() is Strategy.HISTOGRAM
+
+    def test_bad_env_rejected_with_valid_list(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "warp_speed")
+        with pytest.raises(QueryError) as ei:
+            strategy_from_env()
+        assert "full_scan" in str(ei.value)
+
+    def test_system_config_overrides_env(self, monkeypatch):
+        from tests.conftest import make_system
+
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "full_scan")
+        sysm = make_system(strategy=Strategy.HIST_INDEX)
+        assert sysm.strategy is Strategy.HIST_INDEX
+
+    def test_system_without_config_uses_env(self, monkeypatch):
+        from repro.pdc import PDCConfig, PDCSystem
+
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "full_scan")
+        sysm = PDCSystem(PDCConfig(n_servers=1, strategy=None))
+        assert sysm.strategy is Strategy.FULL_SCAN
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_pdc_error(self):
+        import repro.errors as e
+
+        for name in e.__all__:
+            cls = getattr(e, name)
+            assert issubclass(cls, PDCError), name
+
+    def test_catchable_as_base(self):
+        from repro.errors import QueryShapeError
+
+        with pytest.raises(PDCError):
+            raise QueryShapeError("dims differ")

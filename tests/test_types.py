@@ -1,0 +1,110 @@
+"""Unit tests for repro.types: operators, PDC types, value checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryTypeError
+from repro.types import (
+    GB,
+    KB,
+    MB,
+    TB,
+    PDCType,
+    QueryOp,
+    check_value_type,
+    dtype_of,
+    pdc_type_of_dtype,
+)
+
+
+class TestUnits:
+    def test_progression(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+
+class TestQueryOp:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (QueryOp.GT, [False, False, True]),
+            (QueryOp.GTE, [False, True, True]),
+            (QueryOp.LT, [True, False, False]),
+            (QueryOp.LTE, [True, True, False]),
+            (QueryOp.EQ, [False, True, False]),
+        ],
+    )
+    def test_apply(self, op, expected):
+        data = np.array([1.0, 2.0, 3.0])
+        assert op.apply(data, 2.0).tolist() == expected
+
+    def test_flip_is_involution(self):
+        for op in QueryOp:
+            assert op.flip().flip() is op
+
+    def test_flip_pairs(self):
+        assert QueryOp.GT.flip() is QueryOp.LT
+        assert QueryOp.GTE.flip() is QueryOp.LTE
+        assert QueryOp.EQ.flip() is QueryOp.EQ
+
+    def test_bound_direction(self):
+        assert QueryOp.GT.is_lower_bound and not QueryOp.GT.is_upper_bound
+        assert QueryOp.LTE.is_upper_bound and not QueryOp.LTE.is_lower_bound
+        assert not QueryOp.EQ.is_lower_bound and not QueryOp.EQ.is_upper_bound
+
+    def test_from_symbol(self):
+        assert QueryOp(">") is QueryOp.GT
+        assert QueryOp("=") is QueryOp.EQ
+
+
+class TestPDCType:
+    def test_dtype_roundtrip(self):
+        for t in PDCType:
+            assert pdc_type_of_dtype(dtype_of(t)) is t
+
+    def test_itemsize(self):
+        assert PDCType.FLOAT.itemsize == 4
+        assert PDCType.DOUBLE.itemsize == 8
+        assert PDCType.INT64.itemsize == 8
+
+    def test_integral_flag(self):
+        assert PDCType.INT.is_integral
+        assert PDCType.UINT64.is_integral
+        assert not PDCType.FLOAT.is_integral
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(QueryTypeError):
+            pdc_type_of_dtype(np.dtype(np.complex128))
+        with pytest.raises(QueryTypeError):
+            pdc_type_of_dtype(np.dtype("S8"))
+
+
+class TestCheckValueType:
+    def test_float_value_ok(self):
+        assert check_value_type(2.5, PDCType.FLOAT) == pytest.approx(2.5)
+
+    def test_float_value_rounds_through_float32(self):
+        # 0.1 is not exactly representable; the check returns the f32 value.
+        v = check_value_type(0.1, PDCType.FLOAT)
+        assert v == pytest.approx(np.float32(0.1))
+
+    def test_int_value_ok(self):
+        assert check_value_type(7, PDCType.INT) == 7
+
+    def test_fractional_int_rejected(self):
+        with pytest.raises(QueryTypeError):
+            check_value_type(2.5, PDCType.INT)
+
+    def test_bool_rejected(self):
+        with pytest.raises(QueryTypeError):
+            check_value_type(True, PDCType.INT)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(QueryTypeError):
+            check_value_type("2.0", PDCType.FLOAT)
+
+    def test_numpy_scalars_accepted(self):
+        assert check_value_type(np.float64(1.5), PDCType.DOUBLE) == 1.5
+        assert check_value_type(np.int32(3), PDCType.INT64) == 3

@@ -1,0 +1,66 @@
+"""Synthetic BOSS catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PDCError
+from repro.workloads.boss import BOSSConfig, generate_boss
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return generate_boss(BOSSConfig(n_objects=3000, fibers_per_plate=1000, flux_samples=64))
+
+
+class TestStructure:
+    def test_object_count(self, ds):
+        assert ds.n_objects == 3000
+        assert len(ds.plates) == 3
+
+    def test_plate_zero_is_paper_predicate(self, ds):
+        assert ds.target_plate() == (153.17, 23.06)
+        assert ds.fibers[0].tags["RADEG"] == 153.17
+        assert ds.fibers[0].tags["DECDEG"] == 23.06
+
+    def test_metadata_selects_exactly_one_plate(self, ds):
+        ra, dec = ds.target_plate()
+        selected = [
+            f for f in ds.fibers if f.tags["RADEG"] == ra and f.tags["DECDEG"] == dec
+        ]
+        assert len(selected) == 1000
+
+    def test_names_unique(self, ds):
+        names = [f.name for f in ds.fibers]
+        assert len(set(names)) == len(names)
+
+    def test_flux_shape_and_dtype(self, ds):
+        for f in ds.fibers[:10]:
+            assert f.flux.shape == (64,) and f.flux.dtype == np.float32
+
+    def test_tags_complete(self, ds):
+        for f in ds.fibers[:10]:
+            assert {"RADEG", "DECDEG", "PLATE", "FIBERID", "MJD"} <= set(f.tags)
+
+    def test_deterministic(self):
+        a = generate_boss(BOSSConfig(n_objects=500, fibers_per_plate=100, seed=1))
+        b = generate_boss(BOSSConfig(n_objects=500, fibers_per_plate=100, seed=1))
+        assert np.array_equal(a.fibers[7].flux, b.fibers[7].flux)
+
+    def test_too_few_objects_rejected(self):
+        with pytest.raises(PDCError):
+            BOSSConfig(n_objects=10, fibers_per_plate=100)
+
+
+class TestCalibration:
+    def test_flux_window_selectivities_span_paper_range(self, ds):
+        """Fig. 5 sweeps windows between ~65 % and ~15 % selectivity (the
+        printed 11 %→65 % cannot be monotone for nested windows)."""
+        wide = ds.flux_selectivity(0.0, 20.0)
+        narrow = ds.flux_selectivity(5.0, 20.0)
+        assert 0.5 < wide < 0.8
+        assert 0.1 < narrow < 0.3
+        assert narrow < wide
+
+    def test_selectivity_monotone_in_lower_bound(self, ds):
+        sels = [ds.flux_selectivity(lo, 20.0) for lo in (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)]
+        assert sels == sorted(sels, reverse=True)

@@ -1,0 +1,89 @@
+"""The paper's query workload definitions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queries import (
+    boss_flux_windows,
+    build_pdc_query,
+    multi_object_queries,
+    scaling_query,
+    single_object_queries,
+    spec_truth_mask,
+)
+from tests.conftest import make_system
+
+
+class TestSingleObjectQueries:
+    def test_fifteen_by_default(self):
+        specs = single_object_queries()
+        assert len(specs) == 15
+
+    def test_windows_step_down_from_35_to_21(self):
+        specs = single_object_queries()
+        assert specs[0].conditions[0] == ("Energy", ">", 3.5)
+        assert specs[-1].conditions[0] == ("Energy", ">", 2.1)
+        los = [s.conditions[0][2] for s in specs]
+        assert los == sorted(los, reverse=True)
+
+    def test_each_is_a_tenth_window(self):
+        for s in single_object_queries():
+            (_, _, lo), (_, _, hi) = s.conditions
+            assert hi - lo == pytest.approx(0.1, abs=1e-9)
+
+
+class TestMultiObjectQueries:
+    def test_six_queries_on_four_objects(self):
+        specs = multi_object_queries()
+        assert len(specs) == 6
+        for s in specs:
+            assert {c[0] for c in s.conditions} == {"Energy", "x", "y", "z"}
+
+    def test_endpoints_match_paper(self):
+        specs = multi_object_queries()
+        assert ("Energy", ">", 2.0) in specs[0].conditions
+        assert ("Energy", ">", 1.3) in specs[-1].conditions
+        assert ("z", "<", 66.0) in specs[0].conditions
+
+
+class TestScalingQuery:
+    def test_well_formed(self):
+        s = scaling_query()
+        assert {c[0] for c in s.conditions} == {"Energy", "x", "y", "z"}
+
+
+class TestBossWindows:
+    def test_paper_endpoints(self):
+        w = boss_flux_windows()
+        assert w[0] == (0.0, 20.0)
+        assert w[-1] == (5.0, 20.0)
+        assert all(hi == 20.0 for _, hi in w)
+
+
+class TestSpecMachinery:
+    def test_truth_mask_matches_manual(self, rng):
+        arrays = {
+            "Energy": rng.random(1000).astype(np.float32) * 4,
+            "x": rng.random(1000).astype(np.float32) * 300,
+        }
+        from repro.workloads.queries import QuerySpec
+
+        spec = QuerySpec("t", (("Energy", ">", 2.0), ("x", "<", 100.0)))
+        mask = spec_truth_mask(arrays, spec)
+        manual = (arrays["Energy"] > 2.0) & (arrays["x"] < 100.0)
+        assert np.array_equal(mask, manual)
+
+    def test_build_pdc_query_evaluates_like_truth(self, rng):
+        sysm = make_system()
+        arrays = {
+            "Energy": (rng.random(1 << 12) * 4).astype(np.float32),
+            "x": (rng.random(1 << 12) * 300).astype(np.float32),
+        }
+        for n, a in arrays.items():
+            sysm.create_object(n, a)
+        from repro.query.api import PDCquery_get_nhits
+        from repro.workloads.queries import QuerySpec
+
+        spec = QuerySpec("t", (("Energy", ">", 1.0), ("x", "<", 150.0)))
+        q = build_pdc_query(sysm, spec)
+        assert PDCquery_get_nhits(q) == int(spec_truth_mask(arrays, spec).sum())
