@@ -67,6 +67,21 @@ def main() -> None:
     print(f"for 'Energy > 2.0', {pruned * 100:.0f}% of regions are eliminated "
           "without any I/O")
 
+    # Tracing: install a Tracer (zero-cost when left at the default no-op)
+    # and export a Perfetto-loadable timeline of one query.
+    from repro import Tracer
+
+    tracer = Tracer()
+    system.set_tracer(tracer)
+    q2 = PDCquery_create(system, obj.meta.object_id, ">", "float", 2.0)
+    PDCquery_get_nhits(q2)
+    tracer.write_chrome("quickstart-trace.json")
+    summary = tracer.summary(q2.last_result.trace)
+    top = sorted(summary.items(), key=lambda kv: -kv[1])[:3]
+    print(f"trace: {len(tracer.spans)} spans -> quickstart-trace.json "
+          "(open in https://ui.perfetto.dev); top categories: "
+          + ", ".join(f"{k} {v * 1e3:.2f}ms" for k, v in top))
+
 
 if __name__ == "__main__":
     main()

@@ -31,6 +31,7 @@ from .errors import (
     StorageError,
 )
 from .interval import Interval
+from .obs import MetricsRegistry, Tracer, get_registry
 from .pdc import PDCConfig, PDCSystem
 from .query import (
     AsyncQueryClient,
@@ -64,6 +65,9 @@ __all__ = [
     "SelectionError",
     "StorageError",
     "Interval",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
     "PDCConfig",
     "PDCSystem",
     "PDCQuery",

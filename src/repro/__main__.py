@@ -6,7 +6,13 @@ Gives the open-source release a zero-code entry point:
   figure's table at a chosen scale;
 * ``python -m repro all`` — every figure;
 * ``python -m repro selftest`` — a fast end-to-end sanity check (all
-  strategies vs ground truth on fresh synthetic data);
+  strategies vs ground truth on fresh synthetic data); ``--report``
+  additionally prints the deployment status report, ``--trace FILE``
+  writes a Chrome trace of the run;
+* ``python -m repro trace <demo-query> --out trace.json`` — run one demo
+  query with tracing enabled and export a Perfetto-loadable timeline;
+* ``python -m repro metrics`` — run a demo workload and print the metrics
+  registry in Prometheus text exposition format;
 * ``python -m repro info`` — version, scale presets, strategy list.
 """
 
@@ -50,13 +56,14 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_selftest(args: argparse.Namespace) -> int:
+def _demo_deployment():
+    """The small two-object deployment shared by selftest/trace/metrics:
+    an indexed, replica-backed system plus the demo condition tree and its
+    ground-truth hit count."""
     import numpy as np
 
     from .pdc import PDCConfig, PDCSystem
     from .query.ast import Condition, combine_and
-    from .query.executor import QueryEngine
-    from .strategies import Strategy
     from .types import PDCType, QueryOp
 
     rng = np.random.default_rng(0)
@@ -75,6 +82,18 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
     )
     truth = int(((e > 2.0) & (x < 150.0)).sum())
+    return system, node, truth
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from .obs import Tracer
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    system, node, truth = _demo_deployment()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        system.set_tracer(Tracer())
     engine = QueryEngine(system)
     failures = 0
     for strategy in Strategy:
@@ -93,13 +112,94 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     wire_ok = wire.size == truth
     failures += not wire_ok
     print(f"  simmpi wire path        {wire.size:>6} hits  {'ok' if wire_ok else 'FAIL'}")
-    from .pdc.observability import report as status_report
+    if trace_path:
+        system.tracer.write_chrome(trace_path)
+        print(f"  trace: {len(system.tracer.spans)} spans -> {trace_path}")
+    if getattr(args, "report", False):
+        from .pdc.observability import report as status_report
 
-    print()
-    print(status_report(system, top_servers=4))
-    print()
+        print()
+        print(status_report(system, top_servers=4))
+        print()
     print("selftest:", "PASS" if failures == 0 else f"FAIL ({failures})")
     return 1 if failures else 0
+
+
+#: Demo queries for ``python -m repro trace``.
+_TRACE_DEMOS = ("simple", "multi", "or")
+
+
+def _demo_query(which: str):
+    from .query.ast import Condition, combine_and, combine_or
+    from .types import PDCType, QueryOp
+
+    energy = Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0)
+    x_lo = Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0)
+    x_hi = Condition("x", QueryOp.GT, PDCType.FLOAT, 290.0)
+    if which == "simple":
+        return energy
+    if which == "multi":
+        return combine_and(energy, x_lo)
+    return combine_or(combine_and(energy, x_lo), x_hi)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Tracer
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    system, _, _ = _demo_deployment()
+    tracer = Tracer()
+    system.set_tracer(tracer)
+    node = _demo_query(args.query)
+    strategy = Strategy(args.strategy) if args.strategy else None
+    res = QueryEngine(system).execute(node, strategy=strategy)
+    tracer.write_chrome(args.out)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+    print(
+        f"{args.query} query ({res.strategy.paper_label}): {res.nhits} hits in "
+        f"{res.elapsed_s * 1e3:.2f} simulated ms"
+    )
+    print(f"trace: {len(tracer.spans)} spans -> {args.out}"
+          + (f" (+ JSONL {args.jsonl})" if args.jsonl else ""))
+    summary = tracer.summary(res.trace)
+    for cat in sorted(summary, key=summary.get, reverse=True):
+        print(f"  {cat:<16} {summary[cat] * 1e3:9.3f} ms")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    registry = MetricsRegistry()
+    import numpy as np
+
+    from .pdc import PDCConfig, PDCSystem
+    from .query.ast import Condition, combine_and
+    from .types import PDCType, QueryOp
+
+    rng = np.random.default_rng(0)
+    system = PDCSystem(
+        PDCConfig(n_servers=4, region_size_bytes=1 << 13), metrics=registry
+    )
+    n = 1 << 14
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300).astype(np.float32)
+    system.create_object("energy", e)
+    system.create_object("x", x)
+    system.build_index("energy")
+    node = combine_and(
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0),
+        Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
+    )
+    engine = QueryEngine(system)
+    for strategy in (Strategy.HISTOGRAM, Strategy.HIST_INDEX, Strategy.HISTOGRAM):
+        engine.execute(node, strategy=strategy)
+    print(registry.render(), end="")
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -144,7 +244,38 @@ def main(argv=None) -> int:
         p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("selftest", help="fast end-to-end sanity check")
+    p.add_argument(
+        "--report", action="store_true",
+        help="also print the deployment status report",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace of the selftest queries to FILE",
+    )
     p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser(
+        "trace", help="run a demo query with tracing and export the timeline"
+    )
+    p.add_argument("query", choices=_TRACE_DEMOS, help="demo query to trace")
+    p.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace_event JSON output path (default: trace.json)",
+    )
+    p.add_argument("--jsonl", help="also write a JSONL structured-event log")
+    from .strategies import Strategy
+
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        help="evaluation strategy (default: the deployment's)",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="run a demo workload and print the metrics registry"
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("info", help="version, strategies, scale presets")
     p.set_defaults(func=cmd_info)

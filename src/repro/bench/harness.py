@@ -106,6 +106,9 @@ class QueryRow:
     nhits: int
     query_s: float
     get_data_s: float = 0.0
+    #: Simulated seconds per trace category for this trial (populated only
+    #: when the system under test has a real tracer installed).
+    span_summary: Optional[Dict[str, float]] = None
 
     @property
     def total_s(self) -> float:
@@ -236,6 +239,9 @@ def run_pdc_series(
         if measure_get_data and res.selection is not None and res.nhits:
             gd = engine.get_data(res.selection, get_data_object, strategy=strategy)
             get_data_s = gd.elapsed_s
+        span_summary = None
+        if system.tracer.enabled and res.trace is not None:
+            span_summary = system.tracer.summary(res.trace)
         rows.append(
             QueryRow(
                 label=spec.label,
@@ -243,6 +249,7 @@ def run_pdc_series(
                 nhits=res.nhits,
                 query_s=res.elapsed_s + amortized,
                 get_data_s=get_data_s,
+                span_summary=span_summary,
             )
         )
     return rows

@@ -1,0 +1,45 @@
+"""Observability: per-query distributed tracing and a process-wide
+metrics registry.
+
+Two complementary views of a running PDC deployment:
+
+* :mod:`repro.obs.tracer` — hierarchical spans keyed to the *simulated*
+  clocks, so a trace is a timeline of where simulated time goes inside a
+  query (plan → broadcast → per-conjunct → per-server storage/index reads
+  → result gather).  Exports Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto) and a JSONL structured-event log.
+* :mod:`repro.obs.metrics` — labeled counters, gauges, and
+  power-of-two-bucket histograms (the paper's Algorithm-1 binning,
+  dogfooding :class:`~repro.histogram.mergeable.MergeableHistogram`).
+
+Tracing is **zero-cost when disabled**: the default tracer is a
+:data:`NOOP_TRACER` whose spans never touch the simulated clocks and whose
+real overhead is a couple of attribute reads, so benchmark numbers are
+unaffected unless a real :class:`Tracer` is installed with
+:meth:`PDCSystem.set_tracer`.
+"""
+
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracer import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,344 @@
+"""Process-wide metrics: labeled counters, gauges, and power-of-two-bucket
+histograms.
+
+The design follows the Prometheus client model — named metric *families*
+with a fixed label schema, ``labels(...)`` resolving one labeled child —
+but stays dependency-free.  The histogram metric dogfoods the paper's
+Algorithm-1 binning (:class:`~repro.histogram.mergeable.MergeableHistogram`):
+observations land on an aligned power-of-two-width grid, so histograms of
+the same metric from different processes/servers merge exactly, the same
+property the paper exploits for per-region histograms.
+
+A module-level default registry (:data:`REGISTRY`) is what the library
+instruments against; tests and benchmarks that need isolation construct
+their own :class:`MetricsRegistry` and hand it to ``PDCSystem``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+#: Observations buffered before folding into the mergeable histogram.
+_HIST_FLUSH_THRESHOLD = 1024
+
+
+class MetricsError(ValueError):
+    """Bad metric declaration or use (type/label mismatch, cardinality)."""
+
+
+class _Metric:
+    """Common family/child mechanics for all metric kinds.
+
+    A metric with ``label_names`` is a *family*: values live on labeled
+    children resolved with :meth:`labels`.  A metric without label names
+    is its own single child.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = (),
+                 max_series: int = 1000) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.max_series = max_series
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: object) -> "_Metric":
+        """The child for one label assignment (created on first use)."""
+        if not self.label_names:
+            raise MetricsError(f"metric {self.name!r} takes no labels")
+        if set(labels) != set(self.label_names):
+            raise MetricsError(
+                f"metric {self.name!r} needs labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if len(self._children) >= self.max_series:
+                        raise MetricsError(
+                            f"metric {self.name!r} exceeds "
+                            f"{self.max_series} label sets (cardinality guard)"
+                        )
+                    child = type(self)(self.name, self.help)
+                    self._children[key] = child
+        return child
+
+    def _series(self) -> Iterator[Tuple[Dict[str, str], "_Metric"]]:
+        """(labels dict, child) pairs — the family itself when unlabeled."""
+        if self.label_names:
+            for key, child in sorted(self._children.items()):
+                yield dict(zip(self.label_names, key)), child
+        else:
+            yield {}, self
+
+    def _check_unlabeled(self) -> None:
+        if self.label_names:
+            raise MetricsError(
+                f"metric {self.name!r} is labeled {self.label_names}; "
+                "call .labels(...) first"
+            )
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_unlabeled()
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        self._check_unlabeled()
+        return self._value
+
+    def total(self) -> float:
+        """Sum over every labeled series (the family's value when
+        unlabeled)."""
+        return sum(child._value for _, child in self._series())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._check_unlabeled()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_unlabeled()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        self._check_unlabeled()
+        return self._value
+
+
+class HistogramMetric(_Metric):
+    """Distribution metric on the paper's mergeable power-of-two grid.
+
+    Observations are buffered and folded into one
+    :class:`~repro.histogram.mergeable.MergeableHistogram` whose bin width
+    is an exact power of two and whose boundaries sit on the aligned grid
+    — so two instances of the same metric merge exactly
+    (``a.histogram.merge(b.histogram)``), the Algorithm-1 property.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = (),
+                 max_series: int = 1000, n_bins: int = 32) -> None:
+        super().__init__(name, help, label_names, max_series)
+        self.n_bins = n_bins
+        self._count = 0
+        self._sum = 0.0
+        self._pending: List[float] = []
+        self._hist = None  # lazily a MergeableHistogram
+
+    def labels(self, **labels: object) -> "HistogramMetric":
+        child = super().labels(**labels)
+        child.n_bins = self.n_bins  # families propagate their binning
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        self._check_unlabeled()
+        self._count += 1
+        self._sum += value
+        self._pending.append(float(value))
+        if len(self._pending) >= _HIST_FLUSH_THRESHOLD:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        from ..histogram.mergeable import MergeableHistogram
+
+        batch = MergeableHistogram.from_data(
+            np.asarray(self._pending, dtype=np.float64),
+            n_bins=self.n_bins,
+            sample_fraction=1.0,
+        )
+        self._hist = batch if self._hist is None else self._hist.merge(batch)
+        self._pending.clear()
+
+    @property
+    def count(self) -> int:
+        self._check_unlabeled()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        self._check_unlabeled()
+        return self._sum
+
+    @property
+    def histogram(self):
+        """The folded :class:`MergeableHistogram` (None before any
+        observation)."""
+        self._check_unlabeled()
+        self._flush()
+        return self._hist
+
+    def buckets(self) -> List[Tuple[float, float, int]]:
+        """Non-empty ``(lo, hi, count)`` buckets on the aligned grid."""
+        h = self.histogram
+        if h is None:
+            return []
+        return [
+            (*h.bin_range(i), int(c))
+            for i, c in enumerate(h.counts)
+            if c
+        ]
+
+
+class MetricsRegistry:
+    """A namespace of metrics with declare-or-fetch semantics.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when the
+    name is already registered (validating that kind and label schema
+    match), so instrumentation sites need no global coordination.
+    """
+
+    def __init__(self, max_series_per_metric: int = 1000) -> None:
+        self.max_series_per_metric = max_series_per_metric
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- declare
+    def _declare(self, cls, name: str, help: str,
+                 labels: Iterable[str], **kwargs) -> _Metric:
+        labels = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.label_names != labels:
+                    raise MetricsError(
+                        f"metric {name!r} registered with labels "
+                        f"{existing.label_names}, not {labels}"
+                    )
+                return existing
+            metric = cls(name, help, labels,
+                         max_series=self.max_series_per_metric, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> Counter:
+        return self._declare(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> Gauge:
+        return self._declare(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (), n_bins: int = 32) -> HistogramMetric:
+        return self._declare(HistogramMetric, name, help, labels, n_bins=n_bins)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- inspect
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family over all label sets (0.0 when absent)."""
+        metric = self._metrics.get(name)
+        if metric is None or not isinstance(metric, Counter):
+            return 0.0
+        return metric.total()
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> Iterator[Tuple[str, str, Dict[str, str], float]]:
+        """Flat samples: ``(name, kind, labels, value)``.  Histograms emit
+        ``_count``/``_sum`` plus one ``_bucket`` sample per non-empty bin
+        (with ``le`` = bucket upper edge)."""
+        for name in self.names():
+            metric = self._metrics[name]
+            for labels, child in metric._series():
+                if isinstance(child, HistogramMetric):
+                    yield f"{name}_count", metric.kind, labels, float(child.count)
+                    yield f"{name}_sum", metric.kind, labels, child.sum
+                    for lo, hi, c in child.buckets():
+                        yield (
+                            f"{name}_bucket", metric.kind,
+                            {**labels, "le": f"{hi:g}"}, float(c),
+                        )
+                else:
+                    yield name, metric.kind, labels, child._value
+
+    def render(self) -> str:
+        """Prometheus-style text exposition."""
+        lines: List[str] = []
+        seen: set = set()
+        for name, kind, labels, value in self.collect():
+            family = name.rsplit("_", 1)[0] if name.endswith(
+                ("_count", "_sum", "_bucket")
+            ) else name
+            if family not in seen:
+                seen.add(family)
+                metric = self._metrics.get(family)
+                if metric is not None:
+                    if metric.help:
+                        lines.append(f"# HELP {family} {metric.help}")
+                    lines.append(f"# TYPE {family} {metric.kind}")
+            if labels:
+                rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+                lines.append(f"{name}{{{rendered}}} {value:g}")
+            else:
+                lines.append(f"{name} {value:g}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry the library instruments against.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

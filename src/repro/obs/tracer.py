@@ -1,0 +1,317 @@
+"""Per-query distributed tracing over the simulated clocks.
+
+A :class:`Tracer` records hierarchical :class:`Span` s.  Every span is
+bound to one :class:`~repro.storage.costmodel.SimClock` — its start/end
+instants are read from that clock, so a trace is a faithful timeline of
+the cost model: a span over a server's PFS read covers exactly the
+simulated seconds the read charged.  Tracks (Chrome "threads") are the
+clock names (``client``, ``server0`` ...), which makes a Perfetto load of
+the export look like the per-rank timelines the paper's figures discuss.
+
+Parenting follows *call order*, not clocks: a per-server read span opened
+while a client-side conjunct span is active becomes its child even though
+the two live on different tracks.  Within one track spans nest properly in
+time (clocks only move forward), which is what the Chrome ``X`` events
+rely on.
+
+The default tracer everywhere is :data:`NOOP_TRACER`; it records nothing,
+charges nothing, and costs two attribute reads per instrumentation site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..storage.costmodel import SimClock
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_TRACER"]
+
+
+@dataclass
+class Span:
+    """One traced operation on one simulated clock."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    #: Clock name this span is timed against (Chrome tid).
+    track: str
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds covered (0.0 while still open)."""
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+
+class _SpanHandle:
+    """Context manager for one open span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach attributes to the span (visible in both exports)."""
+        self.span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self.span)
+
+
+class _NoopSpan:
+    """Stateless stand-in for a span when tracing is disabled."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``enabled`` is False so hot loops can skip building span attributes
+    entirely.  Safe to share across systems and threads (stateless).
+    """
+
+    enabled = False
+
+    def span(self, name: str, clock: Optional[SimClock] = None,
+             category: str = "query", **attrs: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def instant(self, name: str, clock: Optional[SimClock] = None,
+                category: str = "event", **attrs: Any) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (the default on every PDCSystem).
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """Recording tracer: collects spans and instant events.
+
+    One tracer instance is scoped however the caller likes — typically one
+    per captured workload.  It never charges simulated time; it only
+    *reads* ``clock.now`` at span open/close.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.events: List[Span] = []
+        self._next_id = 1
+        #: Call-order stack of open spans (logical parenting).
+        self._open: List[Span] = []
+
+    # ------------------------------------------------------------- recording
+    def span(self, name: str, clock: Optional[SimClock] = None,
+             category: str = "query", **attrs: Any) -> _SpanHandle:
+        """Open a span timed on ``clock`` (or the parent's clock time when
+        omitted); use as a context manager."""
+        start = clock.now if clock is not None else (
+            self._open[-1].start_s if self._open else 0.0
+        )
+        sp = Span(
+            span_id=self._next_id,
+            parent_id=self._open[-1].span_id if self._open else None,
+            name=name,
+            category=category,
+            track=clock.name if clock is not None else
+                  (self._open[-1].track if self._open else "client"),
+            start_s=start,
+            attrs=dict(attrs) if attrs else {},
+        )
+        # Bind the closing clock so _close can read the end instant.
+        sp.attrs["__clock"] = clock
+        self._next_id += 1
+        self.spans.append(sp)
+        self._open.append(sp)
+        return _SpanHandle(self, sp)
+
+    def _close(self, span: Span) -> None:
+        clock = span.attrs.pop("__clock", None)
+        span.end_s = clock.now if clock is not None else span.start_s
+        # Close out-of-order defensively (exceptions unwinding).
+        if self._open and self._open[-1] is span:
+            self._open.pop()
+        elif span in self._open:
+            self._open.remove(span)
+
+    def instant(self, name: str, clock: Optional[SimClock] = None,
+                category: str = "event", **attrs: Any) -> None:
+        """Record a point-in-time event."""
+        t = clock.now if clock is not None else 0.0
+        self.events.append(
+            Span(
+                span_id=self._next_id,
+                parent_id=self._open[-1].span_id if self._open else None,
+                name=name,
+                category=category,
+                track=clock.name if clock is not None else "client",
+                start_s=t,
+                end_s=t,
+                attrs=dict(attrs),
+            )
+        )
+        self._next_id += 1
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._open.clear()
+        self._next_id = 1
+
+    # ------------------------------------------------------------- inspection
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def subtree(self, root: Span) -> List[Span]:
+        """``root`` plus all descendants, in recording order."""
+        keep = {root.span_id}
+        out = [root]
+        for s in self.spans:
+            if s.parent_id in keep:
+                keep.add(s.span_id)
+                out.append(s)
+        return out
+
+    def summary(self, root: Optional[Span] = None) -> Dict[str, float]:
+        """Simulated seconds per span category (over ``root``'s subtree, or
+        everything).  Categories overlap hierarchically — a ``query`` span
+        covers its ``storage_read`` children — so values are per-category
+        totals, not a partition."""
+        spans = self.subtree(root) if root is not None else self.spans
+        out: Dict[str, float] = {}
+        for s in spans:
+            if s.end_s is not None:
+                out[s.category] = out.get(s.category, 0.0) + s.duration_s
+        return out
+
+    # ---------------------------------------------------------------- export
+    def _public_attrs(self, span: Span) -> Dict[str, Any]:
+        return {k: v for k, v in span.attrs.items() if not k.startswith("__")}
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON object (Perfetto/``chrome://tracing``
+        compatible): complete ``X`` events, one tid per simulated clock."""
+        tids: Dict[str, int] = {}
+
+        def tid_of(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids)
+            return tids[track]
+
+        events: List[Dict[str, Any]] = []
+        for s in self.spans:
+            if s.end_s is None:
+                continue
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": s.start_s * 1e6,
+                    "dur": max(0.0, s.duration_s) * 1e6,
+                    "pid": 0,
+                    "tid": tid_of(s.track),
+                    "args": self._public_attrs(s),
+                }
+            )
+        for e in self.events:
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": e.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.start_s * 1e6,
+                    "pid": 0,
+                    "tid": tid_of(e.track),
+                    "args": self._public_attrs(e),
+                }
+            )
+        meta: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "pdc-sim"},
+            }
+        ]
+        for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_chrome_trace(), f)
+
+    def to_jsonl_records(self) -> List[Dict[str, Any]]:
+        """Structured-event log records (one dict per span/event)."""
+        records: List[Dict[str, Any]] = []
+        for s in self.spans:
+            records.append(
+                {
+                    "type": "span",
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "name": s.name,
+                    "cat": s.category,
+                    "track": s.track,
+                    "t0": s.start_s,
+                    "t1": s.end_s,
+                    "attrs": self._public_attrs(s),
+                }
+            )
+        for e in self.events:
+            records.append(
+                {
+                    "type": "event",
+                    "id": e.span_id,
+                    "parent": e.parent_id,
+                    "name": e.name,
+                    "cat": e.category,
+                    "track": e.track,
+                    "t": e.start_s,
+                    "attrs": self._public_attrs(e),
+                }
+            )
+        return records
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            for rec in self.to_jsonl_records():
+                f.write(json.dumps(rec) + "\n")

@@ -5,16 +5,43 @@ without a debugger: per-server simulated-time breakdowns, cache hit
 rates, storage traffic, object/index/replica inventory, failures.  Both a
 structured snapshot (:func:`snapshot`) and a rendered text report
 (:func:`report`) are provided; the CLI and examples use the latter.
+
+Counters come from two places.  Per-server exact numbers (cache hits,
+clock breakdowns) are read off the server instances themselves; the
+process-wide :class:`~repro.obs.metrics.MetricsRegistry` totals the
+system feeds (queries, planner decisions, PFS traffic, simmpi bytes) are
+surfaced in :attr:`SystemSnapshot.metrics`.  Note the registry defaults
+to the shared process-wide one, so its totals span every system feeding
+it — pass an isolated registry to :class:`PDCSystem` for per-deployment
+numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from .system import PDCSystem
 
 __all__ = ["ServerStats", "SystemSnapshot", "snapshot", "report"]
+
+#: Registry counter families surfaced in a snapshot (when present).
+_SNAPSHOT_METRICS = (
+    "pdc_queries_total",
+    "pdc_plans_total",
+    "pdc_query_regions_read_total",
+    "pdc_query_regions_pruned_total",
+    "pdc_query_regions_cached_total",
+    "pdc_query_index_reads_total",
+    "pdc_query_bytes_read_virtual_total",
+    "pdc_pfs_bytes_read_virtual_total",
+    "pdc_pfs_bytes_written_virtual_total",
+    "pdc_pfs_read_accesses_total",
+    "pdc_cache_lookups_total",
+    "pdc_cache_evictions_total",
+    "simmpi_messages_total",
+    "simmpi_bytes_total",
+)
 
 
 @dataclass
@@ -30,6 +57,9 @@ class ServerStats:
     cache_used_vbytes: float
     cache_hit_rate: float
     objects_with_metadata: int
+    #: Exact lookup counters behind ``cache_hit_rate`` (hits / lookups).
+    cache_hits: int = 0
+    cache_lookups: int = 0
 
 
 @dataclass
@@ -51,14 +81,18 @@ class SystemSnapshot:
     pfs_bytes_read_virtual: float
     pfs_read_accesses: int
     metadata_records: int
+    #: Registry counter totals (family name → summed value) at snapshot time.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def aggregate_cache_hit_rate(self) -> float:
-        hits = sum(
-            s.cache_hit_rate * max(1, s.cache_entries) for s in self.servers
-        )  # weighted proxy; exact rates live per server
-        total = sum(max(1, s.cache_entries) for s in self.servers)
-        return hits / total if total else 0.0
+        """Fleet-wide hit rate weighted by each server's actual lookup
+        count (a server that answered 10k lookups counts 10k times more
+        than one that answered one — resident-entry counts are not a
+        usage proxy)."""
+        hits = sum(s.cache_hits for s in self.servers)
+        lookups = sum(s.cache_lookups for s in self.servers)
+        return hits / lookups if lookups else 0.0
 
     @property
     def load_imbalance(self) -> float:
@@ -71,12 +105,18 @@ class SystemSnapshot:
         return max(busy) / mean if mean > 0 else 1.0
 
 
+#: Clock categories that are *not* work: idle barrier waits and the time
+#: spent blocked inside collective rendezvous ("comm", see
+#: ``SimClock.advance_to``).
+_IDLE_CATEGORIES = frozenset({"wait", "comm"})
+
+
 def snapshot(system: PDCSystem) -> SystemSnapshot:
     """Collect a structured status snapshot (no clock side effects)."""
     servers = []
     for s in system.servers:
         breakdown = s.clock.breakdown()
-        busy = sum(v for k, v in breakdown.items() if k != "wait")
+        busy = sum(v for k, v in breakdown.items() if k not in _IDLE_CATEGORIES)
         servers.append(
             ServerStats(
                 server_id=s.server_id,
@@ -88,8 +128,15 @@ def snapshot(system: PDCSystem) -> SystemSnapshot:
                 cache_used_vbytes=s.cache.used_bytes,
                 cache_hit_rate=s.cache.stats.hit_rate,
                 objects_with_metadata=len(s.meta_cached),
+                cache_hits=s.cache.stats.hits,
+                cache_lookups=s.cache.stats.hits + s.cache.stats.misses,
             )
         )
+    metrics = {
+        name: system.metrics.total(name)
+        for name in _SNAPSHOT_METRICS
+        if name in system.metrics.names()
+    }
     return SystemSnapshot(
         n_servers=system.n_servers,
         n_alive=len(system.alive_servers),
@@ -108,6 +155,7 @@ def snapshot(system: PDCSystem) -> SystemSnapshot:
         pfs_bytes_read_virtual=system.pfs.bytes_read,
         pfs_read_accesses=system.pfs.read_accesses,
         metadata_records=len(system.metadata),
+        metrics=metrics,
     )
 
 
@@ -134,12 +182,22 @@ def report(system: PDCSystem, top_servers: int = 8) -> str:
         f"storage: {snap.pfs_files} files, {_fmt_bytes(snap.pfs_bytes_stored)} "
         f"stored; {_fmt_bytes(snap.pfs_bytes_read_virtual)} virtual read in "
         f"{snap.pfs_read_accesses} accesses",
-        "servers (busiest first):",
+        f"cache: {snap.aggregate_cache_hit_rate * 100:.1f}% aggregate hit rate "
+        f"over {sum(s.cache_lookups for s in snap.servers)} lookups",
     ]
+    queries = snap.metrics.get("pdc_queries_total", 0.0)
+    if queries:
+        lines.append(
+            f"queries: {queries:.0f} executed, "
+            f"{snap.metrics.get('pdc_query_regions_read_total', 0.0):.0f} regions read, "
+            f"{snap.metrics.get('pdc_query_regions_pruned_total', 0.0):.0f} pruned, "
+            f"{snap.metrics.get('pdc_query_index_reads_total', 0.0):.0f} index probes"
+        )
+    lines.append("servers (busiest first):")
     ranked = sorted(snap.servers, key=lambda s: -s.busy_s)[:top_servers]
     for s in ranked:
         top = sorted(
-            ((k, v) for k, v in s.time_breakdown.items() if k != "wait"),
+            ((k, v) for k, v in s.time_breakdown.items() if k not in _IDLE_CATEGORIES),
             key=lambda kv: -kv[1],
         )[:3]
         cats = ", ".join(f"{k} {v * 1e3:.1f}ms" for k, v in top) or "idle"

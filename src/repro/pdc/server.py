@@ -10,13 +10,17 @@ distribution, §III-D2).
 The query executor charges all storage/scan/network time to the server's
 clock; the answer itself is computed vectorized on whole-object arrays (the
 simulator holds real data), which keeps semantics exact while the cost
-accounting stays per-server.
+accounting stays per-server.  When a real tracer is installed on the
+owning system, each region made resident emits a ``storage_read`` /
+``index_read`` leaf span on this server's clock — the finest-grained
+spans of a query trace.
 """
 
 from __future__ import annotations
 
 from typing import Set
 
+from ..obs.tracer import NOOP_TRACER
 from ..storage.cache import RegionCache
 from ..storage.costmodel import CostModel, SimClock
 from ..types import GB
@@ -32,19 +36,28 @@ class PDCServer:
         server_id: int,
         cost: CostModel,
         memory_limit_bytes: float = 64 * GB,
+        metrics=None,
     ) -> None:
         self.server_id = server_id
         self.cost = cost
         self.clock = SimClock(f"server{server_id}")
         #: Region payload cache (keys from :func:`repro.pdc.region.region_key`);
         #: capacity is in *virtual* (paper-scale) bytes.
-        self.cache = RegionCache(memory_limit_bytes, virtual_scale=cost.virtual_scale)
+        self.cache = RegionCache(
+            memory_limit_bytes,
+            virtual_scale=cost.virtual_scale,
+            metrics=metrics,
+            owner=f"server{server_id}",
+        )
         #: Object names whose region metadata + global histogram this server
         #: has cached (charged once, on first use).
         self.meta_cached: Set[str] = set()
         #: Region-index files this server has loaded (index reads are cached
         #: in memory alongside data regions).
         self.index_cached: Set[str] = set()
+        #: Tracer shared with the owning system (swapped by
+        #: :meth:`PDCSystem.set_tracer`); the default no-op records nothing.
+        self.tracer = NOOP_TRACER
 
     # ----------------------------------------------------------------- caching
     def ensure_region(
@@ -72,13 +85,27 @@ class PDCServer:
                     self.cost.mem_copy_time(nbytes, scaled=scaled), category="mem_copy"
                 )
             return True
-        self.clock.charge(
-            self.cost.tier_read_time(
-                nbytes, n_accesses, tier, stripe_count, concurrent_readers,
-                scaled=scaled,
-            ),
-            category=category,
-        )
+        if self.tracer.enabled:
+            span_cat = "index_read" if category == "index_read" else "storage_read"
+            with self.tracer.span(
+                f"read:{key}", self.clock, category=span_cat,
+                bytes=nbytes, tier=tier,
+            ):
+                self.clock.charge(
+                    self.cost.tier_read_time(
+                        nbytes, n_accesses, tier, stripe_count, concurrent_readers,
+                        scaled=scaled,
+                    ),
+                    category=category,
+                )
+        else:
+            self.clock.charge(
+                self.cost.tier_read_time(
+                    nbytes, n_accesses, tier, stripe_count, concurrent_readers,
+                    scaled=scaled,
+                ),
+                category=category,
+            )
         self.cache.put(key, nbytes=nbytes if scaled else 0)
         return False
 

@@ -19,6 +19,8 @@ from ..bitmap.index import RegionBitmapIndex
 from ..errors import ObjectNotFoundError, PDCError, QueryError
 from ..histogram.global_hist import GlobalHistogram
 from ..histogram.mergeable import MergeableHistogram
+from ..obs.metrics import REGISTRY
+from ..obs.tracer import NOOP_TRACER
 from ..strategies import Strategy, strategy_from_env
 from ..sorting.reorganize import SortedReplica
 from ..storage.costmodel import CostModel, CostParameters, CORI_LIKE, SimClock
@@ -183,22 +185,39 @@ class ReplicaGroup:
 class PDCSystem:
     """One PDC deployment: servers + storage + metadata + object registry."""
 
-    def __init__(self, config: Optional[PDCConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PDCConfig] = None,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         self.config = config or PDCConfig()
         if self.config.n_servers < 1:
             raise PDCError("need at least one PDC server")
+        #: Observability hooks.  The default tracer is the zero-cost no-op
+        #: (swap in a real one with :meth:`set_tracer`); metrics default to
+        #: the process-wide registry so counters accumulate across systems
+        #: unless the caller supplies an isolated registry.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics if metrics is not None else REGISTRY
         self.cost = CostModel(
             params=self.config.cost_params, virtual_scale=self.config.virtual_scale
         )
         self.pfs = ParallelFileSystem(
-            cost=self.cost, default_stripe_count=self.config.pdc_stripe_count
+            cost=self.cost,
+            default_stripe_count=self.config.pdc_stripe_count,
+            metrics=self.metrics,
         )
         n_shards = self.config.n_meta_shards or self.config.n_servers
         self.metadata = MetadataService(n_shards, self.pfs, self.cost)
         self.servers: List[PDCServer] = [
-            PDCServer(i, self.cost, self.config.server_memory_bytes)
+            PDCServer(
+                i, self.cost, self.config.server_memory_bytes, metrics=self.metrics
+            )
             for i in range(self.config.n_servers)
         ]
+        for s in self.servers:
+            s.tracer = self.tracer
         self.client_clock = SimClock("client")
         self._failed_servers: set = set()
         self.containers: Dict[str, Container] = {"default": Container("default")}
@@ -630,6 +649,14 @@ class PDCSystem:
         return None
 
     # ------------------------------------------------------------- observability
+    def set_tracer(self, tracer) -> None:
+        """Install a tracer (``repro.obs.Tracer`` or the no-op) on this
+        system and every server; spans only *read* simulated clocks, so
+        enabling tracing never changes query costs."""
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        for s in self.servers:
+            s.tracer = self.tracer
+
     def drop_all_caches(self) -> None:
         for s in self.servers:
             s.drop_caches()

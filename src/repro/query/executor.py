@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import QueryError, QueryShapeError
 from ..histogram.selectivity import order_by_selectivity
 from ..interval import Interval
+from ..obs.tracer import Span
 from ..pdc.region import region_key
 from ..pdc.system import PDCSystem, ReplicaGroup, StoredObject
 from ..storage.aggregator import coords_to_extents
@@ -70,6 +71,9 @@ class QueryResult:
     index_reads: int = 0
     #: Virtual bytes read from the PFS during this query.
     bytes_read_virtual: float = 0.0
+    #: Root span of this query's trace when a real tracer was installed on
+    #: the system (``None`` under the default no-op tracer).
+    trace: Optional[Span] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -135,80 +139,111 @@ class QueryEngine:
         it need not align with PDC's internal region partitions (§III-A).
         """
         sysm = self.system
-        strat = strategy or sysm.strategy
-        if strat is Strategy.AUTO:
-            # Cost-based selection (§IX future work): planning uses only
-            # server-cached metadata, charged as client-side overhead.
-            from .planner import choose_strategy
+        tracer = sysm.tracer
+        with tracer.span("query", sysm.client_clock, category="query") as qspan:
+            strat = strategy or sysm.strategy
+            with tracer.span("plan", sysm.client_clock, category="plan") as pspan:
+                if strat is Strategy.AUTO:
+                    # Cost-based selection (§IX future work): planning uses
+                    # only server-cached metadata, charged as client-side
+                    # overhead.
+                    from .planner import choose_strategy
 
-            strat, _ = choose_strategy(sysm, root)
-            sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "plan")
-        names = objects_of(root)
-        if not names:
-            raise QueryError("query references no objects")
-        objs = [sysm.get_object(n) for n in names]
-        domain = objs[0].n_elements
-        for o in objs[1:]:
-            if o.n_elements != domain or o.meta.dims != objs[0].meta.dims:
-                raise QueryShapeError(
-                    f"objects in one query must share dimensions: "
-                    f"{objs[0].name}={objs[0].meta.dims or domain}, "
-                    f"{o.name}={o.meta.dims or o.n_elements}"
+                    strat, _ = choose_strategy(sysm, root)
+                    sysm.client_clock.charge(
+                        sysm.cost.params.client_overhead_s, "plan"
+                    )
+                pspan.set(strategy=strat.name)
+                names = objects_of(root)
+                if not names:
+                    raise QueryError("query references no objects")
+                objs = [sysm.get_object(n) for n in names]
+                domain = objs[0].n_elements
+                for o in objs[1:]:
+                    if o.n_elements != domain or o.meta.dims != objs[0].meta.dims:
+                        raise QueryShapeError(
+                            f"objects in one query must share dimensions: "
+                            f"{objs[0].name}={objs[0].meta.dims or domain}, "
+                            f"{o.name}={o.meta.dims or o.n_elements}"
+                        )
+                (cstart, cstop), slab = normalize_constraint(
+                    region_constraint, domain
                 )
-        (cstart, cstop), slab = normalize_constraint(region_constraint, domain)
+            qspan.set(strategy=strat.name, objects=list(names))
 
-        t_start = sysm.sync_clocks()
+            t_start = sysm.sync_clocks()
 
-        # 1. Client serializes + broadcasts the plan; servers receive.
-        sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
-        sysm.client_clock.charge(sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net")
-        for server in sysm.alive_servers:
-            server.clock.advance_to(sysm.client_clock.now)
-            server.clock.charge(sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net")
-            server.clock.charge(sysm.cost.params.server_overhead_s, "server")
-
-        # 2. Metadata distribution (charged once per object per server).
-        self._ensure_metadata(names)
-
-        # 3. DNF evaluation with OR-union at the client.
-        stats = QueryResult(
-            nhits=0, selection=None, elapsed_s=0.0, strategy=strat
-        )
-        conjunct_leaf_sets = to_dnf(root)
-        coords_acc: Optional[np.ndarray] = None
-        for leaves in conjunct_leaf_sets:
-            conjunct = conjunct_intervals(leaves)
-            if conjunct is None:  # contradictory conditions: matches nothing
-                continue
-            coords = self._eval_conjunct(conjunct, (cstart, cstop), strat, stats)
-            if slab is not None:
-                # Exact N-D filtering of the bounding-range hits; servers
-                # evaluate whole regions intersecting the slab's bounds,
-                # which is what the cost accounting above charged.
-                coords = slab.filter_flat(coords)
-            if coords_acc is None:
-                coords_acc = coords
-            elif coords.size:
-                # §III-C: OR results combined and deduplicated via merge.
+            # 1. Client serializes + broadcasts the plan; servers receive.
+            # Servers meeting the client's broadcast instant is
+            # communication rendezvous, not idle waiting.
+            with tracer.span("broadcast", sysm.client_clock, category="comm"):
+                sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
                 sysm.client_clock.charge(
-                    sysm.cost.scan_time(coords_acc.size + coords.size), "merge"
+                    sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
                 )
-                coords_acc = np.union1d(coords_acc, coords)
-            # §III-C special case: a disjunct selecting everything ends the
-            # union early.
-            full_count = slab.n_elements if slab is not None else cstop - cstart
-            if coords_acc is not None and coords_acc.size == full_count:
-                break
-        if coords_acc is None:
-            coords_acc = np.zeros(0, dtype=np.int64)
+                for server in sysm.alive_servers:
+                    server.clock.advance_to(sysm.client_clock.now, category="comm")
+                    server.clock.charge(
+                        sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
+                    )
+                    server.clock.charge(sysm.cost.params.server_overhead_s, "server")
 
-        # 4. Result shipping: servers send their share, client aggregates.
-        self._charge_result_transfer(objs[0], coords_acc, want_selection)
+                # 2. Metadata distribution (charged once per object per
+                # server).
+                self._ensure_metadata(names)
 
-        t_end = sysm.sync_clocks()
-        stats.nhits = int(coords_acc.size)
-        stats.selection = Selection(coords_acc, domain) if want_selection else None
-        stats.elapsed_s = t_end - t_start
+            # 3. DNF evaluation with OR-union at the client.
+            stats = QueryResult(
+                nhits=0, selection=None, elapsed_s=0.0, strategy=strat
+            )
+            conjunct_leaf_sets = to_dnf(root)
+            coords_acc: Optional[np.ndarray] = None
+            for ci, leaves in enumerate(conjunct_leaf_sets):
+                conjunct = conjunct_intervals(leaves)
+                if conjunct is None:  # contradictory conditions: matches nothing
+                    continue
+                with tracer.span(
+                    f"conjunct[{ci}]", sysm.client_clock, category="conjunct",
+                    objects=sorted(conjunct),
+                ):
+                    coords = self._eval_conjunct(
+                        conjunct, (cstart, cstop), strat, stats
+                    )
+                if slab is not None:
+                    # Exact N-D filtering of the bounding-range hits; servers
+                    # evaluate whole regions intersecting the slab's bounds,
+                    # which is what the cost accounting above charged.
+                    coords = slab.filter_flat(coords)
+                if coords_acc is None:
+                    coords_acc = coords
+                elif coords.size:
+                    # §III-C: OR results combined and deduplicated via merge.
+                    sysm.client_clock.charge(
+                        sysm.cost.scan_time(coords_acc.size + coords.size), "merge"
+                    )
+                    coords_acc = np.union1d(coords_acc, coords)
+                # §III-C special case: a disjunct selecting everything ends the
+                # union early.
+                full_count = slab.n_elements if slab is not None else cstop - cstart
+                if coords_acc is not None and coords_acc.size == full_count:
+                    break
+            if coords_acc is None:
+                coords_acc = np.zeros(0, dtype=np.int64)
+
+            # 4. Result shipping: servers send their share, client aggregates.
+            with tracer.span(
+                "result_transfer", sysm.client_clock, category="result_transfer",
+                nhits=int(coords_acc.size),
+            ):
+                self._charge_result_transfer(objs[0], coords_acc, want_selection)
+
+            t_end = sysm.sync_clocks()
+            stats.nhits = int(coords_acc.size)
+            stats.selection = Selection(coords_acc, domain) if want_selection else None
+            stats.elapsed_s = t_end - t_start
+            qspan.set(nhits=stats.nhits, elapsed_s=stats.elapsed_s)
+        stats.trace = qspan.span
+        self._record_query_metrics(stats)
         return stats
 
     def get_data(
@@ -248,7 +283,9 @@ class QueryEngine:
         for server, nbytes in zip(sysm.alive_servers, per_server):
             if nbytes:
                 server.clock.charge(sysm.cost.net_time(int(nbytes)), "net")
-        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.advance_to(
+            max(s.clock.now for s in sysm.alive_servers), category="comm"
+        )
         sysm.client_clock.charge(sysm.cost.net_time(16 * sysm.n_servers, scaled=False), "net")
 
         t_end = sysm.sync_clocks()
@@ -313,7 +350,7 @@ class QueryEngine:
         # "can locate the 1000 objects instantly").
         names = sysm.metadata.query_tags(tag_conditions, clock=sysm.client_clock)
         for server in sysm.alive_servers:
-            server.clock.advance_to(sysm.client_clock.now)
+            server.clock.advance_to(sysm.client_clock.now, category="comm")
 
         total_hits = 0
         per_object: Dict[str, int] = {}
@@ -362,7 +399,9 @@ class QueryEngine:
         # Ship per-object counts back.
         for server in sysm.alive_servers:
             server.clock.charge(sysm.cost.net_time(16 * max(1, len(names))), "net")
-        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.advance_to(
+            max(s.clock.now for s in sysm.alive_servers), category="comm"
+        )
         sysm.client_clock.charge(sysm.cost.net_time(16 * max(1, len(names))), "net")
 
         t_end = sysm.sync_clocks()
@@ -526,6 +565,39 @@ class QueryEngine:
         coords.sort()
         return coords
 
+    # ---------------------------------------------------------- observability
+    def _record_query_metrics(self, stats: QueryResult) -> None:
+        """Fold one query's outcome into the system's metrics registry."""
+        m = self.system.metrics
+        m.counter(
+            "pdc_queries_total", "Queries executed, by strategy.",
+            labels=("strategy",),
+        ).labels(strategy=stats.strategy.name).inc()
+        m.histogram(
+            "pdc_query_sim_seconds",
+            "End-to-end simulated query latency (seconds).",
+        ).observe(stats.elapsed_s)
+        m.counter(
+            "pdc_query_regions_read_total",
+            "Data regions read from storage during query evaluation.",
+        ).inc(stats.regions_read)
+        m.counter(
+            "pdc_query_regions_pruned_total",
+            "Regions eliminated by histogram min/max pruning.",
+        ).inc(stats.regions_pruned)
+        m.counter(
+            "pdc_query_regions_cached_total",
+            "Regions served from server caches during query evaluation.",
+        ).inc(stats.regions_cached)
+        m.counter(
+            "pdc_query_index_reads_total",
+            "Region index probes issued (PDC-HI).",
+        ).inc(stats.index_reads)
+        m.counter(
+            "pdc_query_bytes_read_virtual_total",
+            "Virtual bytes read from storage by queries.",
+        ).inc(stats.bytes_read_virtual)
+
     # ---------------------------------------------------------- cost helpers
     def _ensure_metadata(self, names: Sequence[str]) -> None:
         """First query on an object distributes its region metadata +
@@ -595,18 +667,24 @@ class QueryEngine:
         sysm = self.system
         readers = self._active_readers(region_ids)
         for server, mine in self._regions_by_server(region_ids):
-            for rid in mine:
-                key = region_key(obj.name, int(rid))
-                nbytes = int(obj.counts[rid]) * obj.itemsize
-                hit = server.ensure_region(
-                    key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
-                    tier=obj.tier_of(int(rid)),
-                )
-                if hit:
-                    stats.regions_cached += 1
-                else:
-                    stats.regions_read += 1
-                    stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+            if mine.size == 0:
+                continue
+            with sysm.tracer.span(
+                f"eval:server{server.server_id}", server.clock,
+                category="server_eval", object=obj.name, regions=int(mine.size),
+            ):
+                for rid in mine:
+                    key = region_key(obj.name, int(rid))
+                    nbytes = int(obj.counts[rid]) * obj.itemsize
+                    hit = server.ensure_region(
+                        key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
+                        tier=obj.tier_of(int(rid)),
+                    )
+                    if hit:
+                        stats.regions_cached += 1
+                    else:
+                        stats.regions_read += 1
+                        stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
 
     def _charge_scan(
         self, obj: StoredObject, region_ids: np.ndarray, constraint: Tuple[int, int]
@@ -654,51 +732,76 @@ class QueryEngine:
         assert obj.indexes is not None and obj.index_nbytes is not None
         readers = self._active_readers(region_ids)
         for server, mine in self._regions_by_server(region_ids):
-            for rid in mine:
-                rid_i = int(rid)
-                probe = obj.indexes[rid_i].query_cost(interval)
-                stats.index_reads += 1
-                key = region_key(obj.name, rid_i, replica="idx")
-                if not server.cache.lookup(key):
-                    # Cold probe: one seek reading the bin directory plus
-                    # the touched bitmaps (FastBit seeks once into the
-                    # index file); the index stays cached afterwards, so
-                    # later probes of this region are in-memory.
+            if mine.size == 0:
+                continue
+            with sysm.tracer.span(
+                f"eval:server{server.server_id}", server.clock,
+                category="server_eval", object=obj.name, regions=int(mine.size),
+                index=True,
+            ):
+                for rid in mine:
+                    self._probe_region_index(obj, int(rid), interval, server,
+                                             readers, stats)
+
+    def _probe_region_index(
+        self, obj: StoredObject, rid: int, interval: Interval, server,
+        readers: int, stats: QueryResult,
+    ) -> None:
+        """One PDC-HI index probe: seek + bitmap read (cold), WAH scan, and
+        an optional raw-region candidate check."""
+        sysm = self.system
+        probe = obj.indexes[rid].query_cost(interval)
+        stats.index_reads += 1
+        key = region_key(obj.name, rid, replica="idx")
+        if not server.cache.lookup(key):
+            # Cold probe: one seek reading the bin directory plus
+            # the touched bitmaps (FastBit seeks once into the
+            # index file); the index stays cached afterwards, so
+            # later probes of this region are in-memory.
+            if sysm.tracer.enabled:
+                with sysm.tracer.span(
+                    f"read:{key}", server.clock, category="index_read",
+                    bytes=probe.bytes_touched,
+                ):
                     server.clock.charge(
-                        sysm.cost.pfs_read_time(
-                            probe.bytes_touched,
-                            1,
-                            sysm.config.pdc_stripe_count,
-                            readers,
-                        )
-                        + sysm.cost.pfs_read_time(
-                            probe.header_bytes, 0, 1, 1, scaled=False
-                        ),
+                        self._index_probe_time(probe, readers),
                         category="index_read",
                     )
-                    server.cache.put(key, nbytes=int(obj.index_nbytes[rid_i]))
-                    stats.bytes_read_virtual += (
-                        probe.bytes_touched * sysm.cost.virtual_scale
-                    )
-                else:
-                    stats.regions_cached += 1
+            else:
                 server.clock.charge(
-                    sysm.cost.wah_scan_time(probe.words_touched), "scan"
+                    self._index_probe_time(probe, readers),
+                    category="index_read",
                 )
-                # Candidate check: boundary-bin members verified against raw
-                # values (whole-region read, block-index style).
-                if probe.candidates:
-                    nbytes = int(obj.counts[rid_i]) * obj.itemsize
-                    was_hit = server.ensure_region(
-                        region_key(obj.name, rid_i), nbytes, 1,
-                        sysm.config.pdc_stripe_count, readers,
-                    )
-                    server.clock.charge(sysm.cost.scan_time(probe.candidates), "scan")
-                    if was_hit:
-                        stats.regions_cached += 1
-                    else:
-                        stats.regions_read += 1
-                        stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+            server.cache.put(key, nbytes=int(obj.index_nbytes[rid]))
+            stats.bytes_read_virtual += (
+                probe.bytes_touched * sysm.cost.virtual_scale
+            )
+        else:
+            stats.regions_cached += 1
+        server.clock.charge(
+            sysm.cost.wah_scan_time(probe.words_touched), "scan"
+        )
+        # Candidate check: boundary-bin members verified against raw
+        # values (whole-region read, block-index style).
+        if probe.candidates:
+            nbytes = int(obj.counts[rid]) * obj.itemsize
+            was_hit = server.ensure_region(
+                region_key(obj.name, rid), nbytes, 1,
+                sysm.config.pdc_stripe_count, readers,
+            )
+            server.clock.charge(sysm.cost.scan_time(probe.candidates), "scan")
+            if was_hit:
+                stats.regions_cached += 1
+            else:
+                stats.regions_read += 1
+                stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+
+    def _index_probe_time(self, probe, readers: int) -> float:
+        """Simulated seconds of one cold index probe."""
+        sysm = self.system
+        return sysm.cost.pfs_read_time(
+            probe.bytes_touched, 1, sysm.config.pdc_stripe_count, readers
+        ) + sysm.cost.pfs_read_time(probe.header_bytes, 0, 1, 1, scaled=False)
 
     def _charge_replica_regions(
         self,
@@ -713,16 +816,23 @@ class QueryEngine:
         readers = self._active_readers(region_ids)
         key_name = group.replica.key_name
         for server, mine in self._regions_by_server(region_ids):
-            for rid in mine:
-                key = region_key(key_name, int(rid), replica=f"sorted:{which}")
-                nbytes = int(group.counts[rid]) * itemsize
-                hit = server.ensure_region(
-                    key, nbytes, 1, sysm.config.pdc_stripe_count, readers
-                )
-                if hit:
-                    stats.regions_cached += 1
-                else:
-                    stats.regions_read += 1
+            if mine.size == 0:
+                continue
+            with sysm.tracer.span(
+                f"eval:server{server.server_id}", server.clock,
+                category="server_eval", object=key_name, replica=which,
+                regions=int(mine.size),
+            ):
+                for rid in mine:
+                    key = region_key(key_name, int(rid), replica=f"sorted:{which}")
+                    nbytes = int(group.counts[rid]) * itemsize
+                    hit = server.ensure_region(
+                        key, nbytes, 1, sysm.config.pdc_stripe_count, readers
+                    )
+                    if hit:
+                        stats.regions_cached += 1
+                    else:
+                        stats.regions_read += 1
 
     def _replica_elems_per_server(
         self, group: ReplicaGroup, region_ids: np.ndarray
@@ -764,7 +874,9 @@ class QueryEngine:
                 server.clock.charge(
                     sysm.cost.net_time(int(nbytes), scaled=nbytes > 8), "net"
                 )
-        sysm.client_clock.advance_to(max(s.clock.now for s in sysm.alive_servers))
+        sysm.client_clock.advance_to(
+            max(s.clock.now for s in sysm.alive_servers), category="comm"
+        )
         sysm.client_clock.charge(sysm.cost.net_time(16 * sysm.n_servers, scaled=False), "net")
 
     def _mask_coords(

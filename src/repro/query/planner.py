@@ -238,7 +238,18 @@ def choose_strategy(system: PDCSystem, node: QueryNode) -> Tuple[Strategy, List[
         for s in (Strategy.FULL_SCAN, Strategy.HISTOGRAM, Strategy.HIST_INDEX, Strategy.SORT_HIST)
     ]
     candidates.sort(key=lambda p: p.est_seconds)
-    return candidates[0].strategy, candidates
+    winner = candidates[0].strategy
+    system.metrics.counter(
+        "pdc_plans_total", "AUTO planner decisions, by chosen strategy.",
+        labels=("strategy",),
+    ).labels(strategy=winner.name).inc()
+    if system.tracer.enabled:
+        system.tracer.instant(
+            "plan_decision", system.client_clock,
+            strategy=winner.name,
+            estimates={p.strategy.name: p.est_seconds for p in candidates},
+        )
+    return winner, candidates
 
 
 def explain(system: PDCSystem, node: QueryNode, strategy: Optional[Strategy] = None) -> str:

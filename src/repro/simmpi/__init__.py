@@ -5,7 +5,7 @@ Drop-in shaped like mpi4py's pickle-based API (``comm.send`` / ``comm.recv``
 / ``comm.bcast`` / ...) so the PDC transport code reads like the real thing.
 """
 
-from .communicator import ANY_SOURCE, ANY_TAG, Communicator, CommWorld, Request
+from .communicator import ANY_SOURCE, ANY_TAG, CommStats, Communicator, CommWorld, Request
 from .launcher import run_spmd
 from .reduceops import CONCAT, LAND, LOR, MAX, MIN, PROD, SUM, reduce_sequence
 from .timers import ClockGroup, phase_end
@@ -13,6 +13,7 @@ from .timers import ClockGroup, phase_end
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CommStats",
     "Communicator",
     "CommWorld",
     "Request",

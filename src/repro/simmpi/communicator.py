@@ -30,7 +30,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from ..errors import TransportError
 from .reduceops import SUM, ReduceOp, reduce_sequence
 
-__all__ = ["Communicator", "Request", "ANY_SOURCE", "ANY_TAG", "CommWorld"]
+__all__ = ["Communicator", "CommStats", "Request", "ANY_SOURCE", "ANY_TAG", "CommWorld"]
 
 #: Wildcard source for ``recv``.
 ANY_SOURCE = -1
@@ -44,6 +44,61 @@ _COLL_TAG_BASE = 1 << 30
 def _copy_message(obj: Any) -> Any:
     """Deep copy via pickle — models serialization across the wire."""
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class CommStats:
+    """Wire traffic counters shared by all ranks of one communicator.
+
+    Every message is attributed to the operation that shipped it
+    (``p2p``, ``bcast``, ``scatter``, ``gather``, ``alltoall``);
+    composite collectives (``allgather``, ``reduce``, ``allreduce``)
+    decompose into the gather/bcast traffic they generate.  Byte counts
+    are serialized (pickled) payload sizes — the wire form.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self._lock = threading.Lock()
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.messages_by_op: dict = {}
+        self.bytes_by_op: dict = {}
+        self._metrics = metrics
+        self._m_children: dict = {}
+
+    def account(self, op: str, nbytes: int, messages: int = 1) -> None:
+        with self._lock:
+            self.messages_total += messages
+            self.bytes_total += nbytes
+            self.messages_by_op[op] = self.messages_by_op.get(op, 0) + messages
+            self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + nbytes
+            if self._metrics is not None:
+                pair = self._m_children.get(op)
+                if pair is None:
+                    pair = (
+                        self._metrics.counter(
+                            "simmpi_messages_total",
+                            "Messages shipped over the simmpi wire, by operation.",
+                            labels=("op",),
+                        ).labels(op=op),
+                        self._metrics.counter(
+                            "simmpi_bytes_total",
+                            "Serialized payload bytes shipped over the simmpi "
+                            "wire, by operation.",
+                            labels=("op",),
+                        ).labels(op=op),
+                    )
+                    self._m_children[op] = pair
+                pair[0].inc(messages)
+                pair[1].inc(nbytes)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "messages_total": self.messages_total,
+                "bytes_total": self.bytes_total,
+                "messages_by_op": dict(self.messages_by_op),
+                "bytes_by_op": dict(self.bytes_by_op),
+            }
 
 
 class _Mailbox:
@@ -159,11 +214,12 @@ class Request:
 class _SharedState:
     """State shared by all rank views of one communicator."""
 
-    def __init__(self, size: int, timeout: Optional[float]) -> None:
+    def __init__(self, size: int, timeout: Optional[float], metrics=None) -> None:
         self.size = size
         self.timeout = timeout
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.barrier = threading.Barrier(size)
+        self.stats = CommStats(metrics=metrics)
 
     def close(self) -> None:
         for mb in self.mailboxes:
@@ -193,13 +249,24 @@ class Communicator:
     def Get_size(self) -> int:  # mpi4py spelling
         return self._state.size
 
+    @property
+    def stats(self) -> CommStats:
+        """Shared wire-traffic counters (bytes/messages per operation)."""
+        return self._state.stats
+
+    def _ship(self, obj: Any, dest: int, tag: int, op: str) -> None:
+        """Serialize once, account the wire bytes to ``op``, deliver."""
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._state.stats.account(op, len(blob))
+        self._state.mailboxes[dest].put(self._rank, tag, pickle.loads(blob))
+
     # --------------------------------------------------------- point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking send (buffered: completes immediately after enqueue,
         like a small-message eager send)."""
         self._check_peer(dest)
         self._check_user_tag(tag)
-        self._state.mailboxes[dest].put(self._rank, tag, _copy_message(obj))
+        self._ship(obj, dest, tag, "p2p")
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
         """Non-blocking send; returns a :class:`Request`.
@@ -263,7 +330,7 @@ class Communicator:
             payload = _copy_message(obj)
             for dest in range(self.size):
                 if dest != root:
-                    self._state.mailboxes[dest].put(root, tag, _copy_message(payload))
+                    self._ship(payload, dest, tag, "bcast")
             return payload
         _, _, payload = self._state.mailboxes[self._rank].take(root, tag, self._state.timeout)
         return payload
@@ -279,7 +346,7 @@ class Communicator:
                 )
             for dest in range(self.size):
                 if dest != root:
-                    self._state.mailboxes[dest].put(root, tag, _copy_message(sendobjs[dest]))
+                    self._ship(sendobjs[dest], dest, tag, "scatter")
             return _copy_message(sendobjs[root])
         _, _, payload = self._state.mailboxes[self._rank].take(root, tag, self._state.timeout)
         return payload
@@ -298,7 +365,7 @@ class Communicator:
                 )
                 results[src] = payload
             return results
-        self._state.mailboxes[root].put(self._rank, tag, _copy_message(obj))
+        self._ship(obj, root, tag, "gather")
         return None
 
     def allgather(self, obj: Any) -> List[Any]:
@@ -327,7 +394,7 @@ class Communicator:
         tag = self._next_coll_tag()
         for dest in range(self.size):
             if dest != self._rank:
-                self._state.mailboxes[dest].put(self._rank, tag, _copy_message(sendobjs[dest]))
+                self._ship(sendobjs[dest], dest, tag, "alltoall")
         results: List[Any] = [None] * self.size
         results[self._rank] = _copy_message(sendobjs[self._rank])
         for _ in range(self.size - 1):
@@ -347,13 +414,17 @@ class Communicator:
             raise TransportError(f"user tag {tag} out of range [0, {_COLL_TAG_BASE})")
 
 
-def CommWorld(size: int, timeout: Optional[float] = 60.0) -> List[Communicator]:
+def CommWorld(
+    size: int, timeout: Optional[float] = 60.0, metrics=None
+) -> List[Communicator]:
     """Create ``size`` rank views sharing one communicator.
 
     Primarily used by the launcher; tests may use it directly to drive
-    ranks from hand-managed threads.
+    ranks from hand-managed threads.  ``metrics`` optionally feeds a
+    :class:`~repro.obs.metrics.MetricsRegistry` with per-operation wire
+    traffic (``simmpi_messages_total``/``simmpi_bytes_total``).
     """
     if size < 1:
         raise TransportError("communicator size must be >= 1")
-    state = _SharedState(size, timeout)
+    state = _SharedState(size, timeout, metrics=metrics)
     return [Communicator(state, r) for r in range(size)]

@@ -16,14 +16,19 @@ from ..storage.costmodel import SimClock
 __all__ = ["ClockGroup", "phase_end"]
 
 
-def phase_end(clocks: Sequence[SimClock]) -> float:
+def phase_end(clocks: Sequence[SimClock], category: str = "wait") -> float:
     """Close a bulk-synchronous phase: advance every clock to the max and
-    return the phase-end time."""
+    return the phase-end time.
+
+    ``category`` attributes the waited seconds on each clock's breakdown —
+    pass ``"comm"`` when the rendezvous is a communication collective so
+    traces and reports stop lumping collective time under ``wait``.
+    """
     if not clocks:
         raise ValueError("phase_end needs at least one clock")
     t = max(c.now for c in clocks)
     for c in clocks:
-        c.advance_to(t)
+        c.advance_to(t, category=category)
     return t
 
 
@@ -46,6 +51,12 @@ class ClockGroup:
         the client *"can ... continue to other tasks when the servers are
         processing"*)."""
         return phase_end(self.servers)
+
+    def sync_collective(self) -> float:
+        """Rendezvous at the end of a communication collective: same
+        barrier semantics as :meth:`sync_all`, but the waited seconds land
+        in each clock's ``comm`` category instead of ``wait``."""
+        return phase_end(self.all(), category="comm")
 
     def elapsed(self) -> float:
         """Latest simulated instant across the group."""

@@ -54,7 +54,13 @@ class RegionCache:
     than the capacity is simply not cached.
     """
 
-    def __init__(self, capacity_bytes: float, virtual_scale: float = 1.0) -> None:
+    def __init__(
+        self,
+        capacity_bytes: float,
+        virtual_scale: float = 1.0,
+        metrics=None,
+        owner: str = "",
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity_bytes = float(capacity_bytes)
@@ -62,6 +68,22 @@ class RegionCache:
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._used = 0.0
         self.stats = CacheStats()
+        # Optional MetricsRegistry feed; labeled children are resolved once
+        # here so the per-lookup cost is a single counter increment.
+        self._m_hit = self._m_miss = self._m_evict = None
+        if metrics is not None:
+            lookups = metrics.counter(
+                "pdc_cache_lookups_total",
+                "Region-cache lookups by server and result.",
+                labels=("server", "result"),
+            )
+            self._m_hit = lookups.labels(server=owner, result="hit")
+            self._m_miss = lookups.labels(server=owner, result="miss")
+            self._m_evict = metrics.counter(
+                "pdc_cache_evictions_total",
+                "Region-cache LRU evictions by server.",
+                labels=("server",),
+            ).labels(server=owner)
 
     # ------------------------------------------------------------------- api
     def get(self, key: Hashable) -> Optional[np.ndarray]:
@@ -72,9 +94,13 @@ class RegionCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self._m_hit is not None:
+            self._m_hit.inc()
         return entry.payload
 
     def lookup(self, key: Hashable) -> bool:
@@ -82,9 +108,13 @@ class RegionCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
             return False
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self._m_hit is not None:
+            self._m_hit.inc()
         return True
 
     def contains(self, key: Hashable) -> bool:
@@ -115,6 +145,8 @@ class RegionCache:
             _, evicted = self._entries.popitem(last=False)
             self._used -= evicted.vbytes
             self.stats.evictions += 1
+            if self._m_evict is not None:
+                self._m_evict.inc()
         self._entries[key] = _Entry(payload=payload, vbytes=vsize)
         self._used += vsize
         self.stats.inserts += 1

@@ -118,10 +118,16 @@ class SimClock:
         self._by_category[category] = self._by_category.get(category, 0.0) + seconds
         return self._now
 
-    def advance_to(self, t: float) -> float:
-        """Move the clock to time ``t`` if ``t`` is later (waiting)."""
+    def advance_to(self, t: float, category: str = "wait") -> float:
+        """Move the clock to time ``t`` if ``t`` is later (waiting).
+
+        ``category`` attributes the waited time: plain barrier waits stay
+        under ``wait``; rendezvous inside communication collectives pass
+        ``comm`` so reports can separate "idle at a barrier" from "stalled
+        on communication".
+        """
         if t > self._now:
-            self._by_category["wait"] = self._by_category.get("wait", 0.0) + (t - self._now)
+            self._by_category[category] = self._by_category.get(category, 0.0) + (t - self._now)
             self._now = t
         return self._now
 

@@ -68,7 +68,12 @@ class ParallelFileSystem:
     clock when one is supplied.
     """
 
-    def __init__(self, cost: Optional[CostModel] = None, default_stripe_count: int = 8) -> None:
+    def __init__(
+        self,
+        cost: Optional[CostModel] = None,
+        default_stripe_count: int = 8,
+        metrics=None,
+    ) -> None:
         self.cost = cost or CostModel()
         self.default_stripe_count = default_stripe_count
         self._files: Dict[str, SimFile] = {}
@@ -76,6 +81,21 @@ class ParallelFileSystem:
         self.bytes_read: float = 0.0
         self.bytes_written: float = 0.0
         self.read_accesses: int = 0
+        # Optional MetricsRegistry feed (children resolved once).
+        self._m_bytes_read = self._m_bytes_written = self._m_accesses = None
+        if metrics is not None:
+            self._m_bytes_read = metrics.counter(
+                "pdc_pfs_bytes_read_virtual_total",
+                "Virtual bytes read from the simulated PFS.",
+            )
+            self._m_bytes_written = metrics.counter(
+                "pdc_pfs_bytes_written_virtual_total",
+                "Virtual bytes written to the simulated PFS.",
+            )
+            self._m_accesses = metrics.counter(
+                "pdc_pfs_read_accesses_total",
+                "Contiguous read accesses issued to the simulated PFS.",
+            )
 
     # -------------------------------------------------------------- namespace
     def exists(self, path: str) -> bool:
@@ -121,6 +141,8 @@ class ParallelFileSystem:
         )
         self._files[path] = f
         self.bytes_written += self.cost.virtual_bytes(f.nbytes)
+        if self._m_bytes_written is not None:
+            self._m_bytes_written.inc(self.cost.virtual_bytes(f.nbytes))
         if clock is not None:
             clock.charge(
                 self.cost.pfs_write_time(f.nbytes, 1, f.stripe_count, concurrent_writers),
@@ -170,6 +192,9 @@ class ParallelFileSystem:
             nbytes += (stop - start) * f.itemsize
         self.bytes_read += self.cost.virtual_bytes(nbytes)
         self.read_accesses += len(extents)
+        if self._m_bytes_read is not None:
+            self._m_bytes_read.inc(self.cost.virtual_bytes(nbytes))
+            self._m_accesses.inc(len(extents))
         if clock is not None and extents:
             clock.charge(
                 f.imbalance

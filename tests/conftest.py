@@ -28,16 +28,24 @@ def make_system(
     n_servers: int = 4,
     region_size_bytes: int = 1 << 13,
     strategy: Strategy = Strategy.HISTOGRAM,
+    tracer=None,
+    metrics=None,
     **kwargs,
 ) -> PDCSystem:
-    """A tiny deployment: 4 servers, 8 KiB regions, no virtual scaling."""
+    """A tiny deployment: 4 servers, 8 KiB regions, no virtual scaling.
+
+    ``tracer``/``metrics`` go to the system (observability hooks); other
+    kwargs go to :class:`PDCConfig`.
+    """
     return PDCSystem(
         PDCConfig(
             n_servers=n_servers,
             region_size_bytes=region_size_bytes,
             strategy=strategy,
             **kwargs,
-        )
+        ),
+        tracer=tracer,
+        metrics=metrics,
     )
 
 

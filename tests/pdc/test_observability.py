@@ -62,6 +62,52 @@ class TestSnapshot:
         assert max(c.now for c in env.all_clocks()) == t
 
 
+class TestAggregateCacheHitRate:
+    def _server(self, sid, hits, lookups, entries):
+        from repro.pdc.observability import ServerStats
+
+        return ServerStats(
+            server_id=sid, alive=True, sim_time_s=0.0, busy_s=0.0,
+            time_breakdown={}, cache_entries=entries, cache_used_vbytes=0.0,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            objects_with_metadata=0, cache_hits=hits, cache_lookups=lookups,
+        )
+
+    def _snap(self, servers):
+        from repro.pdc.observability import SystemSnapshot
+
+        return SystemSnapshot(
+            n_servers=len(servers), n_alive=len(servers), strategy="histogram",
+            virtual_scale=1.0, elapsed_s=0.0, servers=servers, n_objects=0,
+            n_regions_total=0, indexed_objects=[], replicas=[], pfs_files=0,
+            pfs_bytes_stored=0, pfs_bytes_read_virtual=0.0, pfs_read_accesses=0,
+            metadata_records=0,
+        )
+
+    def test_weighted_by_lookup_counts(self):
+        # One server answered 1 lookup (100% hits) while holding many
+        # entries; the other answered 999 lookups all missing.  Entry-count
+        # weighting would report ~50%; the true fleet rate is 0.1%.
+        snap = self._snap([
+            self._server(0, hits=1, lookups=1, entries=500),
+            self._server(1, hits=0, lookups=999, entries=1),
+        ])
+        assert snap.aggregate_cache_hit_rate == pytest.approx(1 / 1000)
+
+    def test_no_lookups_is_zero(self):
+        snap = self._snap([self._server(0, 0, 0, 0)])
+        assert snap.aggregate_cache_hit_rate == 0.0
+
+    def test_matches_exact_counters_after_queries(self, env):
+        engine = QueryEngine(env)
+        for _ in range(2):
+            engine.execute(cond("energy", ">", 1.0))
+        snap = snapshot(env)
+        hits = sum(s.cache.stats.hits for s in env.servers)
+        lookups = sum(s.cache.stats.hits + s.cache.stats.misses for s in env.servers)
+        assert snap.aggregate_cache_hit_rate == pytest.approx(hits / lookups)
+
+
 class TestReport:
     def test_renders_key_facts(self, env):
         QueryEngine(env).execute(cond("energy", ">", 1.0))
