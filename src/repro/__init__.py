@@ -26,10 +26,13 @@ from .errors import (
     PDCError,
     QueryError,
     QueryShapeError,
+    QueryTimeoutError,
     QueryTypeError,
+    RegionUnavailableError,
     SelectionError,
     StorageError,
 )
+from .faults import FaultConfig, FaultPlan
 from .interval import Interval
 from .obs import MetricsRegistry, Tracer, get_registry
 from .pdc import PDCConfig, PDCSystem
@@ -64,6 +67,10 @@ __all__ = [
     "QueryTypeError",
     "SelectionError",
     "StorageError",
+    "QueryTimeoutError",
+    "RegionUnavailableError",
+    "FaultConfig",
+    "FaultPlan",
     "Interval",
     "MetricsRegistry",
     "Tracer",

@@ -13,6 +13,9 @@ Gives the open-source release a zero-code entry point:
   query with tracing enabled and export a Perfetto-loadable timeline;
 * ``python -m repro metrics`` — run a demo workload and print the metrics
   registry in Prometheus text exposition format;
+* ``python -m repro faults`` — run the demo workload under deterministic
+  fault injection (PFS read errors, stragglers, server crashes, message
+  drops) and report retries, failovers, and degraded results;
 * ``python -m repro info`` — version, scale presets, strategy list.
 """
 
@@ -56,7 +59,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_deployment():
+def _demo_deployment(metrics=None):
     """The small two-object deployment shared by selftest/trace/metrics:
     an indexed, replica-backed system plus the demo condition tree and its
     ground-truth hit count."""
@@ -67,7 +70,9 @@ def _demo_deployment():
     from .types import PDCType, QueryOp
 
     rng = np.random.default_rng(0)
-    system = PDCSystem(PDCConfig(n_servers=4, region_size_bytes=1 << 13))
+    system = PDCSystem(
+        PDCConfig(n_servers=4, region_size_bytes=1 << 13), metrics=metrics
+    )
     n = 1 << 14
     e = rng.gamma(2.0, 0.7, n).astype(np.float32)
     x = (rng.random(n) * 300).astype(np.float32)
@@ -83,6 +88,51 @@ def _demo_deployment():
     )
     truth = int(((e > 2.0) & (x < 150.0)).sum())
     return system, node, truth
+
+
+def _selftest_faults() -> int:
+    """Fault-enabled selftest leg: deterministic injection must keep every
+    *complete* result exact, and the same seed must reproduce the same
+    retries/failovers/answer bit for bit."""
+    from .faults import FaultConfig, FaultPlan
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    config = FaultConfig(
+        pfs_read_error_rate=0.05,
+        pfs_slow_rate=0.05,
+        server_slow_rate=0.1,
+        msg_drop_rate=0.02,
+    )
+    failures = 0
+    runs = []
+    for _ in range(2):  # identical seed twice: must be bit-identical
+        system, node, truth = _demo_deployment()
+        system.set_fault_plan(FaultPlan(seed=1234, config=config))
+        engine = QueryEngine(system)
+        run = []
+        for strategy in Strategy:
+            res = engine.execute(node, strategy=strategy)
+            run.append((res.nhits, res.retries, res.complete, res.elapsed_s))
+        runs.append(run)
+    for strategy, (nhits, retries, complete, elapsed_s) in zip(Strategy, runs[0]):
+        ok = nhits == truth if complete else nhits <= truth
+        failures += not ok
+        tag = "ok" if ok else "FAIL"
+        if complete and ok:
+            detail = f"{retries} retries"
+        else:
+            detail = "DEGRADED" if not complete else "wrong answer"
+        print(
+            f"  faults {strategy.paper_label:<9} {nhits:>6} hits "
+            f"({elapsed_s * 1e3:7.2f} simulated ms, {detail})  {tag}"
+        )
+    if runs[0] != runs[1]:
+        failures += 1
+        print("  faults determinism      same seed diverged  FAIL")
+    else:
+        print("  faults determinism      same seed, same run  ok")
+    return failures
 
 
 def cmd_selftest(args: argparse.Namespace) -> int:
@@ -112,6 +162,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     wire_ok = wire.size == truth
     failures += not wire_ok
     print(f"  simmpi wire path        {wire.size:>6} hits  {'ok' if wire_ok else 'FAIL'}")
+    if getattr(args, "faults", False):
+        failures += _selftest_faults()
     if trace_path:
         system.tracer.write_chrome(trace_path)
         print(f"  trace: {len(system.tracer.spans)} spans -> {trace_path}")
@@ -202,6 +254,84 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultConfig, FaultPlan
+    from .obs import MetricsRegistry
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    config = FaultConfig(
+        pfs_read_error_rate=args.pfs_error_rate,
+        pfs_slow_rate=args.pfs_slow_rate,
+        server_crash_rate=args.crash_rate,
+        server_slow_rate=args.slow_rate,
+        msg_drop_rate=args.drop_rate,
+        msg_delay_rate=args.delay_rate,
+        query_timeout_s=args.timeout,
+    )
+    registry = MetricsRegistry()
+    system, node, truth = _demo_deployment(metrics=registry)
+    plan = FaultPlan(seed=args.seed, config=config)
+    system.set_fault_plan(plan)
+    engine = QueryEngine(system)
+    print(f"fault injection demo (seed {args.seed}, truth {truth} hits)")
+    failures = 0
+    for strategy in Strategy:
+        res = engine.execute(node, strategy=strategy)
+        if res.complete:
+            ok = res.nhits == truth
+            status = "ok" if ok else "FAIL"
+            failures += not ok
+        else:
+            # Degraded answers must stay a subset of the truth.
+            ok = res.nhits <= truth
+            status = ("DEGRADED+timeout" if res.timed_out else "DEGRADED") if ok else "FAIL"
+            failures += not ok
+        print(
+            f"  {strategy.paper_label:<9} {res.nhits:>6}/{truth} hits "
+            f"{res.retries:>3} retries {res.failovers} failovers "
+            f"({res.elapsed_s * 1e3:8.2f} simulated ms)  {status}"
+        )
+        for sid, errors in sorted(res.server_errors.items()):
+            for err in errors:
+                print(f"      server{sid}: {err}")
+        # Crashed servers rejoin (cold) before the next strategy runs.
+        for sid in sorted(system._failed_servers):
+            system.recover_server(sid)
+    # Wire-path leg: message drops are retransmitted deterministically.
+    from .errors import TransportError
+    from .pdc.transport import run_distributed_query
+
+    try:
+        wire = run_distributed_query(system, node, n_server_ranks=4)
+        wire_ok = wire.size == truth
+        failures += not wire_ok
+        print(f"  simmpi wire {wire.size:>6}/{truth} hits  {'ok' if wire_ok else 'FAIL'}")
+    except TransportError as exc:
+        print(f"  simmpi wire gave up after retransmit budget: {exc}")
+    print()
+    print("injected faults by kind:")
+    for kind, count in sorted(plan.snapshot().items()):
+        print(f"  {kind:<18} {count}")
+    if not plan.snapshot():
+        print("  (none)")
+    fault_metrics = [
+        line
+        for line in registry.render().splitlines()
+        if ("fault" in line or "lost" in line or "degraded" in line
+            or "timeout" in line or "dropped" in line or "delayed" in line)
+        and not line.startswith("#")
+    ]
+    if fault_metrics:
+        print()
+        print("fault metrics:")
+        for line in fault_metrics:
+            print(f"  {line}")
+    print()
+    print("faults demo:", "PASS" if failures == 0 else f"FAIL ({failures})")
+    return 1 if failures else 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from . import __version__
     from .bench.harness import SCALES
@@ -252,6 +382,10 @@ def main(argv=None) -> int:
         "--trace", metavar="FILE",
         help="write a Chrome trace of the selftest queries to FILE",
     )
+    p.add_argument(
+        "--faults", action="store_true",
+        help="also run the deterministic fault-injection leg",
+    )
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser(
@@ -276,6 +410,41 @@ def main(argv=None) -> int:
         "metrics", help="run a demo workload and print the metrics registry"
     )
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "faults",
+        help="run the demo workload under deterministic fault injection",
+    )
+    p.add_argument("--seed", type=int, default=1234, help="fault plan seed")
+    p.add_argument(
+        "--pfs-error-rate", type=float, default=0.05,
+        help="PFS extent read failure probability (default: 0.05)",
+    )
+    p.add_argument(
+        "--pfs-slow-rate", type=float, default=0.05,
+        help="PFS latency-spike probability (default: 0.05)",
+    )
+    p.add_argument(
+        "--crash-rate", type=float, default=0.1,
+        help="per-dispatch server crash probability (default: 0.1)",
+    )
+    p.add_argument(
+        "--slow-rate", type=float, default=0.1,
+        help="per-query server straggler probability (default: 0.1)",
+    )
+    p.add_argument(
+        "--drop-rate", type=float, default=0.02,
+        help="wire message drop probability (default: 0.02)",
+    )
+    p.add_argument(
+        "--delay-rate", type=float, default=0.05,
+        help="wire message delay probability (default: 0.05)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-query simulated-seconds deadline (default: none)",
+    )
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("info", help="version, strategies, scale presets")
     p.set_defaults(func=cmd_info)

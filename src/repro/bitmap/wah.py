@@ -51,6 +51,18 @@ _PAYLOAD_MASK = (np.uint64(1) << np.uint64(GROUP_BITS)) - np.uint64(1)
 #: Weights packing LSB-first group bits into a uint64 payload.
 _BIT_WEIGHTS = (np.uint64(1) << np.arange(GROUP_BITS, dtype=np.uint64)).astype(np.uint64)
 
+# ``np.bitwise_count`` only exists on NumPy >= 2.0; select a portable
+# popcount once at import time so NumPy 1.26 keeps working.
+if hasattr(np, "bitwise_count"):
+    _popcount = np.bitwise_count
+else:
+    _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount(a: np.ndarray) -> np.ndarray:
+        a = np.ascontiguousarray(a, dtype=np.uint64)
+        bytes_ = a.view(np.uint8).reshape(a.shape + (8,))
+        return _POPCOUNT_TABLE[bytes_].sum(axis=-1, dtype=np.uint64)
+
 
 # --------------------------------------------------------------------- groups
 def bits_to_groups(bits: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -166,10 +178,21 @@ def logical_or(w1: np.ndarray, w2: np.ndarray) -> np.ndarray:
 
 def logical_not(words: np.ndarray, n_bits: int) -> np.ndarray:
     """Complement within an ``n_bits`` domain (padding bits stay 0)."""
+    if n_bits < 0:
+        raise IndexError_(f"n_bits must be non-negative, got {n_bits}")
     groups = np.bitwise_xor(decode_groups(words), _PAYLOAD_MASK)
-    if groups.size:
-        # Clear padding bits of the final group so counts stay correct.
-        tail_bits = n_bits - (groups.size - 1) * GROUP_BITS
+    if groups.size * GROUP_BITS < n_bits:
+        raise IndexError_(
+            f"compressed stream covers {groups.size * GROUP_BITS} bits, need {n_bits}"
+        )
+    # Truncate to the domain's groups (a longer stream would otherwise leak
+    # complemented padding as set bits) and clear the final group's padding
+    # so counts stay correct.  The old tail computation went negative for
+    # short n_bits, wrapping the uint64 shift into a garbage mask.
+    n_groups = (n_bits + GROUP_BITS - 1) // GROUP_BITS
+    groups = groups[:n_groups]
+    if n_groups:
+        tail_bits = n_bits - (n_groups - 1) * GROUP_BITS
         tail_mask = (np.uint64(1) << np.uint64(tail_bits)) - np.uint64(1)
         groups[-1] &= tail_mask
     return encode_groups(groups)
@@ -182,7 +205,7 @@ def count_set_bits(words: np.ndarray) -> int:
         return 0
     is_fill = (words & _FILL_FLAG) != 0
     literals = words[~is_fill] & _PAYLOAD_MASK
-    lit_count = int(np.bitwise_count(literals).sum()) if literals.size else 0
+    lit_count = int(_popcount(literals).sum()) if literals.size else 0
     ones_fills = words[is_fill & ((words & _FILL_VALUE) != 0)]
     fill_count = int((ones_fills & _LEN_MASK).astype(np.int64).sum()) * GROUP_BITS
     return lit_count + fill_count

@@ -20,6 +20,8 @@ __all__ = [
     "QueryTypeError",
     "QueryShapeError",
     "SelectionError",
+    "QueryTimeoutError",
+    "RegionUnavailableError",
     "TransportError",
     "RuntimeAbort",
     "IndexError_",
@@ -36,6 +38,14 @@ class StorageError(PDCError):
 
 class CapacityError(StorageError):
     """A storage device or cache ran out of capacity."""
+
+
+class RegionUnavailableError(StorageError):
+    """A region read kept failing after exhausting its retry budget.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`); the query
+    engine degrades to a partial result instead of crashing the query.
+    """
 
 
 class ObjectNotFoundError(PDCError):
@@ -68,6 +78,10 @@ class QueryShapeError(QueryError):
 
 class SelectionError(QueryError):
     """A selection is invalid for the requested data-retrieval operation."""
+
+
+class QueryTimeoutError(QueryError):
+    """A query exceeded its simulated-time budget (see :mod:`repro.faults`)."""
 
 
 class TransportError(PDCError):

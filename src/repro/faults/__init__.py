@@ -1,0 +1,5 @@
+"""Deterministic fault injection and recovery (see :mod:`repro.faults.plan`)."""
+
+from .plan import ZERO_FAULTS, FaultConfig, FaultPlan
+
+__all__ = ["FaultConfig", "FaultPlan", "ZERO_FAULTS"]

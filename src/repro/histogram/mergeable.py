@@ -241,10 +241,22 @@ class MergeableHistogram:
                 "not a power-of-two multiple"
             )
         new_start = math.floor(self.start / new_width) * new_width
-        # Index of each fine bin's coarse parent.
+        # Index of each fine bin's coarse parent.  Both the ratio and the
+        # fine-bin offset can exceed int64 when the widths differ by a huge
+        # power of two (e.g. 2^-56 vs 2^8), so fall back to Python-int
+        # arithmetic outside the safe range; the *coarse* indexes are
+        # always small because offset_bins < ratio.
+        ratio_i = int(ratio)
         offset_bins = round((self.start - new_start) / self.bin_width)
-        fine_idx = offset_bins + np.arange(self.n_bins)
-        coarse_idx = (fine_idx // int(ratio)).astype(np.int64)
+        if ratio_i < (1 << 62) and offset_bins + self.n_bins < (1 << 62):
+            fine_idx = offset_bins + np.arange(self.n_bins, dtype=np.int64)
+            coarse_idx = fine_idx // ratio_i
+        else:
+            coarse_idx = np.fromiter(
+                ((offset_bins + k) // ratio_i for k in range(self.n_bins)),
+                dtype=np.int64,
+                count=self.n_bins,
+            )
         n_coarse = int(coarse_idx[-1]) + 1
         new_counts = np.zeros(n_coarse, dtype=np.int64)
         np.add.at(new_counts, coarse_idx, self.counts)

@@ -6,7 +6,7 @@ from .metadata import ObjectMeta
 from .metaserver import MetadataService
 from .observability import SystemSnapshot, report, snapshot
 from .persistence import load_system, save_system
-from .placement import POLICIES, block, least_loaded, round_robin
+from .placement import POLICIES, assign_region_ids, block, least_loaded, round_robin
 from .region import RegionMeta, partition, region_key
 from .server import PDCServer
 from .system import PDCConfig, PDCSystem, ReplicaGroup, StoredObject
@@ -21,6 +21,7 @@ __all__ = [
     "report",
     "snapshot",
     "POLICIES",
+    "assign_region_ids",
     "block",
     "least_loaded",
     "round_robin",

@@ -12,10 +12,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from ..errors import PDCError
 from .region import RegionMeta
 
-__all__ = ["round_robin", "block", "least_loaded", "POLICIES"]
+__all__ = ["round_robin", "block", "least_loaded", "POLICIES", "assign_region_ids"]
 
 Assignment = Dict[int, List[RegionMeta]]
 
@@ -71,3 +73,47 @@ POLICIES = {
     "block": block,
     "least_loaded": least_loaded,
 }
+
+
+def assign_region_ids(
+    region_ids: np.ndarray,
+    n_targets: int,
+    policy: str = "round_robin",
+    weights: Sequence[float] = (),
+) -> List[np.ndarray]:
+    """Split bare region ids across ``n_targets`` servers by policy name.
+
+    Failover helper: when a server dies mid-query its region share is
+    re-assigned across the survivors with the same policies that place
+    ordinary work, but operating on ids (no :class:`RegionMeta` needed).
+    ``weights`` optionally seeds ``least_loaded`` with each target's
+    existing load so failover work goes to the idlest survivors first.
+    Ids within each share keep ascending order (deterministic).
+    """
+    if n_targets < 1:
+        raise PDCError("need at least one target server")
+    if policy not in POLICIES:
+        raise PDCError(f"unknown placement policy {policy!r}")
+    ids = np.asarray(region_ids, dtype=np.int64)
+    out: List[List[int]] = [[] for _ in range(n_targets)]
+    if policy == "round_robin":
+        for i, rid in enumerate(ids):
+            out[i % n_targets].append(int(rid))
+    elif policy == "block":
+        base, extra = divmod(ids.size, n_targets)
+        start = 0
+        for s in range(n_targets):
+            count = base + (1 if s < extra else 0)
+            out[s] = [int(r) for r in ids[start : start + count]]
+            start += count
+    else:  # least_loaded: LPT on unit weights, seeded with existing load
+        heap = [
+            (float(weights[s]) if s < len(weights) else 0.0, s)
+            for s in range(n_targets)
+        ]
+        heapq.heapify(heap)
+        for rid in ids:
+            load, s = heapq.heappop(heap)
+            out[s].append(int(rid))
+            heapq.heappush(heap, (load + 1.0, s))
+    return [np.asarray(sorted(share), dtype=np.int64) for share in out]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Set
 
+from ..errors import RegionUnavailableError
 from ..obs.tracer import NOOP_TRACER
 from ..storage.cache import RegionCache
 from ..storage.costmodel import CostModel, SimClock
@@ -58,6 +59,73 @@ class PDCServer:
         #: Tracer shared with the owning system (swapped by
         #: :meth:`PDCSystem.set_tracer`); the default no-op records nothing.
         self.tracer = NOOP_TRACER
+        #: Fault plan shared with the owning system (installed by
+        #: :meth:`PDCSystem.set_fault_plan`); None means no injection and
+        #: leaves every charge bit-identical to the pre-fault code path.
+        self.fault_plan = None
+        self.metrics = metrics
+        #: Read retries this server has performed (fault recovery).
+        self.retries_total = 0
+
+    # ------------------------------------------------------------ fault layer
+    def faultable_read(
+        self, key: str, seconds: float, category: str = "pfs_read"
+    ) -> None:
+        """Charge a storage read of ``key``, subject to fault injection.
+
+        With no plan installed this is exactly ``clock.charge(seconds)``.
+        Otherwise the read may suffer a latency spike (multiplied cost) or
+        fail; failures retry with exponential backoff charged to this
+        server's clock, and raise :class:`RegionUnavailableError` once the
+        retry budget is exhausted.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            self.clock.charge(seconds, category=category)
+            return
+        slow = plan.pfs_slow_factor(key)
+        if slow != 1.0:
+            seconds = seconds * slow
+            self._count_fault("pfs_slow")
+        attempt = 0
+        while True:
+            self.clock.charge(seconds, category=category)
+            if not plan.pfs_read_fails(key):
+                return
+            attempt += 1
+            self._count_fault("pfs_read_error")
+            if attempt > plan.config.max_retries:
+                raise RegionUnavailableError(
+                    f"server{self.server_id}: read of {key!r} failed "
+                    f"after {attempt} attempts"
+                )
+            self.retries_total += 1
+            self._count_retry()
+            backoff = plan.backoff_s(attempt)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    f"retry:{key}", self.clock, category="fault",
+                    attempt=attempt,
+                ):
+                    self.clock.charge(backoff, category="retry_backoff")
+            else:
+                self.clock.charge(backoff, category="retry_backoff")
+
+    def _count_fault(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "pdc_faults_injected_total",
+                "Faults injected by the active FaultPlan",
+                labels=("kind",),
+            ).labels(kind=kind).inc()
+
+    def _count_retry(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "pdc_fault_retries_total",
+                "Storage-read retries performed during fault recovery",
+                labels=("server",),
+            ).labels(server=str(self.server_id)).inc()
 
     # ----------------------------------------------------------------- caching
     def ensure_region(
@@ -85,27 +153,19 @@ class PDCServer:
                     self.cost.mem_copy_time(nbytes, scaled=scaled), category="mem_copy"
                 )
             return True
+        read_time = self.cost.tier_read_time(
+            nbytes, n_accesses, tier, stripe_count, concurrent_readers,
+            scaled=scaled,
+        )
         if self.tracer.enabled:
             span_cat = "index_read" if category == "index_read" else "storage_read"
             with self.tracer.span(
                 f"read:{key}", self.clock, category=span_cat,
                 bytes=nbytes, tier=tier,
             ):
-                self.clock.charge(
-                    self.cost.tier_read_time(
-                        nbytes, n_accesses, tier, stripe_count, concurrent_readers,
-                        scaled=scaled,
-                    ),
-                    category=category,
-                )
+                self.faultable_read(key, read_time, category=category)
         else:
-            self.clock.charge(
-                self.cost.tier_read_time(
-                    nbytes, n_accesses, tier, stripe_count, concurrent_readers,
-                    scaled=scaled,
-                ),
-                category=category,
-            )
+            self.faultable_read(key, read_time, category=category)
         self.cache.put(key, nbytes=nbytes if scaled else 0)
         return False
 

@@ -76,6 +76,9 @@ class PDCConfig:
     get_data_whole_regions: bool = True
     #: Metadata shards; 0 means one per server.
     n_meta_shards: int = 0
+    #: Placement policy used to re-assign a crashed server's region share
+    #: across the survivors (see :mod:`repro.pdc.placement`).
+    failover_policy: str = "round_robin"
 
     def histogram_bins_for(self, region_size_bytes: int) -> int:
         """Per-region histogram bin count: explicit, or the adaptive
@@ -220,6 +223,8 @@ class PDCSystem:
             s.tracer = self.tracer
         self.client_clock = SimClock("client")
         self._failed_servers: set = set()
+        #: Deterministic fault plan (:mod:`repro.faults`); None = no faults.
+        self.fault_plan = None
         self.containers: Dict[str, Container] = {"default": Container("default")}
         self.objects: Dict[str, StoredObject] = {}
         #: sort-key object name → replica group.
@@ -647,6 +652,17 @@ class PDCSystem:
             if all(n in covered for n in object_names):
                 return group
         return None
+
+    # ------------------------------------------------------------- fault plan
+    def set_fault_plan(self, plan) -> None:
+        """Install a :class:`repro.faults.FaultPlan` on this system, every
+        server, and the PFS (None uninstalls).  With no plan — or a plan
+        whose rates are all zero — query costs are bit-identical to the
+        pre-fault code path."""
+        self.fault_plan = plan
+        for s in self.servers:
+            s.fault_plan = plan
+        self.pfs.fault_plan = plan
 
     # ------------------------------------------------------------- observability
     def set_tracer(self, tracer) -> None:

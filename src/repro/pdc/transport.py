@@ -116,12 +116,15 @@ def run_distributed_query(
     node: QueryNode,
     n_server_ranks: Optional[int] = None,
     region_constraint: Optional[Tuple[int, int]] = None,
+    fault_plan=None,
 ) -> np.ndarray:
     """Execute a query over simmpi ranks; returns sorted hit coordinates.
 
     Spawns ``1 + n_server_ranks`` ranks: the client broadcasts the
     serialized request, servers evaluate their shares, and the client
     gathers + merges (deduplicating, as the paper's OR path does).
+    ``fault_plan`` (default: the system's installed plan) injects
+    deterministic message drops/delays on the wire.
     """
     n_servers = system.n_servers if n_server_ranks is None else n_server_ranks
     if n_servers < 1:
@@ -144,5 +147,7 @@ def run_distributed_query(
             merged = merged[(merged >= start) & (merged < stop)]
         return merged
 
-    results = run_spmd(1 + n_servers, rank_main)
+    if fault_plan is None:
+        fault_plan = system.fault_plan
+    results = run_spmd(1 + n_servers, rank_main, fault_plan=fault_plan)
     return results[0]

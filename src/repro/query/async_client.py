@@ -53,6 +53,11 @@ class AsyncQueryClient:
             target=self._drain, name="pdc-client-aggregator", daemon=True
         )
         self._closed = False
+        # Guards the closed-check + put pair in _enqueue against shutdown():
+        # without it a submit racing a concurrent shutdown can land its
+        # request *behind* the sentinel, leaving the future unresolved and
+        # the caller hung on .result().
+        self._lifecycle_lock = threading.Lock()
         self._worker.start()
 
     # --------------------------------------------------------------- submit
@@ -85,10 +90,11 @@ class AsyncQueryClient:
         )
 
     def _enqueue(self, fn: Callable[[], Any]) -> Future:
-        if self._closed:
-            raise QueryError("client is shut down")
-        future: Future = Future()
-        self._requests.put((fn, future))
+        with self._lifecycle_lock:
+            if self._closed:
+                raise QueryError("client is shut down")
+            future: Future = Future()
+            self._requests.put((fn, future))
         return future
 
     # --------------------------------------------------------------- worker
@@ -114,13 +120,27 @@ class AsyncQueryClient:
     def shutdown(self, timeout: Optional[float] = 10.0) -> None:
         """Process remaining requests, then stop the background thread.
         Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        self._requests.put(self._SHUTDOWN)
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._requests.put(self._SHUTDOWN)
         self._worker.join(timeout=timeout)
         if self._worker.is_alive():  # pragma: no cover - defensive
             raise QueryError("client aggregator thread did not stop")
+        # Belt and braces: fail anything still queued (nothing can land here
+        # once _closed is set, but a pre-fix pickle or subclass might have
+        # raced) so no caller blocks forever on an unresolved future.
+        while True:
+            try:
+                item = self._requests.get_nowait()
+            except queue.Empty:
+                break
+            if item is self._SHUTDOWN:
+                continue
+            _fn, future = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(QueryError("client shut down before execution"))
 
     def __enter__(self) -> "AsyncQueryClient":
         return self

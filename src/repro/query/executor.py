@@ -28,10 +28,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import QueryError, QueryShapeError
+from ..errors import (
+    QueryError,
+    QueryShapeError,
+    QueryTimeoutError,
+    RegionUnavailableError,
+)
 from ..histogram.selectivity import order_by_selectivity
 from ..interval import Interval
 from ..obs.tracer import Span
+from ..pdc.placement import assign_region_ids
 from ..pdc.region import region_key
 from ..pdc.system import PDCSystem, ReplicaGroup, StoredObject
 from ..storage.aggregator import coords_to_extents
@@ -74,6 +80,21 @@ class QueryResult:
     #: Root span of this query's trace when a real tracer was installed on
     #: the system (``None`` under the default no-op tracer).
     trace: Optional[Span] = field(default=None, repr=False, compare=False)
+    #: False when fault recovery had to degrade the answer: some regions
+    #: stayed unreadable after retries, or the query timed out.  A degraded
+    #: result is a *subset* of the true answer (hits in lost regions are
+    #: dropped, never invented) — see docs/robustness.md.
+    complete: bool = True
+    #: The query exceeded its simulated-time budget (partial result).
+    timed_out: bool = False
+    #: Storage-read retries performed during this query (fault recovery).
+    retries: int = 0
+    #: Crashed servers whose region share was re-assigned mid-query.
+    failovers: int = 0
+    #: server id → error messages for reads that exhausted their retries.
+    server_errors: Dict[int, List[str]] = field(default_factory=dict)
+    #: Region cache keys whose payloads were unreadable (degraded mode).
+    lost_regions: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -122,6 +143,24 @@ class QueryEngine:
         self.system = system
         self.enable_ordering = enable_ordering
         self.enable_pruning = enable_pruning
+        #: Simulated-time deadline of the query in flight (None = no limit).
+        self._deadline: Optional[float] = None
+
+    def _check_deadline(self) -> None:
+        """Raise :class:`QueryTimeoutError` once simulated time passes the
+        in-flight query's deadline (installed by :meth:`execute`)."""
+        deadline = self._deadline
+        if deadline is None:
+            return
+        sysm = self.system
+        now = max(
+            max(s.clock.now for s in sysm.alive_servers), sysm.client_clock.now
+        )
+        if now > deadline:
+            raise QueryTimeoutError(
+                f"query passed its simulated deadline: t={now:.6f}s > "
+                f"{deadline:.6f}s"
+            )
 
     # ------------------------------------------------------------ public API
     def execute(
@@ -130,6 +169,7 @@ class QueryEngine:
         want_selection: bool = True,
         region_constraint: Optional[RegionConstraint] = None,
         strategy: Optional[Strategy] = None,
+        timeout_s: Optional[float] = None,
     ) -> QueryResult:
         """Evaluate a condition tree; returns hit count (and selection).
 
@@ -137,6 +177,11 @@ class QueryEngine:
         ``PDCquery_set_region``: a half-open flat coordinate range, or an
         N-D :class:`HyperSlab` over the objects' logical shape.  Either way
         it need not align with PDC's internal region partitions (§III-A).
+
+        ``timeout_s`` bounds the query's *simulated* elapsed time
+        (defaulting to the installed fault plan's ``query_timeout_s``);
+        when exceeded, evaluation stops and a partial result is returned
+        with ``timed_out=True`` and ``complete=False``.
         """
         sysm = self.system
         tracer = sysm.tracer
@@ -173,62 +218,104 @@ class QueryEngine:
 
             t_start = sysm.sync_clocks()
 
-            # 1. Client serializes + broadcasts the plan; servers receive.
-            # Servers meeting the client's broadcast instant is
-            # communication rendezvous, not idle waiting.
-            with tracer.span("broadcast", sysm.client_clock, category="comm"):
-                sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
-                sysm.client_clock.charge(
-                    sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
-                )
-                for server in sysm.alive_servers:
-                    server.clock.advance_to(sysm.client_clock.now, category="comm")
-                    server.clock.charge(
-                        sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
-                    )
-                    server.clock.charge(sysm.cost.params.server_overhead_s, "server")
-
-                # 2. Metadata distribution (charged once per object per
-                # server).
-                self._ensure_metadata(names)
-
-            # 3. DNF evaluation with OR-union at the client.
+            # Fault setup: per-query straggler drags, simulated deadline,
+            # retry baseline.  All of this is skipped (bit-identically)
+            # when no plan is installed.
             stats = QueryResult(
                 nhits=0, selection=None, elapsed_s=0.0, strategy=strat
             )
-            conjunct_leaf_sets = to_dnf(root)
-            coords_acc: Optional[np.ndarray] = None
-            for ci, leaves in enumerate(conjunct_leaf_sets):
-                conjunct = conjunct_intervals(leaves)
-                if conjunct is None:  # contradictory conditions: matches nothing
-                    continue
-                with tracer.span(
-                    f"conjunct[{ci}]", sysm.client_clock, category="conjunct",
-                    objects=sorted(conjunct),
-                ):
-                    coords = self._eval_conjunct(
-                        conjunct, (cstart, cstop), strat, stats
-                    )
-                if slab is not None:
-                    # Exact N-D filtering of the bounding-range hits; servers
-                    # evaluate whole regions intersecting the slab's bounds,
-                    # which is what the cost accounting above charged.
-                    coords = slab.filter_flat(coords)
-                if coords_acc is None:
-                    coords_acc = coords
-                elif coords.size:
-                    # §III-C: OR results combined and deduplicated via merge.
+            plan = sysm.fault_plan
+            retries_before = sum(s.retries_total for s in sysm.servers)
+            dragged: List = []
+            if plan is not None and plan.config.server_slow_rate > 0.0:
+                for server in sysm.alive_servers:
+                    factor = plan.server_slow_factor(server.server_id)
+                    if factor != 1.0:
+                        server.clock.drag = factor
+                        dragged.append(server)
+                        tracer.instant(
+                            f"slow:server{server.server_id}", server.clock,
+                            category="fault", factor=factor,
+                        )
+            if timeout_s is not None:
+                self._deadline = t_start + timeout_s
+            elif plan is not None and plan.config.query_timeout_s is not None:
+                self._deadline = t_start + plan.config.query_timeout_s
+            else:
+                self._deadline = None
+
+            try:
+                # 1. Client serializes + broadcasts the plan; servers receive.
+                # Servers meeting the client's broadcast instant is
+                # communication rendezvous, not idle waiting.
+                with tracer.span("broadcast", sysm.client_clock, category="comm"):
+                    sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
                     sysm.client_clock.charge(
-                        sysm.cost.scan_time(coords_acc.size + coords.size), "merge"
+                        sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
                     )
-                    coords_acc = np.union1d(coords_acc, coords)
-                # §III-C special case: a disjunct selecting everything ends the
-                # union early.
-                full_count = slab.n_elements if slab is not None else cstop - cstart
-                if coords_acc is not None and coords_acc.size == full_count:
-                    break
-            if coords_acc is None:
-                coords_acc = np.zeros(0, dtype=np.int64)
+                    for server in sysm.alive_servers:
+                        server.clock.advance_to(sysm.client_clock.now, category="comm")
+                        server.clock.charge(
+                            sysm.cost.net_time(_PLAN_BYTES, scaled=False), "net"
+                        )
+                        server.clock.charge(sysm.cost.params.server_overhead_s, "server")
+
+                    # 2. Metadata distribution (charged once per object per
+                    # server).
+                    self._ensure_metadata(names)
+
+                # 3. DNF evaluation with OR-union at the client.
+                conjunct_leaf_sets = to_dnf(root)
+                coords_acc: Optional[np.ndarray] = None
+                try:
+                    self._check_deadline()
+                    for ci, leaves in enumerate(conjunct_leaf_sets):
+                        conjunct = conjunct_intervals(leaves)
+                        if conjunct is None:  # contradictory conditions: matches nothing
+                            continue
+                        with tracer.span(
+                            f"conjunct[{ci}]", sysm.client_clock, category="conjunct",
+                            objects=sorted(conjunct),
+                        ):
+                            coords = self._eval_conjunct(
+                                conjunct, (cstart, cstop), strat, stats
+                            )
+                        if slab is not None:
+                            # Exact N-D filtering of the bounding-range hits; servers
+                            # evaluate whole regions intersecting the slab's bounds,
+                            # which is what the cost accounting above charged.
+                            coords = slab.filter_flat(coords)
+                        if coords_acc is None:
+                            coords_acc = coords
+                        elif coords.size:
+                            # §III-C: OR results combined and deduplicated via merge.
+                            sysm.client_clock.charge(
+                                sysm.cost.scan_time(coords_acc.size + coords.size), "merge"
+                            )
+                            coords_acc = np.union1d(coords_acc, coords)
+                        # §III-C special case: a disjunct selecting everything ends the
+                        # union early.
+                        full_count = slab.n_elements if slab is not None else cstop - cstart
+                        if coords_acc is not None and coords_acc.size == full_count:
+                            break
+                        self._check_deadline()
+                except QueryTimeoutError as exc:
+                    # Degrade: keep whatever the finished conjuncts produced.
+                    stats.timed_out = True
+                    stats.complete = False
+                    tracer.instant(
+                        "query_timeout", sysm.client_clock, category="fault",
+                        detail=str(exc),
+                    )
+                if coords_acc is None:
+                    coords_acc = np.zeros(0, dtype=np.int64)
+            finally:
+                for server in dragged:
+                    server.clock.drag = 1.0
+                self._deadline = None
+                stats.retries = (
+                    sum(s.retries_total for s in sysm.servers) - retries_before
+                )
 
             # 4. Result shipping: servers send their share, client aggregates.
             with tracer.span(
@@ -241,7 +328,10 @@ class QueryEngine:
             stats.nhits = int(coords_acc.size)
             stats.selection = Selection(coords_acc, domain) if want_selection else None
             stats.elapsed_s = t_end - t_start
-            qspan.set(nhits=stats.nhits, elapsed_s=stats.elapsed_s)
+            qspan.set(
+                nhits=stats.nhits, elapsed_s=stats.elapsed_s,
+                complete=stats.complete,
+            )
         stats.trace = qspan.span
         self._record_query_metrics(stats)
         return stats
@@ -456,10 +546,15 @@ class QueryEngine:
 
         if strat is Strategy.FULL_SCAN:
             # §III-D1: pre-load all queried objects' data entirely.
+            # (Later objects' lost regions are retried by the per-condition
+            # loop below, so only the first object's losses matter here.)
+            lost = np.zeros(0, dtype=np.int64)
             for name, _ in ordered:
-                obj = sysm.get_object(name)
-                all_regions = self._regions_in_constraint(obj, constraint)
-                self._charge_data_reads(obj, all_regions, stats)
+                o = sysm.get_object(name)
+                all_regions = self._regions_in_constraint(o, constraint)
+                lost_o = self._charge_data_reads(o, all_regions, stats)
+                if name == first_name:
+                    lost = lost_o
             obj = sysm.get_object(first_name)
             self._charge_scan(obj, self._regions_in_constraint(obj, constraint), constraint)
             coords = self._mask_coords(obj, first_iv, constraint)
@@ -467,11 +562,15 @@ class QueryEngine:
             obj = sysm.get_object(first_name)
             surviving = self._prune_regions(obj, first_iv, constraint, stats)
             if strat is Strategy.HIST_INDEX and obj.indexes is not None:
-                self._charge_index_reads(obj, surviving, first_iv, stats)
+                lost = self._charge_index_reads(obj, surviving, first_iv, stats)
             else:
-                self._charge_data_reads(obj, surviving, stats)
+                lost = self._charge_data_reads(obj, surviving, stats)
                 self._charge_scan(obj, surviving, constraint)
             coords = self._mask_coords(obj, first_iv, constraint)
+        if lost.size:
+            # Degraded mode: hits in unreadable regions are dropped (the
+            # answer stays a subset of the truth).
+            coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
 
         # Subsequent conditions: check only already-selected locations.
         for name, iv in ordered[1:]:
@@ -479,6 +578,7 @@ class QueryEngine:
                 # §III-C special case: an empty intermediate result ends the
                 # conjunct immediately.
                 return coords
+            self._check_deadline()
             obj = sysm.get_object(name)
             cand_regions = np.unique(obj.region_of_coords(coords))
             if strat.uses_histogram and self.enable_pruning:
@@ -496,10 +596,12 @@ class QueryEngine:
                     if coords.size == 0:
                         return coords
             if strat is Strategy.HIST_INDEX and obj.indexes is not None:
-                self._charge_index_reads(obj, cand_regions, iv, stats)
+                lost = self._charge_index_reads(obj, cand_regions, iv, stats)
             else:
-                self._charge_data_reads(obj, cand_regions, stats)
+                lost = self._charge_data_reads(obj, cand_regions, stats)
                 self._charge_candidate_scan(obj, coords)
+            if lost.size:
+                coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
             coords = coords[iv.mask(obj.data[coords])]
         return coords
 
@@ -525,6 +627,7 @@ class QueryEngine:
         # cached metadata, so the boundary regions are found with zero I/O;
         # only those (≤2) key regions are read for the in-memory binary
         # search — and they stay cached for the query sequence.
+        lost_parts: List[np.ndarray] = []
         if run_len > 0:
             boundary = {start // group.region_elements,
                         max(start, stop - 1) // group.region_elements}
@@ -532,7 +635,9 @@ class QueryEngine:
                 sorted(min(b, group.n_regions - 1) for b in boundary), dtype=np.int64
             )
             key_itemsize = sysm.get_object(first_name).itemsize
-            self._charge_replica_regions(group, boundary_ids, "key", key_itemsize, stats)
+            lost_parts.append(self._charge_replica_regions(
+                group, boundary_ids, "key", key_itemsize, stats
+            ))
         sysm.servers[0].clock.charge(
             sysm.cost.binary_search_time(replica.n_elements), "scan"
         )
@@ -544,11 +649,15 @@ class QueryEngine:
         stats.regions_pruned += group.n_regions - int(run_regions.size)
 
         # Read the permutation (coordinates) over the run — contiguous.
-        self._charge_replica_regions(group, run_regions, "perm", 8, stats)
+        lost_parts.append(
+            self._charge_replica_regions(group, run_regions, "perm", 8, stats)
+        )
         # Each further condition reads its companion slice — contiguous.
         for name, _ in rest:
             itemsize = sysm.get_object(name).itemsize
-            self._charge_replica_regions(group, run_regions, name, itemsize, stats)
+            lost_parts.append(self._charge_replica_regions(
+                group, run_regions, name, itemsize, stats
+            ))
             per_server_elems = self._replica_elems_per_server(group, run_regions)
             for server, n in zip(sysm.alive_servers, per_server_elems):
                 if n:
@@ -558,6 +667,16 @@ class QueryEngine:
         mask = np.ones(run_len, dtype=bool)
         for name, iv in rest:
             mask &= iv.mask(replica.companion_slice(name, start, stop))
+        lost_parts = [part for part in lost_parts if part.size]
+        if lost_parts:
+            # Degraded mode: sorted positions whose key/perm/companion
+            # replica regions were unreadable are dropped from the run.
+            lost = np.unique(np.concatenate(lost_parts))
+            pos_regions = np.minimum(
+                np.arange(start, stop, dtype=np.int64) // group.region_elements,
+                group.n_regions - 1,
+            )
+            mask &= ~np.isin(pos_regions, lost)
         coords = replica.original_coords(start, stop)[mask]
         cstart, cstop = constraint
         if cstart > 0 or cstop < replica.n_elements:
@@ -597,6 +716,21 @@ class QueryEngine:
             "pdc_query_bytes_read_virtual_total",
             "Virtual bytes read from storage by queries.",
         ).inc(stats.bytes_read_virtual)
+        if stats.retries:
+            m.counter(
+                "pdc_query_retries_total",
+                "Storage-read retries performed during query evaluation.",
+            ).inc(stats.retries)
+        if not stats.complete:
+            m.counter(
+                "pdc_query_degraded_total",
+                "Queries that returned a degraded (partial) result.",
+            ).inc()
+        if stats.timed_out:
+            m.counter(
+                "pdc_query_timeouts_total",
+                "Queries cut off by their simulated-time budget.",
+            ).inc()
 
     # ---------------------------------------------------------- cost helpers
     def _ensure_metadata(self, names: Sequence[str]) -> None:
@@ -652,6 +786,68 @@ class QueryEngine:
         idx = region_ids % n
         return [(alive[i], region_ids[idx == i]) for i in range(n)]
 
+    def _assignment_with_faults(self, region_ids: np.ndarray, stats: QueryResult):
+        """Like :meth:`_regions_by_server`, but servers may crash at the
+        dispatch point (fault injection): a crashed server is failed out of
+        the system and its region share is re-assigned across the survivors
+        with the configured failover placement policy."""
+        sysm = self.system
+        plan = sysm.fault_plan
+        pairs = self._regions_by_server(region_ids)
+        if plan is None or plan.config.server_crash_rate <= 0.0:
+            return pairs
+        out = []
+        for server, mine in pairs:
+            if (
+                mine.size
+                and server.server_id not in sysm._failed_servers
+                and len(sysm.alive_servers) > 1
+                and plan.server_crashes(server.server_id)
+            ):
+                sysm.fail_server(server.server_id)
+                stats.failovers += 1
+                stats.server_errors.setdefault(server.server_id, []).append(
+                    "server crashed; region share re-assigned"
+                )
+                sysm.tracer.instant(
+                    f"crash:server{server.server_id}", sysm.client_clock,
+                    category="fault", regions=int(mine.size),
+                )
+                sysm.metrics.counter(
+                    "pdc_fault_failovers_total",
+                    "Mid-query server crashes recovered by failover.",
+                ).inc()
+                survivors = sysm.alive_servers
+                shares = assign_region_ids(
+                    mine, len(survivors), policy=sysm.config.failover_policy,
+                    weights=[s.clock.now for s in survivors],
+                )
+                for survivor, share in zip(survivors, shares):
+                    if share.size:
+                        out.append((survivor, share))
+            else:
+                out.append((server, mine))
+        return out
+
+    def _record_lost(
+        self, stats: QueryResult, server, key: str, exc: Exception,
+        lost: List[int], rid: int,
+    ) -> None:
+        """Bookkeeping for a region that stayed unreadable after retries:
+        the query degrades to a partial result (hits in the region are
+        dropped), never crashes."""
+        stats.complete = False
+        stats.lost_regions.append(key)
+        stats.server_errors.setdefault(server.server_id, []).append(str(exc))
+        lost.append(rid)
+        self.system.tracer.instant(
+            f"lost:{key}", server.clock, category="fault",
+        )
+        self.system.metrics.counter(
+            "pdc_query_regions_lost_total",
+            "Regions dropped from query answers after exhausting retries.",
+        ).inc()
+
     def _active_readers(self, region_ids: np.ndarray) -> int:
         """Servers actually reading in this phase — what contends on the
         PFS.  (A selective query touching 5 regions does not suffer
@@ -662,11 +858,17 @@ class QueryEngine:
 
     def _charge_data_reads(
         self, obj: StoredObject, region_ids: np.ndarray, stats: QueryResult
-    ) -> None:
-        """Charge each server for making its share of regions resident."""
+    ) -> np.ndarray:
+        """Charge each server for making its share of regions resident.
+
+        Returns the region ids that stayed unreadable after fault-recovery
+        retries (always empty without an installed fault plan); callers
+        drop those regions' hits from the answer (degraded mode).
+        """
         sysm = self.system
         readers = self._active_readers(region_ids)
-        for server, mine in self._regions_by_server(region_ids):
+        lost: List[int] = []
+        for server, mine in self._assignment_with_faults(region_ids, stats):
             if mine.size == 0:
                 continue
             with sysm.tracer.span(
@@ -676,15 +878,20 @@ class QueryEngine:
                 for rid in mine:
                     key = region_key(obj.name, int(rid))
                     nbytes = int(obj.counts[rid]) * obj.itemsize
-                    hit = server.ensure_region(
-                        key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
-                        tier=obj.tier_of(int(rid)),
-                    )
+                    try:
+                        hit = server.ensure_region(
+                            key, nbytes, 1, sysm.config.pdc_stripe_count, readers,
+                            tier=obj.tier_of(int(rid)),
+                        )
+                    except RegionUnavailableError as exc:
+                        self._record_lost(stats, server, key, exc, lost, int(rid))
+                        continue
                     if hit:
                         stats.regions_cached += 1
                     else:
                         stats.regions_read += 1
                         stats.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
+        return np.asarray(lost, dtype=np.int64)
 
     def _charge_scan(
         self, obj: StoredObject, region_ids: np.ndarray, constraint: Tuple[int, int]
@@ -720,18 +927,20 @@ class QueryEngine:
         region_ids: np.ndarray,
         interval: Interval,
         stats: QueryResult,
-    ) -> None:
+    ) -> np.ndarray:
         """PDC-HI: probe region indexes instead of reading data (§III-D4).
 
         FastBit seeks into the index file and reads only the bitmaps of
         bins overlapping the condition (cached afterwards); candidate bins
         (off-grid endpoints) additionally force a raw region read to verify
-        boundary values.
+        boundary values.  Returns region ids lost to exhausted retries
+        (degraded mode), as :meth:`_charge_data_reads` does.
         """
         sysm = self.system
         assert obj.indexes is not None and obj.index_nbytes is not None
         readers = self._active_readers(region_ids)
-        for server, mine in self._regions_by_server(region_ids):
+        lost: List[int] = []
+        for server, mine in self._assignment_with_faults(region_ids, stats):
             if mine.size == 0:
                 continue
             with sysm.tracer.span(
@@ -740,8 +949,13 @@ class QueryEngine:
                 index=True,
             ):
                 for rid in mine:
-                    self._probe_region_index(obj, int(rid), interval, server,
-                                             readers, stats)
+                    try:
+                        self._probe_region_index(obj, int(rid), interval, server,
+                                                 readers, stats)
+                    except RegionUnavailableError as exc:
+                        key = region_key(obj.name, int(rid))
+                        self._record_lost(stats, server, key, exc, lost, int(rid))
+        return np.asarray(lost, dtype=np.int64)
 
     def _probe_region_index(
         self, obj: StoredObject, rid: int, interval: Interval, server,
@@ -763,13 +977,13 @@ class QueryEngine:
                     f"read:{key}", server.clock, category="index_read",
                     bytes=probe.bytes_touched,
                 ):
-                    server.clock.charge(
-                        self._index_probe_time(probe, readers),
+                    server.faultable_read(
+                        key, self._index_probe_time(probe, readers),
                         category="index_read",
                     )
             else:
-                server.clock.charge(
-                    self._index_probe_time(probe, readers),
+                server.faultable_read(
+                    key, self._index_probe_time(probe, readers),
                     category="index_read",
                 )
             server.cache.put(key, nbytes=int(obj.index_nbytes[rid]))
@@ -810,12 +1024,16 @@ class QueryEngine:
         which: str,
         itemsize: int,
         stats: QueryResult,
-    ) -> None:
-        """Charge contiguous reads of replica regions (perm or companion)."""
+    ) -> np.ndarray:
+        """Charge contiguous reads of replica regions (perm or companion).
+
+        Returns replica region ids lost to exhausted retries (degraded
+        mode), as :meth:`_charge_data_reads` does."""
         sysm = self.system
         readers = self._active_readers(region_ids)
         key_name = group.replica.key_name
-        for server, mine in self._regions_by_server(region_ids):
+        lost: List[int] = []
+        for server, mine in self._assignment_with_faults(region_ids, stats):
             if mine.size == 0:
                 continue
             with sysm.tracer.span(
@@ -826,13 +1044,18 @@ class QueryEngine:
                 for rid in mine:
                     key = region_key(key_name, int(rid), replica=f"sorted:{which}")
                     nbytes = int(group.counts[rid]) * itemsize
-                    hit = server.ensure_region(
-                        key, nbytes, 1, sysm.config.pdc_stripe_count, readers
-                    )
+                    try:
+                        hit = server.ensure_region(
+                            key, nbytes, 1, sysm.config.pdc_stripe_count, readers
+                        )
+                    except RegionUnavailableError as exc:
+                        self._record_lost(stats, server, key, exc, lost, int(rid))
+                        continue
                     if hit:
                         stats.regions_cached += 1
                     else:
                         stats.regions_read += 1
+        return np.asarray(lost, dtype=np.int64)
 
     def _replica_elems_per_server(
         self, group: ReplicaGroup, region_ids: np.ndarray

@@ -62,6 +62,11 @@ class CommStats:
         self.bytes_total = 0
         self.messages_by_op: dict = {}
         self.bytes_by_op: dict = {}
+        #: Fault-injection traffic: dropped (retransmitted) messages and
+        #: the wasted wire bytes, plus in-flight delay events.
+        self.drops_total = 0
+        self.dropped_bytes_total = 0
+        self.delays_total = 0
         self._metrics = metrics
         self._m_children: dict = {}
 
@@ -91,6 +96,29 @@ class CommStats:
                 pair[0].inc(messages)
                 pair[1].inc(nbytes)
 
+    def account_drop(self, op: str, nbytes: int) -> None:
+        """One dropped-and-retransmitted message (fault injection)."""
+        with self._lock:
+            self.drops_total += 1
+            self.dropped_bytes_total += nbytes
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "simmpi_messages_dropped_total",
+                    "Messages dropped (and retransmitted) by fault injection.",
+                    labels=("op",),
+                ).labels(op=op).inc()
+
+    def account_delay(self, op: str) -> None:
+        """One delayed-in-flight message (fault injection)."""
+        with self._lock:
+            self.delays_total += 1
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "simmpi_messages_delayed_total",
+                    "Messages delayed in flight by fault injection.",
+                    labels=("op",),
+                ).labels(op=op).inc()
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -98,6 +126,9 @@ class CommStats:
                 "bytes_total": self.bytes_total,
                 "messages_by_op": dict(self.messages_by_op),
                 "bytes_by_op": dict(self.bytes_by_op),
+                "drops_total": self.drops_total,
+                "dropped_bytes_total": self.dropped_bytes_total,
+                "delays_total": self.delays_total,
             }
 
 
@@ -214,12 +245,16 @@ class Request:
 class _SharedState:
     """State shared by all rank views of one communicator."""
 
-    def __init__(self, size: int, timeout: Optional[float], metrics=None) -> None:
+    def __init__(
+        self, size: int, timeout: Optional[float], metrics=None, fault_plan=None
+    ) -> None:
         self.size = size
         self.timeout = timeout
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self.stats = CommStats(metrics=metrics)
+        #: Deterministic fault plan (:mod:`repro.faults`); None = clean wire.
+        self.fault_plan = fault_plan
 
     def close(self) -> None:
         for mb in self.mailboxes:
@@ -255,8 +290,31 @@ class Communicator:
         return self._state.stats
 
     def _ship(self, obj: Any, dest: int, tag: int, op: str) -> None:
-        """Serialize once, account the wire bytes to ``op``, deliver."""
+        """Serialize once, account the wire bytes to ``op``, deliver.
+
+        With a fault plan installed, the message may be *dropped* in
+        flight: the sender's reliable-delivery layer detects the loss and
+        retransmits (each drop re-ships the bytes), so blocking semantics
+        are preserved; a message dropped more than ``max_retries`` times
+        raises :class:`TransportError` (a dead link).  Delay faults are
+        counted on the stats (the threaded wire has no simulated clock to
+        charge them to — see docs/robustness.md).
+        """
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        plan = self._state.fault_plan
+        if plan is not None:
+            channel = f"{self._rank}->{dest}:{op}"
+            drops = 0
+            while plan.msg_dropped(channel):
+                drops += 1
+                self._state.stats.account_drop(op, len(blob))
+                if drops > plan.config.max_retries:
+                    raise TransportError(
+                        f"message {self._rank}->{dest} ({op}) dropped "
+                        f"{drops} times; link presumed dead"
+                    )
+            if plan.msg_delayed(channel):
+                self._state.stats.account_delay(op)
         self._state.stats.account(op, len(blob))
         self._state.mailboxes[dest].put(self._rank, tag, pickle.loads(blob))
 
@@ -415,7 +473,7 @@ class Communicator:
 
 
 def CommWorld(
-    size: int, timeout: Optional[float] = 60.0, metrics=None
+    size: int, timeout: Optional[float] = 60.0, metrics=None, fault_plan=None
 ) -> List[Communicator]:
     """Create ``size`` rank views sharing one communicator.
 
@@ -423,8 +481,10 @@ def CommWorld(
     ranks from hand-managed threads.  ``metrics`` optionally feeds a
     :class:`~repro.obs.metrics.MetricsRegistry` with per-operation wire
     traffic (``simmpi_messages_total``/``simmpi_bytes_total``).
+    ``fault_plan`` optionally injects deterministic message drops/delays
+    (:mod:`repro.faults`).
     """
     if size < 1:
         raise TransportError("communicator size must be >= 1")
-    state = _SharedState(size, timeout, metrics=metrics)
+    state = _SharedState(size, timeout, metrics=metrics, fault_plan=fault_plan)
     return [Communicator(state, r) for r in range(size)]

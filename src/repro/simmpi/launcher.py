@@ -23,6 +23,7 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: Optional[float] = 60.0,
+    fault_plan: Any = None,
     **kwargs: Any,
 ) -> List[Any]:
     """Execute ``fn(comm, *args, **kwargs)`` on ``n_ranks`` ranks.
@@ -30,9 +31,11 @@ def run_spmd(
     Returns the per-rank return values in rank order.
 
     ``timeout`` bounds every blocking receive inside the job so a deadlocked
-    test fails fast instead of hanging the suite.
+    test fails fast instead of hanging the suite.  ``fault_plan``
+    optionally injects deterministic message drops/delays on the wire
+    (:mod:`repro.faults`).
     """
-    comms = CommWorld(n_ranks, timeout=timeout)
+    comms = CommWorld(n_ranks, timeout=timeout, fault_plan=fault_plan)
     results: List[Any] = [None] * n_ranks
     errors: List[Optional[BaseException]] = [None] * n_ranks
     abort = threading.Event()

@@ -95,12 +95,16 @@ class SimClock:
     for data produced elsewhere).
     """
 
-    __slots__ = ("_now", "name", "_by_category")
+    __slots__ = ("_now", "name", "_by_category", "drag")
 
     def __init__(self, name: str = "clock") -> None:
         self.name = name
         self._now = 0.0
         self._by_category: Dict[str, float] = {}
+        #: Straggler multiplier applied to every charge (fault injection:
+        #: a "slow server" runs all its work at ``drag``× cost).  Exactly
+        #: 1.0 leaves charges bit-identical to an undragged clock.
+        self.drag = 1.0
 
     @property
     def now(self) -> float:
@@ -114,6 +118,8 @@ class SimClock:
         """
         if not (seconds >= 0.0) or math.isinf(seconds) or math.isnan(seconds):
             raise ValueError(f"invalid charge {seconds!r} on clock {self.name}")
+        if self.drag != 1.0:
+            seconds = seconds * self.drag
         self._now += seconds
         self._by_category[category] = self._by_category.get(category, 0.0) + seconds
         return self._now

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import RegionUnavailableError, StorageError
 from .costmodel import CostModel, SimClock
 
 __all__ = ["SimFile", "ParallelFileSystem", "Extent"]
@@ -81,6 +81,9 @@ class ParallelFileSystem:
         self.bytes_read: float = 0.0
         self.bytes_written: float = 0.0
         self.read_accesses: int = 0
+        #: Fault plan (:mod:`repro.faults`) injected by the owning system;
+        #: None leaves every read on the pre-fault code path.
+        self.fault_plan = None
         # Optional MetricsRegistry feed (children resolved once).
         self._m_bytes_read = self._m_bytes_written = self._m_accesses = None
         if metrics is not None:
@@ -203,7 +206,46 @@ class ParallelFileSystem:
                 ),
                 category="pfs_read",
             )
+        if self.fault_plan is not None and extents:
+            self._inject_read_faults(f, extents, clock, concurrent_readers)
         return views
+
+    def _inject_read_faults(
+        self,
+        f: SimFile,
+        extents: Sequence[Extent],
+        clock: Optional[SimClock],
+        concurrent_readers: int,
+    ) -> None:
+        """Per-extent fault injection for :meth:`read_extents`.
+
+        A latency spike on an extent charges the extra ``(factor - 1)×``
+        of that extent's read time; a read error re-charges the extent
+        (one re-read per retry) plus exponential backoff, and raises
+        :class:`RegionUnavailableError` once the plan's retry budget is
+        exhausted.  Draws are keyed by ``path:start`` so each extent has
+        its own deterministic sequence regardless of batching.
+        """
+        plan = self.fault_plan
+        for start, stop in extents:
+            key = f"{f.path}:{start}"
+            extent_time = f.imbalance * self.cost.pfs_read_time(
+                (stop - start) * f.itemsize, 1, f.stripe_count, concurrent_readers
+            )
+            slow = plan.pfs_slow_factor(key)
+            if slow != 1.0 and clock is not None:
+                clock.charge((slow - 1.0) * extent_time, category="pfs_read")
+            attempt = 0
+            while plan.pfs_read_fails(key):
+                attempt += 1
+                if attempt > plan.config.max_retries:
+                    raise RegionUnavailableError(
+                        f"read of {f.path!r} extent [{start}, {stop}) failed "
+                        f"after {attempt} attempts"
+                    )
+                if clock is not None:
+                    clock.charge(plan.backoff_s(attempt), category="retry_backoff")
+                    clock.charge(extent_time, category="pfs_read")
 
     def reset_counters(self) -> None:
         self.bytes_read = 0.0

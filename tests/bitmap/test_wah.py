@@ -139,3 +139,78 @@ class TestCompression:
         words = wah.encode_groups(groups)
         assert words.size == 1
         assert np.array_equal(wah.decode_groups(words), groups)
+
+
+class TestEdgeDomains:
+    """Exact group-boundary and degenerate domains (regression: the old
+    logical_not wrapped its tail mask for inconsistent n_bits)."""
+
+    @pytest.mark.parametrize("n_groups", [1, 2, 7])
+    def test_exact_multiple_of_group_bits(self, n_groups, rng):
+        n = n_groups * wah.GROUP_BITS
+        bits = rng.random(n) < 0.4
+        w, nb = wah.compress(bits)
+        assert nb == n
+        assert np.array_equal(wah.decompress(w, nb), bits)
+        assert wah.count_set_bits(w) == int(bits.sum())
+        comp = wah.logical_not(w, nb)
+        assert np.array_equal(wah.decompress(comp, nb), ~bits)
+        assert wah.count_set_bits(comp) == n - int(bits.sum())
+
+    def test_empty_domain(self):
+        w, nb = wah.compress(np.zeros(0, dtype=bool))
+        assert w.size == 0 and nb == 0
+        assert wah.count_set_bits(w) == 0
+        comp = wah.logical_not(w, 0)
+        assert comp.size == 0
+        assert wah.decompress(comp, 0).size == 0
+
+    def test_all_ones(self):
+        for n in (1, wah.GROUP_BITS, wah.GROUP_BITS * 3 + 5):
+            bits = np.ones(n, dtype=bool)
+            w, nb = wah.compress(bits)
+            assert wah.count_set_bits(w) == n
+            comp = wah.logical_not(w, nb)
+            assert wah.count_set_bits(comp) == 0
+            assert np.array_equal(wah.decompress(comp, nb), np.zeros(n, dtype=bool))
+
+    def test_not_rejects_negative_n_bits(self):
+        w, _ = wah.compress(np.ones(10, dtype=bool))
+        with pytest.raises(IndexError_):
+            wah.logical_not(w, -1)
+
+    def test_not_rejects_short_stream(self):
+        w, _ = wah.compress(np.ones(10, dtype=bool))
+        with pytest.raises(IndexError_):
+            wah.logical_not(w, wah.GROUP_BITS + 1)
+
+    def test_not_truncates_oversized_stream(self):
+        # A stream covering more groups than the domain must not leak
+        # complemented padding groups as set bits.
+        bits = np.zeros(wah.GROUP_BITS * 3, dtype=bool)
+        w, _ = wah.compress(bits)
+        comp = wah.logical_not(w, 5)
+        assert wah.count_set_bits(comp) == 5
+        assert np.array_equal(wah.decompress(comp, 5), np.ones(5, dtype=bool))
+
+
+class TestPopcountFallback:
+    """The table-driven popcount must agree with np.bitwise_count."""
+
+    def _table_popcount(self, a):
+        table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+        a = np.ascontiguousarray(a, dtype=np.uint64)
+        return table[a.view(np.uint8).reshape(a.shape + (8,))].sum(
+            axis=-1, dtype=np.uint64
+        )
+
+    @given(hnp.arrays(dtype=np.uint64, shape=st.integers(0, 200)))
+    def test_fallback_matches_selected_popcount(self, words):
+        assert np.array_equal(
+            np.asarray(wah._popcount(words), dtype=np.uint64),
+            self._table_popcount(words),
+        )
+
+    def test_extremes(self):
+        words = np.array([0, 1, (1 << 64) - 1, 1 << 63], dtype=np.uint64)
+        assert list(wah._popcount(words)) == [0, 1, 64, 1]

@@ -239,3 +239,85 @@ class TestSerialization:
         small = MergeableHistogram.from_data(rng.random(500), n_bins=8)
         big = MergeableHistogram.from_data(rng.random(500), n_bins=128)
         assert 0 < small.nbytes < big.nbytes
+
+
+class TestExtremeWidthRatios:
+    """Merging histograms whose bin widths differ by huge power-of-two
+    ratios (regression: ``coarsened`` overflowed int64 at ratio 2^63)."""
+
+    def test_coarsen_across_2_63_ratio(self):
+        # bin_width = 2^-55ish vs new_width = 2^8: ratio is exactly 2^63,
+        # one past int64 max.  This exact instance crashed with
+        # OverflowError before the fix.
+        h = MergeableHistogram(
+            bin_width=2.7755575615628914e-17,
+            start=0.0,
+            counts=np.array([1, 0, 0, 0, 0, 79], dtype=np.int64),
+            data_min=0.0,
+            data_max=1.435314005083561e-16,
+        )
+        c = h.coarsened(256.0)
+        assert c.bin_width == 256.0
+        assert c.total == h.total
+        assert c.counts.sum() == 80
+
+    @given(
+        fine_exp=st.integers(-60, -10),
+        coarse_exp=st.integers(0, 60),
+        n_bins=st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coarsen_any_pow2_ratio_conserves_mass(self, fine_exp, coarse_exp, n_bins):
+        width = 2.0 ** fine_exp
+        counts = np.arange(1, n_bins + 1, dtype=np.int64)
+        h = MergeableHistogram(
+            bin_width=width,
+            start=0.0,
+            counts=counts,
+            data_min=0.0,
+            data_max=width * n_bins,
+        )
+        c = h.coarsened(2.0 ** coarse_exp)
+        assert c.total == h.total
+        assert c.bin_width == 2.0 ** coarse_exp
+
+    @given(
+        span_a=st.integers(-40, -5),
+        span_b=st.integers(5, 40),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_disjoint_spans_extreme_widths(self, span_a, span_b, seed):
+        """Two histograms over disjoint spans with widths differing by a
+        large power-of-two ratio: the merge must conserve mass, use the
+        wider grid, and count every sample into the right coarse bin."""
+        rng = np.random.default_rng(seed)
+        # One tiny-span dataset (subnormal-adjacent widths) ...
+        a = (rng.random(50) * 2.0 ** span_a).astype(np.float64)
+        # ... one wide-span dataset, far away and disjoint.
+        b = (rng.random(80) * 2.0 ** span_b + 2.0 ** (span_b + 1)).astype(np.float64)
+        ha = MergeableHistogram.from_data(a, n_bins=8)
+        hb = MergeableHistogram.from_data(b, n_bins=8)
+        merged = ha.merge(hb)
+        assert merged.total == ha.total + hb.total
+        assert merged.bin_width == max(ha.bin_width, hb.bin_width)
+        # The merged grid must agree with histogramming the concatenation
+        # onto the same bins.
+        both = np.concatenate([a, b])
+        expected, _ = np.histogram(
+            both,
+            bins=merged.n_bins,
+            range=(merged.start, merged.start + merged.n_bins * merged.bin_width),
+        )
+        assert np.array_equal(merged.counts, expected)
+
+    def test_merge_many_mixed_extreme_widths(self):
+        rng = np.random.default_rng(0)
+        datasets = [
+            rng.random(20) * 1e-16,
+            rng.random(20) * 1e3 + 1e4,
+            rng.random(20) * 1.0,
+        ]
+        hists = [MergeableHistogram.from_data(d, n_bins=6) for d in datasets]
+        merged = MergeableHistogram.merge_many(hists)
+        assert merged.total == sum(h.total for h in hists)

@@ -121,3 +121,51 @@ class TestLifecycle:
         f = client.submit(cond("energy", ">", 2.0))
         client.shutdown()
         assert f.result(timeout=1).nhits == int((e > 2.0).sum())
+
+
+class TestShutdownRace:
+    def test_submit_shutdown_hammer_resolves_every_future(self, rng):
+        """Hammer submit from one thread while another shuts down: every
+        future must resolve (result or QueryError) — none may hang.
+        Regression for the unlocked closed-check/put race that could park
+        a request behind the shutdown sentinel forever."""
+        import threading
+
+        for trial in range(20):
+            sysm = make_system(region_size_bytes=1 << 11)
+            e = rng.gamma(2.0, 0.7, 1 << 10).astype(np.float32)
+            sysm.create_object("energy", e)
+            client = AsyncQueryClient(sysm)
+            futures = []
+            start = threading.Barrier(2)
+
+            def submitter():
+                start.wait()
+                for _ in range(50):
+                    try:
+                        futures.append(client.submit(cond("energy", ">", 2.0)))
+                    except QueryError:
+                        return  # shut down underneath us: acceptable
+
+            t = threading.Thread(target=submitter)
+            t.start()
+            start.wait()
+            client.shutdown()
+            t.join(timeout=10)
+            assert not t.is_alive()
+            truth = int((e > 2.0).sum())
+            for f in futures:
+                # Bounded wait: a hang here is exactly the bug.
+                try:
+                    assert f.result(timeout=10).nhits == truth
+                except QueryError:
+                    pass  # failed by shutdown — resolved, which is the point
+
+    def test_enqueue_after_close_fails_future_not_hangs(self, env):
+        sysm, _, _ = env
+        client = AsyncQueryClient(sysm)
+        client.shutdown()
+        with pytest.raises(QueryError):
+            client.submit(cond("energy", ">", 2.0))
+        # Idempotent second shutdown with nothing queued.
+        client.shutdown()
