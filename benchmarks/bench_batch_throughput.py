@@ -1,0 +1,170 @@
+"""Queries/sec vs shared-scan batch width.
+
+Sweeps the :class:`~repro.query.scheduler.QueryScheduler` window width
+over a fixed workload of overlapping single-object threshold queries and
+reports, per width: wall-clock throughput, total simulated latency, and
+total virtual bytes read from the PFS.  Width 1 is the sequential
+baseline (no shared pass, no semantic cache reuse across windows beyond
+ordinary server caching); wider windows should read strictly fewer bytes
+while returning identical answers.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py [--smoke]
+
+``--smoke`` shrinks the sweep for CI.  Results are appended as JSON under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+import numpy as np
+
+from repro.pdc import PDCConfig, PDCSystem
+from repro.query.ast import Condition
+from repro.query.scheduler import QueryScheduler
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+
+
+def build_system(n_elements: int, n_servers: int, region_size_bytes: int) -> PDCSystem:
+    rng = np.random.default_rng(7)
+    system = PDCSystem(
+        PDCConfig(
+            n_servers=n_servers,
+            region_size_bytes=region_size_bytes,
+            strategy=Strategy.HISTOGRAM,
+        )
+    )
+    system.create_object(
+        "energy", rng.gamma(2.0, 0.7, n_elements).astype(np.float32)
+    )
+    system.create_object(
+        "x", (rng.random(n_elements) * 300.0).astype(np.float32)
+    )
+    return system
+
+
+def build_workload(n_queries: int):
+    """Overlapping threshold queries: every query's surviving-region set
+    overlaps its neighbours', so wider windows share more reads."""
+    queries = []
+    for i in range(n_queries):
+        t = 0.2 + 0.1 * (i % 16)
+        name = "energy" if i % 4 != 3 else "x"
+        value = t if name == "energy" else t * 100.0
+        queries.append(Condition(name, QueryOp.GT, PDCType.FLOAT, value))
+    return queries
+
+
+def run_width(n_elements, n_servers, region_size_bytes, queries, width):
+    """One sweep point on a fresh (cold-cache) deployment."""
+    system = build_system(n_elements, n_servers, region_size_bytes)
+    sched = QueryScheduler(system, max_width=width, use_selection_cache=width > 1)
+    t0 = time.perf_counter()
+    results = sched.run(queries)
+    wall_s = time.perf_counter() - t0
+    sched.close()
+    return {
+        "width": width,
+        "queries": len(queries),
+        "wall_s": wall_s,
+        "queries_per_s": len(queries) / wall_s if wall_s > 0 else float("inf"),
+        "sim_latency_s": sum(r.elapsed_s for r in results),
+        "mean_sim_latency_ms": 1e3 * sum(r.elapsed_s for r in results) / len(results),
+        "bytes_read_virtual": sum(
+            b.total_bytes_read_virtual for b in sched.batches
+        ),
+        "shared_reads": sum(b.shared_reads for b in sched.batches),
+        "saved_bytes_virtual": sum(b.saved_bytes_virtual for b in sched.batches),
+        "semantic_hits": sum(
+            b.semantic_hits + b.semantic_narrowed for b in sched.batches
+        ),
+        "nhits": [r.nhits for r in results],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sweep for CI (fewer queries, fewer widths)",
+    )
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload size (default: 64; smoke: 12)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_queries = args.queries or 12
+        widths = (1, 4)
+        n_elements = 1 << 14
+    else:
+        n_queries = args.queries or 64
+        widths = (1, 2, 4, 8, 16)
+        n_elements = 1 << 17
+    n_servers, region_size_bytes = 4, 1 << 13
+    queries = build_workload(n_queries)
+
+    rows = [
+        run_width(n_elements, n_servers, region_size_bytes, queries, w)
+        for w in widths
+    ]
+
+    baseline = rows[0]
+    print(f"batch throughput: {n_queries} overlapping queries, "
+          f"{n_elements:,} elements, {n_servers} servers")
+    print(f"{'width':>5} {'q/s (wall)':>12} {'sim ms/q':>10} "
+          f"{'KiB read':>10} {'shared':>7} {'sem hits':>8}")
+    failures = 0
+    for row in rows:
+        print(f"{row['width']:>5} {row['queries_per_s']:>12.1f} "
+              f"{row['mean_sim_latency_ms']:>10.3f} "
+              f"{row['bytes_read_virtual'] / 1024:>10.1f} "
+              f"{row['shared_reads']:>7} {row['semantic_hits']:>8}")
+        if row["nhits"] != baseline["nhits"]:
+            print(f"  ERROR: width {row['width']} answers diverge from width 1")
+            failures += 1
+        if row["width"] > 1 and row["bytes_read_virtual"] > baseline["bytes_read_virtual"]:
+            print(f"  ERROR: width {row['width']} read more bytes than sequential")
+            failures += 1
+
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "batch_throughput.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "n_queries": n_queries,
+                "n_elements": n_elements,
+                "n_servers": n_servers,
+                "region_size_bytes": region_size_bytes,
+                "rows": [
+                    {k: v for k, v in row.items() if k != "nhits"} for row in rows
+                ],
+            },
+            fh,
+            indent=2,
+        )
+    print(f"results -> {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

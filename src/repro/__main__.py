@@ -16,6 +16,8 @@ Gives the open-source release a zero-code entry point:
 * ``python -m repro faults`` — run the demo workload under deterministic
   fault injection (PFS read errors, stragglers, server crashes, message
   drops) and report retries, failovers, and degraded results;
+* ``python -m repro batch`` — shared-scan batching demo: bytes read by a
+  window of overlapping queries, isolated vs batched;
 * ``python -m repro info`` — version, scale presets, strategy list.
 """
 
@@ -135,6 +137,119 @@ def _selftest_faults() -> int:
     return failures
 
 
+def _selftest_batch() -> int:
+    """Shared-scan batch leg: a window of overlapping threshold queries
+    must match ground truth while reading strictly fewer bytes than the
+    same queries on fresh deployments, and an exact repeat must be served
+    by the semantic selection cache with zero I/O."""
+    import numpy as np
+
+    from .query.ast import Condition
+    from .query.executor import QueryEngine
+    from .query.scheduler import QueryScheduler
+    from .types import PDCType, QueryOp
+
+    failures = 0
+    thresholds = [0.5, 1.0, 1.5, 2.0]
+    queries = [
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, t) for t in thresholds
+    ]
+
+    # Isolated baseline: each query on its own cold deployment.
+    isolated_bytes = 0.0
+    truths = []
+    for q in queries:
+        system, _, _ = _demo_deployment()
+        res = QueryEngine(system).execute(q)
+        isolated_bytes += res.bytes_read_virtual
+        truths.append(res.nhits)
+
+    system, node, truth = _demo_deployment()
+    e = system.get_object("energy").data
+    sched = QueryScheduler(system, max_width=len(queries))
+    results = sched.run(queries)
+    batch = sched.batches[0]
+    answers_ok = all(
+        r.nhits == int((e > t).sum()) and r.nhits == tn
+        for r, t, tn in zip(results, thresholds, truths)
+    )
+    bytes_ok = batch.total_bytes_read_virtual < isolated_bytes
+    ok = answers_ok and bytes_ok and batch.shared_reads > 0
+    failures += not ok
+    print(
+        f"  batch x{batch.width} shared      {batch.shared_reads:>3} shared reads, "
+        f"{batch.total_bytes_read_virtual / 1024:.0f} vs "
+        f"{isolated_bytes / 1024:.0f} KiB isolated  {'ok' if ok else 'FAIL'}"
+    )
+
+    # Exact repeat: every answer comes from the semantic cache.
+    repeat = sched.run(queries)
+    ok = all(r.semantic_cache == "hit" for r in repeat) and [
+        r.nhits for r in repeat
+    ] == truths
+    failures += not ok
+    print(
+        f"  batch semantic repeat   {sum(r.semantic_cache == 'hit' for r in repeat)}"
+        f"/{len(repeat)} exact hits  {'ok' if ok else 'FAIL'}"
+    )
+
+    # Narrowing: a tighter interval is filtered from a cached superset.
+    narrow = sched.run(
+        [Condition("energy", QueryOp.GT, PDCType.FLOAT, 5.0)]
+    )[0]
+    ok = narrow.semantic_cache == "narrowed" and narrow.nhits == int(
+        (e > np.float32(5.0)).sum()
+    )
+    failures += not ok
+    print(
+        f"  batch semantic narrow   {narrow.nhits:>6} hits "
+        f"({narrow.semantic_cache or 'miss'})  {'ok' if ok else 'FAIL'}"
+    )
+    sched.close()
+    return failures
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Compare a window of overlapping queries run isolated vs batched."""
+    from .query.ast import Condition
+    from .query.executor import QueryEngine
+    from .query.scheduler import QueryScheduler
+    from .types import PDCType, QueryOp
+
+    n_queries = args.queries
+    thresholds = [0.25 + 0.25 * i for i in range(n_queries)]
+    queries = [
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, t) for t in thresholds
+    ]
+
+    isolated_bytes = 0.0
+    isolated_s = 0.0
+    for q in queries:
+        system, _, _ = _demo_deployment()
+        res = QueryEngine(system).execute(q)
+        isolated_bytes += res.bytes_read_virtual
+        isolated_s += res.elapsed_s
+
+    system, _, _ = _demo_deployment()
+    sched = QueryScheduler(system, max_width=args.width)
+    results = sched.run(queries)
+    batched_bytes = sum(b.total_bytes_read_virtual for b in sched.batches)
+    sched.close()
+
+    print(f"shared-scan batching demo ({n_queries} overlapping queries, "
+          f"window {args.width})")
+    print(f"  isolated: {isolated_bytes / 1024:10.1f} KiB read, "
+          f"{isolated_s * 1e3:8.2f} simulated ms")
+    print(f"  batched:  {batched_bytes / 1024:10.1f} KiB read, "
+          f"{sum(b.elapsed_s for b in sched.batches) * 1e3:8.2f} simulated ms")
+    shared = sum(b.shared_reads for b in sched.batches)
+    saved = sum(b.saved_bytes_virtual for b in sched.batches)
+    print(f"  shared reads: {shared}, bytes saved vs per-query reads: "
+          f"{saved / 1024:.1f} KiB")
+    print(f"  answers: {[r.nhits for r in results]}")
+    return 0 if batched_bytes <= isolated_bytes else 1
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     from .obs import Tracer
     from .query.executor import QueryEngine
@@ -162,6 +277,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     wire_ok = wire.size == truth
     failures += not wire_ok
     print(f"  simmpi wire path        {wire.size:>6} hits  {'ok' if wire_ok else 'FAIL'}")
+    failures += _selftest_batch()
     if getattr(args, "faults", False):
         failures += _selftest_faults()
     if trace_path:
@@ -445,6 +561,20 @@ def main(argv=None) -> int:
         help="per-query simulated-seconds deadline (default: none)",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "batch",
+        help="shared-scan batching demo: isolated vs batched overlapping queries",
+    )
+    p.add_argument(
+        "--queries", type=int, default=8,
+        help="number of overlapping threshold queries (default: 8)",
+    )
+    p.add_argument(
+        "--width", type=int, default=8,
+        help="batch window width (default: 8)",
+    )
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("info", help="version, strategies, scale presets")
     p.set_defaults(func=cmd_info)

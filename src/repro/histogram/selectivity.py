@@ -47,8 +47,9 @@ def order_by_selectivity(
 ) -> List[Tuple[str, Interval, Optional[SelectivityEstimate]]]:
     """Order (object, interval) conditions most-selective-first.
 
-    Conditions on objects without a histogram sort last (unknown selectivity
-    is assumed worst-case 1.0), preserving input order among ties — that
+    Conditions on objects without a histogram sort *strictly* last
+    (unknown selectivity is worse than any estimate, including a known
+    midpoint of exactly 1.0), preserving input order among ties — that
     keeps plans deterministic.
 
     Returns ``(object_name, interval, estimate_or_None)`` triples.
@@ -57,7 +58,10 @@ def order_by_selectivity(
     for pos, (name, interval) in enumerate(conditions):
         hist = histograms.get(name)
         est = estimate(hist, interval) if hist is not None else None
+        # Rank before midpoint: an unknown must never tie with (and by
+        # input position beat) a condition whose estimate is genuinely 1.0.
+        rank = 0 if est is not None else 1
         sort_key = est.midpoint if est is not None else 1.0
-        decorated.append((sort_key, pos, name, interval, est))
-    decorated.sort(key=lambda t: (t[0], t[1]))
-    return [(name, interval, est) for _, _, name, interval, est in decorated]
+        decorated.append((rank, sort_key, pos, name, interval, est))
+    decorated.sort(key=lambda t: (t[0], t[1], t[2]))
+    return [(name, interval, est) for _, _, _, name, interval, est in decorated]

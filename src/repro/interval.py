@@ -93,6 +93,25 @@ class Interval:
                 return None
         return Interval(lo=lo, hi=hi, lo_closed=lo_closed, hi_closed=hi_closed)
 
+    def covers(self, other: "Interval") -> bool:
+        """True when every value matching ``other`` also matches ``self``
+        (interval subsumption — the semantic-cache reuse test)."""
+        if self.lo is not None:
+            if other.lo is None:
+                return False
+            if other.lo < self.lo:
+                return False
+            if other.lo == self.lo and other.lo_closed and not self.lo_closed:
+                return False
+        if self.hi is not None:
+            if other.hi is None:
+                return False
+            if other.hi > self.hi:
+                return False
+            if other.hi == self.hi and other.hi_closed and not self.hi_closed:
+                return False
+        return True
+
     def contains_value(self, v: float) -> bool:
         if self.lo is not None and (v < self.lo or (v == self.lo and not self.lo_closed)):
             return False

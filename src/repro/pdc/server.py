@@ -169,6 +169,34 @@ class PDCServer:
         self.cache.put(key, nbytes=nbytes if scaled else 0)
         return False
 
+    def preload_region(
+        self,
+        key: str,
+        nbytes: int,
+        stripe_count: int,
+        concurrent_readers: int,
+        tier: str = "disk",
+    ) -> bool:
+        """Shared-scan batch preload: make ``key`` resident on behalf of a
+        whole query batch.  Charging is identical to :meth:`ensure_region`
+        (so a preloaded region costs exactly what the first demanding query
+        would have paid); exists so preloads show up under their own
+        metric.  Returns True when the region was already resident.
+        """
+        hit = self.ensure_region(
+            key, nbytes, 1, stripe_count, concurrent_readers, tier=tier
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "pdc_batch_preloads_total",
+                "Shared-scan batch region preloads by server and result.",
+                labels=("server", "result"),
+            ).labels(
+                server=f"server{self.server_id}",
+                result="hit" if hit else "read",
+            ).inc()
+        return hit
+
     def reset_clock(self) -> None:
         self.clock.reset()
 

@@ -229,6 +229,11 @@ class PDCSystem:
         self.objects: Dict[str, StoredObject] = {}
         #: sort-key object name → replica group.
         self.replicas: Dict[str, ReplicaGroup] = {}
+        #: Listeners notified when derived query state for an object goes
+        #: stale: called with the object name after a region rewrite, with
+        #: ``None`` after a server failure (conservative whole-system
+        #: signal).  Registered by semantic selection caches.
+        self._invalidation_hooks: List = []
 
     # ----------------------------------------------------------------- config
     @property
@@ -279,6 +284,22 @@ class PDCSystem:
             raise PDCError("cannot fail the last alive server")
         self._failed_servers.add(server_id)
         self.servers[server_id].drop_caches()
+        self._notify_invalidation(None)
+
+    def register_invalidation_hook(self, hook) -> None:
+        """Subscribe ``hook(object_name_or_None)`` to staleness events:
+        it is called with the object name after a region rewrite and with
+        ``None`` after a server failure."""
+        if hook not in self._invalidation_hooks:
+            self._invalidation_hooks.append(hook)
+
+    def unregister_invalidation_hook(self, hook) -> None:
+        if hook in self._invalidation_hooks:
+            self._invalidation_hooks.remove(hook)
+
+    def _notify_invalidation(self, name) -> None:
+        for hook in list(self._invalidation_hooks):
+            hook(name)
 
     def recover_server(self, server_id: int) -> None:
         """Bring a failed server back (cold caches, clock rejoins at the
@@ -491,6 +512,7 @@ class PDCSystem:
             covered = {key_name, *group.replica.companions}
             if name in covered:
                 self.drop_sorted_replica(key_name)
+        self._notify_invalidation(name)
         return affected
 
     def migrate_regions(

@@ -5,6 +5,7 @@ from .api import (
     PDCQuery,
     PDCquery_and,
     PDCquery_create,
+    PDCquery_execute_batch,
     PDCquery_get_data,
     PDCquery_get_data_batch,
     PDCquery_get_histogram,
@@ -17,8 +18,22 @@ from .api import (
 )
 from .ast import AndNode, Condition, OrNode, QueryNode, node_from_dict
 from .async_client import AsyncQueryClient
-from .executor import GetDataResult, MetaDataQueryResult, QueryEngine, QueryResult
-from .planner import PlanEstimate, StepEstimate, choose_strategy, explain
+from .executor import (
+    BatchResult,
+    GetDataResult,
+    MetaDataQueryResult,
+    QueryEngine,
+    QueryResult,
+    QuerySpec,
+)
+from .planner import (
+    PlanEstimate,
+    StepEstimate,
+    choose_get_data_strategy,
+    choose_strategy,
+    explain,
+)
+from .scheduler import QueryScheduler, SelectionCache, SelectionCacheStats
 from .selection import Selection
 from .strategies import Strategy, strategy_from_env
 
@@ -26,6 +41,7 @@ __all__ = [
     "PDCQuery",
     "PDCquery_and",
     "PDCquery_create",
+    "PDCquery_execute_batch",
     "PDCquery_get_data",
     "PDCquery_get_data_batch",
     "PDCquery_get_histogram",
@@ -41,15 +57,21 @@ __all__ = [
     "QueryNode",
     "node_from_dict",
     "AsyncQueryClient",
+    "BatchResult",
     "GetDataResult",
     "MetaDataQueryResult",
     "PlanEstimate",
     "StepEstimate",
+    "choose_get_data_strategy",
     "choose_strategy",
     "explain",
     "QueryEngine",
     "QueryResult",
+    "QueryScheduler",
+    "QuerySpec",
     "Selection",
+    "SelectionCache",
+    "SelectionCacheStats",
     "Strategy",
     "strategy_from_env",
 ]

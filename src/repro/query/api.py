@@ -49,6 +49,7 @@ __all__ = [
     "PDCquery_get_data_batch",
     "PDCquery_get_histogram",
     "PDCquery_tag",
+    "PDCquery_execute_batch",
 ]
 
 
@@ -277,6 +278,53 @@ def PDCquery_get_data_batch(
         selection, obj.name, batch_size, strategy=strategy
     ):
         yield res.values
+
+
+def PDCquery_execute_batch(
+    system: PDCSystem,
+    queries: List[PDCQuery],
+    max_width: Optional[int] = None,
+    scheduler=None,
+) -> List[QueryResult]:
+    """Evaluate several queries as shared-scan batches.
+
+    Regions demanded by more than one query of a window are read from
+    storage once for the whole window (see docs/batching.md); answers are
+    identical to evaluating each query alone.  Each query's
+    ``last_result`` is set, and the per-query results are returned in
+    input order.
+
+    Pass a long-lived :class:`~repro.query.scheduler.QueryScheduler` to
+    also reuse its semantic selection cache across calls; the default
+    throwaway scheduler runs without one (a per-call cache could never
+    hit, and would leak an invalidation hook on the system).
+    """
+    if not queries:
+        return []
+    for q in queries:
+        if q.system is not system:
+            raise QueryError("all batched queries must target the given system")
+    from .executor import QuerySpec
+    from .scheduler import QueryScheduler
+
+    if scheduler is None:
+        scheduler = QueryScheduler(
+            system,
+            max_width=max_width if max_width is not None else max(1, len(queries)),
+            use_selection_cache=False,
+        )
+    elif scheduler.system is not system:
+        raise QueryError("scheduler is bound to a different system")
+    elif max_width is not None:
+        scheduler.max_width = max_width
+    specs = [
+        QuerySpec(node=q.node, region_constraint=q.region, strategy=q.strategy)
+        for q in queries
+    ]
+    results = scheduler.run(specs)
+    for q, res in zip(queries, results):
+        q.last_result = res
+    return results
 
 
 def PDCquery_get_histogram(system: PDCSystem, obj_id: int) -> GlobalHistogram:

@@ -46,7 +46,14 @@ from .region_constraint import RegionConstraint, normalize_constraint
 from .selection import Selection
 from .strategies import Strategy
 
-__all__ = ["QueryEngine", "QueryResult", "GetDataResult", "MetaDataQueryResult"]
+__all__ = [
+    "QueryEngine",
+    "QueryResult",
+    "QuerySpec",
+    "BatchResult",
+    "GetDataResult",
+    "MetaDataQueryResult",
+]
 
 #: Approximate wire size of a serialized query plan.
 _PLAN_BYTES = 256
@@ -95,6 +102,73 @@ class QueryResult:
     server_errors: Dict[int, List[str]] = field(default_factory=dict)
     #: Region cache keys whose payloads were unreadable (degraded mode).
     lost_regions: List[str] = field(default_factory=list)
+    #: How the semantic selection cache served this query: "" (evaluated
+    #: normally), "hit" (exact interval match, zero I/O), or "narrowed"
+    #: (subsumed by a cached superset interval, filtered client-side).
+    semantic_cache: str = ""
+
+
+@dataclass
+class QuerySpec:
+    """One query of a batch: a condition tree plus its per-query options
+    (what :meth:`QueryEngine.execute` takes as keyword arguments)."""
+
+    node: QueryNode
+    want_selection: bool = True
+    region_constraint: Optional[RegionConstraint] = None
+    strategy: Optional[Strategy] = None
+    timeout_s: Optional[float] = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one shared-scan batch execution.
+
+    ``results[i]`` is query *i*'s individually-timed :class:`QueryResult`
+    (or ``None`` when it raised — see ``errors``).  The ``shared_*``
+    fields account the batch-level shared-scan pass: regions demanded by
+    more than one query in the window are read exactly once, and their
+    PFS bytes, retries, and fault charges land here instead of on any
+    single query.
+    """
+
+    results: List[Optional[QueryResult]]
+    #: Queries admitted to this batch.
+    width: int = 0
+    #: Simulated seconds from batch admission to the last query's result.
+    elapsed_s: float = 0.0
+    #: Distinct (object, region) pairs demanded by >= 2 queries.
+    shared_regions: int = 0
+    #: Shared regions actually read from storage by the batch pass.
+    shared_reads: int = 0
+    #: Shared regions already resident when the batch pass ran.
+    shared_cached: int = 0
+    #: Virtual bytes the shared pass read from the PFS.
+    shared_bytes_virtual: float = 0.0
+    #: Virtual bytes saved vs each query reading its demand itself:
+    #: sum over shared reads of (demand count - 1) * region bytes.
+    saved_bytes_virtual: float = 0.0
+    #: Storage-read retries charged to the shared pass (fault recovery).
+    retries: int = 0
+    #: Queries served by an exact semantic-cache match (zero I/O).
+    semantic_hits: int = 0
+    #: Queries served by narrowing a cached superset selection (no I/O).
+    semantic_narrowed: int = 0
+    #: Cacheable queries that missed the semantic cache.
+    semantic_misses: int = 0
+    #: query index -> exception raised by that query's evaluation.
+    errors: Dict[int, Exception] = field(default_factory=dict)
+    #: server id -> shared-pass read errors (regions left for the
+    #: demanding queries to retry individually).
+    server_errors: Dict[int, List[str]] = field(default_factory=dict)
+
+    @property
+    def total_bytes_read_virtual(self) -> float:
+        """Virtual PFS bytes the whole batch read: shared pass plus every
+        query's own reads."""
+        return self.shared_bytes_virtual + sum(
+            r.bytes_read_virtual for r in self.results if r is not None
+        )
 
 
 @dataclass
@@ -336,6 +410,295 @@ class QueryEngine:
         self._record_query_metrics(stats)
         return stats
 
+    # --------------------------------------------------------- batch execution
+    def execute_batch(
+        self,
+        queries: Sequence[object],
+        selection_cache=None,
+    ) -> BatchResult:
+        """Evaluate a window of queries with shared-scan batching.
+
+        Regions demanded by **more than one** query of the window are made
+        resident by a single shared read pass before per-query evaluation,
+        so the batch pays their PFS bytes (and any fault retries) once;
+        each query then executes individually, reporting its own simulated
+        latency, trace, and metrics exactly as :meth:`execute` would.  A
+        batch whose queries demand disjoint region sets performs no shared
+        pass at all and is bit-identical to running the queries
+        sequentially.
+
+        ``queries`` items are :class:`QuerySpec` instances or bare
+        condition trees.  ``selection_cache`` is an optional
+        :class:`~repro.query.scheduler.SelectionCache`: single-object
+        interval queries are served from it — exactly, or by narrowing a
+        cached superset interval's selection — with zero storage I/O.
+        """
+        sysm = self.system
+        specs = [
+            q if isinstance(q, QuerySpec) else QuerySpec(node=q) for q in queries
+        ]
+        batch = BatchResult(results=[None] * len(specs), width=len(specs))
+        t_start = sysm.sync_clocks()
+
+        # Demand estimation: a deterministic, metadata-only dry run of each
+        # query's first-condition region set.  Queries whose demand cannot
+        # be derived from metadata alone (index probes, sorted-replica
+        # runs, unresolvable plans) contribute nothing and amortize through
+        # the ordinary region caches instead.
+        demand_counts: Dict[Tuple[str, int], int] = {}
+        for spec in specs:
+            for name, rids in self._batch_demand(spec).items():
+                for rid in rids:
+                    k = (name, int(rid))
+                    demand_counts[k] = demand_counts.get(k, 0) + 1
+        shared = sorted(k for k, c in demand_counts.items() if c >= 2)
+        batch.shared_regions = len(shared)
+
+        retries_before = sum(s.retries_total for s in sysm.servers)
+        if shared:
+            self._shared_read_pass(shared, demand_counts, batch)
+            sysm.sync_clocks()
+        batch.retries = sum(s.retries_total for s in sysm.servers) - retries_before
+
+        for i, spec in enumerate(specs):
+            ck = self._semantic_key(spec) if selection_cache is not None else None
+            if ck is not None:
+                served = selection_cache.fetch(sysm, ck[0], ck[1])
+                if served is not None:
+                    sel, kind, scanned = served
+                    batch.results[i] = self._cache_served_result(
+                        spec, sel, kind, scanned
+                    )
+                    if kind == "hit":
+                        batch.semantic_hits += 1
+                    else:
+                        batch.semantic_narrowed += 1
+                    continue
+                batch.semantic_misses += 1
+            try:
+                res = self.execute(
+                    spec.node,
+                    want_selection=spec.want_selection,
+                    region_constraint=spec.region_constraint,
+                    strategy=spec.strategy,
+                    timeout_s=spec.timeout_s,
+                )
+            except Exception as exc:  # per-query isolation inside a batch
+                batch.errors[i] = exc
+                continue
+            batch.results[i] = res
+            if (
+                ck is not None
+                and res.complete
+                and not res.timed_out
+                and res.selection is not None
+            ):
+                selection_cache.put(ck[0], ck[1], res.selection)
+
+        batch.elapsed_s = sysm.sync_clocks() - t_start
+        self._record_batch_metrics(batch)
+        return batch
+
+    def _shared_read_pass(
+        self,
+        shared: List[Tuple[str, int]],
+        demand_counts: Dict[Tuple[str, int], int],
+        batch: BatchResult,
+    ) -> None:
+        """Read each shared (object, region) once, charged to the batch."""
+        sysm = self.system
+        with sysm.tracer.span(
+            "batch_shared_read", sysm.client_clock, category="batch",
+            regions=len(shared),
+        ):
+            by_object: Dict[str, List[int]] = {}
+            for name, rid in shared:
+                by_object.setdefault(name, []).append(rid)
+            for name in sorted(by_object):
+                obj = sysm.get_object(name)
+                rids = np.asarray(sorted(by_object[name]), dtype=np.int64)
+                readers = self._active_readers(rids)
+                for server, mine in self._regions_by_server(rids):
+                    for rid in mine:
+                        key = region_key(name, int(rid))
+                        nbytes = int(obj.counts[rid]) * obj.itemsize
+                        try:
+                            hit = server.preload_region(
+                                key, nbytes, sysm.config.pdc_stripe_count,
+                                readers, tier=obj.tier_of(int(rid)),
+                            )
+                        except RegionUnavailableError as exc:
+                            # Leave the region to the demanding queries'
+                            # own retry/degrade machinery.
+                            batch.server_errors.setdefault(
+                                server.server_id, []
+                            ).append(str(exc))
+                            continue
+                        if hit:
+                            batch.shared_cached += 1
+                        else:
+                            vbytes = nbytes * sysm.cost.virtual_scale
+                            batch.shared_reads += 1
+                            batch.shared_bytes_virtual += vbytes
+                            batch.saved_bytes_virtual += vbytes * (
+                                demand_counts[(name, int(rid))] - 1
+                            )
+
+    def _batch_demand(self, spec: QuerySpec) -> Dict[str, np.ndarray]:
+        """Data regions a query is expected to read, from metadata alone.
+
+        Mirrors the per-conjunct ordering/pruning of :meth:`_eval_conjunct`
+        without charging any cost.  Paths whose reads are not plain data
+        regions (index probes, sorted-replica runs) return no demand —
+        their sharing happens through the ordinary server caches.  Any
+        failure degrades to "no demand"; the query still runs normally.
+        """
+        sysm = self.system
+        demand: Dict[str, set] = {}
+        try:
+            strat = spec.strategy or sysm.strategy
+            if strat is Strategy.AUTO:
+                from .planner import choose_strategy
+
+                strat, _ = choose_strategy(sysm, spec.node, record=False)
+            names = objects_of(spec.node)
+            if not names:
+                return {}
+            objs = [sysm.get_object(n) for n in names]
+            domain = objs[0].n_elements
+            for o in objs[1:]:
+                if o.n_elements != domain or o.meta.dims != objs[0].meta.dims:
+                    return {}
+            constraint, _slab = normalize_constraint(
+                spec.region_constraint, domain
+            )
+            scratch = QueryResult(
+                nhits=0, selection=None, elapsed_s=0.0, strategy=strat
+            )
+            for leaves in to_dnf(spec.node):
+                conjunct = conjunct_intervals(leaves)
+                if conjunct is None:
+                    continue
+                items = list(conjunct.items())
+                if strat.uses_histogram and self.enable_ordering:
+                    hists = {
+                        n: sysm.get_object(n).meta.global_histogram
+                        for n, _ in items
+                        if sysm.get_object(n).meta.global_histogram is not None
+                    }
+                    ordered = [
+                        (n, iv) for n, iv, _ in order_by_selectivity(items, hists)
+                    ]
+                    if any(
+                        hists.get(n) is not None
+                        and hists[n].estimate_hits(iv)[1] == 0
+                        for n, iv in ordered
+                    ):
+                        continue
+                else:
+                    ordered = items
+                first_name, first_iv = ordered[0]
+                if strat is Strategy.FULL_SCAN:
+                    for name, _ in ordered:
+                        o = sysm.get_object(name)
+                        demand.setdefault(name, set()).update(
+                            int(r)
+                            for r in self._regions_in_constraint(o, constraint)
+                        )
+                    continue
+                if strat is Strategy.SORT_HIST:
+                    replica = sysm.replica_covering([n for n, _ in ordered])
+                    if replica is not None and replica.replica.key_name == first_name:
+                        continue  # replica-run reads, not data regions
+                obj = sysm.get_object(first_name)
+                if strat is Strategy.HIST_INDEX and obj.indexes is not None:
+                    continue  # index probes, not data regions
+                surviving = self._prune_regions(obj, first_iv, constraint, scratch)
+                demand.setdefault(first_name, set()).update(
+                    int(r) for r in surviving
+                )
+        except Exception:
+            return {}
+        return {
+            name: np.asarray(sorted(rids), dtype=np.int64)
+            for name, rids in demand.items()
+            if rids
+        }
+
+    def _semantic_key(self, spec: QuerySpec) -> Optional[Tuple[str, Interval]]:
+        """(object, interval) when the query is a single-object interval
+        with no spatial constraint — the only shape the semantic selection
+        cache memoizes."""
+        if spec.region_constraint is not None:
+            return None
+        try:
+            leaf_sets = to_dnf(spec.node)
+        except QueryError:
+            return None
+        if len(leaf_sets) != 1:
+            return None
+        conjunct = conjunct_intervals(leaf_sets[0])
+        if conjunct is None or len(conjunct) != 1:
+            return None
+        ((name, interval),) = conjunct.items()
+        return name, interval
+
+    def _cache_served_result(
+        self, spec: QuerySpec, sel: Selection, kind: str, scanned: int
+    ) -> QueryResult:
+        """Synthesize a :class:`QueryResult` for a semantic-cache serve.
+
+        No server participates: the client pays its fixed overhead plus
+        (for a narrowing serve) the vectorized filter over the superset's
+        cached coordinates.
+        """
+        sysm = self.system
+        t0 = sysm.sync_clocks()
+        sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "client")
+        if scanned:
+            sysm.client_clock.charge(sysm.cost.scan_time(int(scanned)), "scan")
+        elapsed = sysm.sync_clocks() - t0
+        return QueryResult(
+            nhits=sel.nhits,
+            selection=sel if spec.want_selection else None,
+            elapsed_s=elapsed,
+            strategy=spec.strategy or sysm.strategy,
+            semantic_cache=kind,
+        )
+
+    def _record_batch_metrics(self, batch: BatchResult) -> None:
+        """Fold one batch's shared-scan accounting into the registry."""
+        m = self.system.metrics
+        m.counter(
+            "pdc_batches_total", "Shared-scan query batches executed."
+        ).inc()
+        m.histogram(
+            "pdc_batch_width", "Queries admitted per shared-scan batch."
+        ).observe(batch.width)
+        m.counter(
+            "pdc_batch_shared_regions_total",
+            "Regions demanded by more than one query of a batch.",
+        ).inc(batch.shared_regions)
+        m.counter(
+            "pdc_batch_shared_reads_total",
+            "Shared regions read once on behalf of a whole batch.",
+        ).inc(batch.shared_reads)
+        m.counter(
+            "pdc_batch_saved_bytes_virtual_total",
+            "Virtual bytes saved by shared-scan batching vs sequential reads.",
+        ).inc(batch.saved_bytes_virtual)
+        lookups = m.counter(
+            "pdc_semantic_cache_lookups_total",
+            "Semantic selection-cache lookups by result.",
+            labels=("result",),
+        )
+        if batch.semantic_hits:
+            lookups.labels(result="hit").inc(batch.semantic_hits)
+        if batch.semantic_narrowed:
+            lookups.labels(result="narrowed").inc(batch.semantic_narrowed)
+        if batch.semantic_misses:
+            lookups.labels(result="miss").inc(batch.semantic_misses)
+
     def get_data(
         self,
         selection: Selection,
@@ -358,6 +721,14 @@ class QueryEngine:
                 f"selection domain {selection.domain_size} != object "
                 f"{object_name!r} size {obj.n_elements}"
             )
+        if strat is Strategy.AUTO:
+            # Resolve AUTO through the cost-based planner, as execute()
+            # does; without this the `strat is Strategy.SORT_HIST` test
+            # below could never select the sorted-replica read path.
+            from .planner import choose_get_data_strategy
+
+            strat = choose_get_data_strategy(sysm, object_name, selection)
+            sysm.client_clock.charge(sysm.cost.params.client_overhead_s, "plan")
         t_start = sysm.sync_clocks()
         result = GetDataResult(values=obj.data[selection.coords].copy(), elapsed_s=0.0)
 

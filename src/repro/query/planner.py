@@ -34,7 +34,14 @@ from ..pdc.system import PDCSystem, StoredObject
 from ..strategies import Strategy
 from .ast import QueryNode, conjunct_intervals, to_dnf
 
-__all__ = ["StepEstimate", "PlanEstimate", "estimate_plan", "choose_strategy", "explain"]
+__all__ = [
+    "StepEstimate",
+    "PlanEstimate",
+    "estimate_plan",
+    "choose_strategy",
+    "choose_get_data_strategy",
+    "explain",
+]
 
 #: Rough bytes of index bitmaps touched per (upper-bound) hit.
 _INDEX_BYTES_PER_HIT = 16.0
@@ -227,11 +234,16 @@ def estimate_plan(
     return plan
 
 
-def choose_strategy(system: PDCSystem, node: QueryNode) -> Tuple[Strategy, List[PlanEstimate]]:
+def choose_strategy(
+    system: PDCSystem, node: QueryNode, record: bool = True
+) -> Tuple[Strategy, List[PlanEstimate]]:
     """Pick the cheapest applicable strategy for a query.
 
     Returns the winner and the full list of candidate estimates (sorted
-    cheapest first), so callers can explain the decision.
+    cheapest first), so callers can explain the decision.  ``record=False``
+    skips the planner metrics/trace side effects — for speculative
+    resolutions (batch demand planning) that the executor will repeat
+    for real.
     """
     candidates = [
         estimate_plan(system, node, s)
@@ -239,17 +251,70 @@ def choose_strategy(system: PDCSystem, node: QueryNode) -> Tuple[Strategy, List[
     ]
     candidates.sort(key=lambda p: p.est_seconds)
     winner = candidates[0].strategy
-    system.metrics.counter(
-        "pdc_plans_total", "AUTO planner decisions, by chosen strategy.",
-        labels=("strategy",),
-    ).labels(strategy=winner.name).inc()
-    if system.tracer.enabled:
-        system.tracer.instant(
-            "plan_decision", system.client_clock,
-            strategy=winner.name,
-            estimates={p.strategy.name: p.est_seconds for p in candidates},
-        )
+    if record:
+        system.metrics.counter(
+            "pdc_plans_total", "AUTO planner decisions, by chosen strategy.",
+            labels=("strategy",),
+        ).labels(strategy=winner.name).inc()
+        if system.tracer.enabled:
+            system.tracer.instant(
+                "plan_decision", system.client_clock,
+                strategy=winner.name,
+                estimates={p.strategy.name: p.est_seconds for p in candidates},
+            )
     return winner, candidates
+
+
+def choose_get_data_strategy(
+    system: PDCSystem, object_name: str, selection
+) -> Strategy:
+    """Resolve ``Strategy.AUTO`` for ``get_data`` (value materialization).
+
+    The only access-path decision in ``get_data`` is whether to read the
+    hit-holding regions of the *original* object or the contiguous run on
+    a *sorted replica* covering it (§III-D3: replica regions were usually
+    cached by the evaluation pass).  Estimates are cache-aware and use
+    only metadata the servers already hold — no I/O, like
+    :func:`choose_strategy`.
+    """
+    group = system.replica_covering([object_name])
+    if group is None or selection.is_empty:
+        return Strategy.HISTOGRAM
+    obj = system.get_object(object_name)
+    itemsize = obj.itemsize
+
+    orig_regions = np.unique(obj.region_of_coords(selection.coords))
+    frac_orig = _uncached_fraction(system, obj, orig_regions)
+    orig_bytes = float(obj.counts[orig_regions].sum()) * itemsize * frac_orig
+
+    # Replica path: map hits to sorted positions via the cached inverse
+    # permutation, then to replica regions.
+    inv = getattr(group, "_inverse_perm", None)
+    if inv is None:
+        inv = np.empty_like(group.replica.permutation)
+        inv[group.replica.permutation] = np.arange(
+            group.replica.n_elements, dtype=np.int64
+        )
+        group._inverse_perm = inv
+    positions = inv[selection.coords]
+    repl_regions = np.minimum(
+        np.unique(positions // group.region_elements), group.n_regions - 1
+    )
+    which = object_name if object_name != group.replica.key_name else "key"
+    missing = 0
+    for rid in repl_regions:
+        server = system.servers[int(rid) % system.n_servers]
+        key = region_key(group.replica.key_name, int(rid), replica=f"sorted:{which}")
+        if not server.cache.contains(key):
+            missing += 1
+    frac_repl = missing / repl_regions.size if repl_regions.size else 0.0
+    repl_bytes = float(group.counts[repl_regions].sum()) * itemsize * frac_repl
+
+    if repl_bytes < orig_bytes or (
+        repl_bytes == orig_bytes and repl_regions.size <= orig_regions.size
+    ):
+        return Strategy.SORT_HIST
+    return Strategy.HISTOGRAM
 
 
 def explain(system: PDCSystem, node: QueryNode, strategy: Optional[Strategy] = None) -> str:

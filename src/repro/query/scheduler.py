@@ -1,0 +1,295 @@
+"""Shared-scan batch scheduling and the semantic selection cache.
+
+§VI-A measures query *sequences* and credits much of PDC's advantage to
+"the caching mechanism provided by the PDC": regions read by one query
+serve the next from server memory.  This module pushes that observation
+one step further, to *concurrent* queries:
+
+* :class:`QueryScheduler` admits a window of queries and executes it as
+  one shared-scan batch (:meth:`QueryEngine.execute_batch`): regions
+  demanded by more than one query of the window are read from the PFS
+  exactly once, with the bytes/retries charged to the batch rather than
+  to any single query.  §III-E's rationale — PDC reads whole regions to
+  avoid many small non-contiguous accesses — applies across queries just
+  as it does within one.
+
+* :class:`SelectionCache` memoizes complete query answers semantically:
+  ``(object, interval) → Selection``.  A repeated interval is answered
+  with zero I/O; a *narrower* interval subsumed by a cached one is
+  answered by vectorized filtering of the cached superset's coordinates
+  (:meth:`Interval.covers`), again with zero storage traffic.  Entries
+  are invalidated through :meth:`PDCSystem.register_invalidation_hook`
+  when an object is rewritten (per object) or a server fails (whole
+  cache, conservatively — failovers reshuffle region ownership, and a
+  cheap full drop is always safe).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..interval import Interval
+from ..pdc.system import PDCSystem
+from .ast import QueryNode
+from .executor import BatchResult, QueryEngine, QueryResult, QuerySpec
+from .selection import Selection
+
+__all__ = ["QueryScheduler", "SelectionCache", "SelectionCacheStats"]
+
+#: Hashable form of an interval: (lo, hi, lo_closed, hi_closed).
+_IKey = Tuple[Optional[float], Optional[float], bool, bool]
+
+
+def _interval_key(interval: Interval) -> _IKey:
+    return (interval.lo, interval.hi, interval.lo_closed, interval.hi_closed)
+
+
+@dataclass
+class SelectionCacheStats:
+    """Counters of one :class:`SelectionCache`'s lifetime."""
+
+    hits: int = 0
+    narrowed: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class _CachedSelection:
+    interval: Interval
+    coords: np.ndarray
+    domain: int
+
+
+class SelectionCache:
+    """Semantic ``(object, interval) → Selection`` memo with subsumption.
+
+    Only *complete* (non-degraded, non-timed-out) single-object interval
+    answers are cached; see :meth:`QueryEngine.execute_batch`.  Per-object
+    entries are LRU-bounded.  Thread-safe: :class:`AsyncQueryClient`'s
+    drain thread and the caller's thread may both touch it.
+    """
+
+    def __init__(self, max_entries_per_object: int = 32) -> None:
+        if max_entries_per_object < 1:
+            raise ValueError("max_entries_per_object must be >= 1")
+        self.max_entries_per_object = max_entries_per_object
+        self._entries: Dict[str, "OrderedDict[_IKey, _CachedSelection]"] = {}
+        self._lock = threading.Lock()
+        self.stats = SelectionCacheStats()
+
+    # ------------------------------------------------------------------- api
+    def fetch(
+        self, system: PDCSystem, object_name: str, interval: Interval
+    ) -> Optional[Tuple[Selection, str, int]]:
+        """Serve ``interval`` over ``object_name`` from the cache.
+
+        Returns ``(selection, kind, scanned)`` where ``kind`` is ``"hit"``
+        (exact interval match, ``scanned == 0``) or ``"narrowed"`` (a
+        cached superset's coordinates were filtered down; ``scanned`` is
+        the number of cached coordinates the filter touched, for cost
+        accounting).  Returns ``None`` on a miss.  Entries whose domain no
+        longer matches the live object are dropped rather than served.
+        """
+        if object_name not in system.objects:
+            # Unknown object: a cache miss, not the cache's error to raise
+            # — normal execution surfaces ObjectNotFoundError per query.
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        obj = system.get_object(object_name)
+        with self._lock:
+            per_obj = self._entries.get(object_name)
+            if not per_obj:
+                self.stats.misses += 1
+                return None
+            key = _interval_key(interval)
+            entry = per_obj.get(key)
+            if entry is not None:
+                if entry.domain != obj.n_elements:
+                    del per_obj[key]
+                    self.stats.misses += 1
+                    return None
+                per_obj.move_to_end(key)
+                self.stats.hits += 1
+                return Selection(entry.coords, entry.domain), "hit", 0
+
+            # Subsumption: the smallest cached superset minimizes the
+            # narrowing scan.
+            best: Optional[_CachedSelection] = None
+            for cand in per_obj.values():
+                if cand.domain != obj.n_elements:
+                    continue
+                if cand.interval.covers(interval):
+                    if best is None or cand.coords.size < best.coords.size:
+                        best = cand
+            if best is None:
+                self.stats.misses += 1
+                return None
+            coords = best.coords[interval.mask(obj.data[best.coords])]
+            self.stats.narrowed += 1
+            sel = Selection(coords, best.domain)
+            # The narrowed answer is itself a complete answer: cache it so
+            # an exact repeat costs nothing.
+            self._put_locked(object_name, interval, coords, best.domain)
+            return sel, "narrowed", int(best.coords.size)
+
+    def put(self, object_name: str, interval: Interval, selection: Selection) -> None:
+        """Memoize a complete answer."""
+        with self._lock:
+            self._put_locked(
+                object_name, interval, selection.coords, selection.domain_size
+            )
+
+    def _put_locked(
+        self, object_name: str, interval: Interval, coords: np.ndarray, domain: int
+    ) -> None:
+        per_obj = self._entries.setdefault(object_name, OrderedDict())
+        key = _interval_key(interval)
+        if key in per_obj:
+            del per_obj[key]
+        per_obj[key] = _CachedSelection(
+            interval=interval, coords=coords, domain=domain
+        )
+        self.stats.inserts += 1
+        while len(per_obj) > self.max_entries_per_object:
+            per_obj.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate_object(self, object_name: str) -> int:
+        """Drop every cached selection over ``object_name`` (rewrite)."""
+        with self._lock:
+            per_obj = self._entries.pop(object_name, None)
+            dropped = len(per_obj) if per_obj else 0
+            self.stats.invalidations += dropped
+            return dropped
+
+    def clear(self) -> int:
+        """Drop everything (server failure — conservative)."""
+        with self._lock:
+            dropped = sum(len(v) for v in self._entries.values())
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._entries.values())
+
+
+class QueryScheduler:
+    """Admits queries into shared-scan batch windows.
+
+    Queries accumulate via :meth:`submit` until the window reaches
+    ``max_width`` (auto-flush) or :meth:`flush` is called; each window
+    runs as one :meth:`QueryEngine.execute_batch`.  :meth:`run` is the
+    batteries-included form: chunk a query list into windows, execute
+    them, and return the flat per-query results.
+
+    The scheduler owns a :class:`SelectionCache` (unless disabled) and
+    registers it with the system's invalidation hooks; :meth:`close`
+    unregisters.  Executed :class:`BatchResult`\\ s accumulate in
+    ``self.batches`` for inspection.
+    """
+
+    def __init__(
+        self,
+        system: PDCSystem,
+        engine: Optional[QueryEngine] = None,
+        max_width: int = 8,
+        selection_cache: Optional[SelectionCache] = None,
+        use_selection_cache: bool = True,
+    ) -> None:
+        if max_width < 1:
+            raise ValueError("max_width must be >= 1")
+        self.system = system
+        self.engine = engine if engine is not None else QueryEngine(system)
+        if self.engine.system is not system:
+            raise ValueError("engine is bound to a different system")
+        self.max_width = max_width
+        self.selection_cache: Optional[SelectionCache] = None
+        if use_selection_cache:
+            self.selection_cache = (
+                selection_cache if selection_cache is not None else SelectionCache()
+            )
+            system.register_invalidation_hook(self._on_invalidate)
+        self._pending: List[QuerySpec] = []
+        #: Every executed window's :class:`BatchResult`, in order.
+        self.batches: List[BatchResult] = []
+
+    # ------------------------------------------------------------- admission
+    def submit(
+        self, query: Union[QueryNode, QuerySpec], **kwargs
+    ) -> Optional[BatchResult]:
+        """Queue one query (``kwargs`` become :class:`QuerySpec` fields).
+
+        Returns the executed :class:`BatchResult` when this submission
+        filled the window (auto-flush), else ``None``.
+        """
+        spec = query if isinstance(query, QuerySpec) else QuerySpec(node=query, **kwargs)
+        self._pending.append(spec)
+        if len(self._pending) >= self.max_width:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[BatchResult]:
+        """Execute the pending window; ``None`` when nothing is queued."""
+        if not self._pending:
+            return None
+        window, self._pending = self._pending, []
+        return self.execute_window(window)
+
+    def execute_window(self, specs: Sequence[QuerySpec]) -> BatchResult:
+        """Execute one window as a shared-scan batch."""
+        batch = self.engine.execute_batch(
+            list(specs), selection_cache=self.selection_cache
+        )
+        self.batches.append(batch)
+        return batch
+
+    def run(
+        self, queries: Sequence[Union[QueryNode, QuerySpec]], **kwargs
+    ) -> List[QueryResult]:
+        """Execute ``queries`` in ``max_width``-sized windows; returns one
+        :class:`QueryResult` per query, in input order.  Re-raises the
+        first per-query error encountered."""
+        specs = [
+            q if isinstance(q, QuerySpec) else QuerySpec(node=q, **kwargs)
+            for q in queries
+        ]
+        results: List[QueryResult] = []
+        for off in range(0, len(specs), self.max_width):
+            batch = self.execute_window(specs[off : off + self.max_width])
+            if batch.errors:
+                raise next(iter(batch.errors.values()))
+            results.extend(batch.results)  # type: ignore[arg-type]
+        return results
+
+    # ------------------------------------------------------------- lifecycle
+    def _on_invalidate(self, object_name: Optional[str]) -> None:
+        if self.selection_cache is None:
+            return
+        if object_name is None:
+            self.selection_cache.clear()
+        else:
+            self.selection_cache.invalidate_object(object_name)
+
+    def close(self) -> None:
+        """Flush pending work and unregister the invalidation hook."""
+        self.flush()
+        if self.selection_cache is not None:
+            self.system.unregister_invalidation_hook(self._on_invalidate)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

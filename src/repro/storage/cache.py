@@ -32,6 +32,12 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    #: Entries removed by explicit :meth:`RegionCache.invalidate` calls
+    #: (object rewrites, replica drops) — not capacity pressure.
+    invalidations: int = 0
+    #: Entries removed by :meth:`RegionCache.clear` (cache drops,
+    #: crash simulation).
+    clears: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,7 +76,8 @@ class RegionCache:
         self.stats = CacheStats()
         # Optional MetricsRegistry feed; labeled children are resolved once
         # here so the per-lookup cost is a single counter increment.
-        self._m_hit = self._m_miss = self._m_evict = None
+        self._m_hit = self._m_miss = None
+        self._m_evict = self._m_invalidate = self._m_clear = None
         if metrics is not None:
             lookups = metrics.counter(
                 "pdc_cache_lookups_total",
@@ -79,11 +86,18 @@ class RegionCache:
             )
             self._m_hit = lookups.labels(server=owner, result="hit")
             self._m_miss = lookups.labels(server=owner, result="miss")
-            self._m_evict = metrics.counter(
+            # Every way an entry leaves the cache feeds the same family so
+            # dashboards can reconcile used_bytes against inserts minus
+            # removals: capacity evictions, explicit invalidations, and
+            # whole-cache clears each get their own reason label.
+            removals = metrics.counter(
                 "pdc_cache_evictions_total",
-                "Region-cache LRU evictions by server.",
-                labels=("server",),
-            ).labels(server=owner)
+                "Region-cache entry removals by server and reason.",
+                labels=("server", "reason"),
+            )
+            self._m_evict = removals.labels(server=owner, reason="capacity")
+            self._m_invalidate = removals.labels(server=owner, reason="invalidate")
+            self._m_clear = removals.labels(server=owner, reason="clear")
 
     # ------------------------------------------------------------------- api
     def get(self, key: Hashable) -> Optional[np.ndarray]:
@@ -157,11 +171,18 @@ class RegionCache:
         if entry is None:
             return False
         self._used -= entry.vbytes
+        self.stats.invalidations += 1
+        if self._m_invalidate is not None:
+            self._m_invalidate.inc()
         return True
 
     def clear(self) -> None:
+        dropped = len(self._entries)
         self._entries.clear()
         self._used = 0.0
+        self.stats.clears += dropped
+        if dropped and self._m_clear is not None:
+            self._m_clear.inc(dropped)
 
     # ------------------------------------------------------------ inspection
     @property

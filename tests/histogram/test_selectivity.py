@@ -72,6 +72,30 @@ class TestOrdering:
         assert ordered[-1][0] == "mystery"
         assert ordered[-1][2] is None
 
+    def test_unknown_sorts_after_genuine_full_selectivity(self, hists):
+        """Regression: an unknown-histogram condition used to tie with a
+        condition whose *estimated* midpoint is exactly 1.0 (both sorted by
+        the value 1.0).  A genuine estimate — even "selects everything" —
+        is still information and must evaluate before a condition we know
+        nothing about."""
+        conditions = [
+            ("mystery", Interval(lo=0.0, hi=0.0001)),  # unknown, looks tiny
+            ("uniform", Interval()),                   # known, midpoint 1.0
+        ]
+        ordered = order_by_selectivity(conditions, hists)
+        assert [n for n, _, _ in ordered] == ["uniform", "mystery"]
+        assert ordered[0][2] is not None
+        assert ordered[0][2].midpoint == pytest.approx(1.0)
+        assert ordered[-1][2] is None
+
+    def test_all_unknown_preserves_input_order(self, hists):
+        conditions = [
+            ("ghost", Interval(lo=0.0, hi=1.0)),
+            ("phantom", Interval(lo=0.5, hi=0.6)),
+        ]
+        ordered = order_by_selectivity(conditions, hists)
+        assert [n for n, _, _ in ordered] == ["ghost", "phantom"]
+
     def test_stable_on_ties(self, hists):
         # Same object, same interval twice: input order preserved.
         iv = Interval(lo=0.0, hi=0.5)

@@ -119,6 +119,54 @@ class TestCostBehaviour:
         assert np.array_equal(gd.values, truth)
         assert gd.regions_cached > 0
 
+    def test_auto_strategy_resolved(self, env):
+        """Regression: get_data(strategy=AUTO) used to leave the strategy
+        literally as AUTO, so the ``strat is SORT_HIST`` replica-path test
+        below it could never fire and AUTO always paid original-object
+        reads.  AUTO must resolve through the planner and take the
+        replica-cache path after a SORT_HIST evaluation."""
+        sysm, _, x = env
+        sysm.build_sorted_replica("energy", ["x"])
+        engine = QueryEngine(sysm)
+        node = combine_and(cond("energy", ">", 2.0), cond("x", "<", 200.0))
+        res = engine.execute(node, strategy=Strategy.SORT_HIST)
+        gd = engine.get_data(res.selection, "x", strategy=Strategy.AUTO)
+        assert np.array_equal(gd.values, x[res.selection.coords])
+        # Replica regions were cached by the evaluation: AUTO must reuse
+        # them instead of reading the original object from storage.
+        assert gd.regions_cached > 0
+        assert gd.regions_read == 0
+
+    def test_auto_matches_explicit_sort_hist(self, rng):
+        """AUTO on a replica-backed deployment is indistinguishable from an
+        explicit SORT_HIST run on an identical twin deployment."""
+        def deployment():
+            local = np.random.default_rng(4242)
+            sysm = make_system(region_size_bytes=1 << 11)
+            sysm.create_object(
+                "energy", local.gamma(2.0, 0.7, 1 << 12).astype(np.float32)
+            )
+            sysm.create_object(
+                "x", (local.random(1 << 12) * 300.0).astype(np.float32)
+            )
+            sysm.build_sorted_replica("energy", ["x"])
+            return sysm
+
+        node = combine_and(cond("energy", ">", 2.0), cond("x", "<", 200.0))
+        runs = {}
+        for strat in (Strategy.AUTO, Strategy.SORT_HIST):
+            sysm = deployment()
+            engine = QueryEngine(sysm)
+            res = engine.execute(node, strategy=Strategy.SORT_HIST)
+            gd = engine.get_data(res.selection, "x", strategy=strat)
+            runs[strat] = (
+                gd.values.tobytes(),
+                gd.regions_read,
+                gd.regions_cached,
+                gd.elapsed_s,
+            )
+        assert runs[Strategy.AUTO] == runs[Strategy.SORT_HIST]
+
     def test_aggregated_get_data_mode(self, rng):
         """Ablation: get_data reading aggregated hit extents instead of
         whole regions still returns correct values."""

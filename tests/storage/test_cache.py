@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.obs import MetricsRegistry
 from repro.storage.cache import RegionCache
 
 
@@ -77,6 +78,58 @@ class TestEviction:
             c.put(f"k{i}", arr(10))
         assert c.used_bytes <= 50
         assert len(c) <= 5
+
+
+class TestRemovalAccounting:
+    """Regression: invalidate()/clear() used to bypass CacheStats and the
+    metrics feed entirely — used_bytes could shrink with no removal ever
+    counted, so dashboards could not reconcile inserts against removals."""
+
+    def test_invalidate_counted_in_stats(self):
+        c = RegionCache(100)
+        c.put("a", arr(10))
+        c.put("b", arr(10))
+        assert c.invalidate("a")
+        assert c.stats.invalidations == 1
+        assert c.stats.evictions == 0  # not a capacity eviction
+        c.invalidate("zzz")  # absent key: no count
+        assert c.stats.invalidations == 1
+
+    def test_clear_counts_dropped_entries(self):
+        c = RegionCache(100)
+        for i in range(3):
+            c.put(f"k{i}", arr(10))
+        c.clear()
+        assert c.stats.clears == 3
+        c.clear()  # empty cache: nothing more to count
+        assert c.stats.clears == 3
+
+    def test_removal_reasons_reconcile_with_inserts(self):
+        c = RegionCache(30)
+        for i in range(4):
+            c.put(f"k{i}", arr(10))  # 4th insert evicts k0
+        c.invalidate("k1")
+        c.clear()
+        removed = c.stats.evictions + c.stats.invalidations + c.stats.clears
+        assert removed == c.stats.inserts - len(c) == 4
+        assert (c.stats.evictions, c.stats.invalidations, c.stats.clears) == (1, 1, 2)
+
+    def test_metrics_reason_labels(self):
+        registry = MetricsRegistry()
+        c = RegionCache(30, metrics=registry, owner="server0")
+        for i in range(4):
+            c.put(f"k{i}", arr(10))
+        c.invalidate("k1")
+        c.clear()
+        fam = registry.counter(
+            "pdc_cache_evictions_total",
+            "Region-cache entry removals by server and reason.",
+            labels=("server", "reason"),
+        )
+        assert fam.labels(server="server0", reason="capacity").value == 1
+        assert fam.labels(server="server0", reason="invalidate").value == 1
+        assert fam.labels(server="server0", reason="clear").value == 2
+        assert registry.total("pdc_cache_evictions_total") == 4
 
 
 class TestVirtualScale:
