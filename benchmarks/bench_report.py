@@ -1,0 +1,77 @@
+"""Bench-regression report: run the deterministic micro-suite and gate
+against a committed ``BENCH_*.json`` baseline.
+
+The thin standalone wrapper around :mod:`repro.obs.regress` — what CI
+runs (``python -m repro benchcheck`` is the same gate as a CLI command).
+Because all suite metrics are *simulated* seconds/bytes, they are
+bit-identical across machines and runs; the default tolerance (~1e-9
+relative) therefore pins determinism, and any intentional perf change
+must re-baseline explicitly with ``--update`` (reviewable as a diff of
+numbers).
+
+    PYTHONPATH=src python benchmarks/bench_report.py [--baseline FILE]
+        [--update] [--out REPORT.json] [--smoke]
+
+``--smoke`` is accepted for symmetry with the other benchmarks; the
+micro-suite is already CI-sized, so it changes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.obs.regress import DEFAULT_BASELINE, benchcheck
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} at the repo root)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline with the current numbers",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="JSON report path (default: benchmarks/results/bench_report.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="no-op: the micro-suite is already smoke-sized",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = args.baseline
+    if baseline is None:
+        baseline = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", DEFAULT_BASELINE
+        )
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results"
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "bench_report.json")
+
+    code, text = benchcheck(
+        baseline_path=baseline, update=args.update, report_path=out
+    )
+    print(text)
+    print(f"report -> {out}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,15 @@ Gives the open-source release a zero-code entry point:
   drops) and report retries, failovers, and degraded results;
 * ``python -m repro batch`` — shared-scan batching demo: bytes read by a
   window of overlapping queries, isolated vs batched;
+* ``python -m repro explain <demo-query>`` — the planner's plan
+  (evaluation order, selectivity, access paths); ``--analyze``
+  additionally runs the query and annotates each step with measured
+  actuals (EXPLAIN ANALYZE);
+* ``python -m repro profile <demo-query>`` — per-server utilization,
+  imbalance/straggler ranking, critical path, and flamegraph export
+  (collapsed stacks / speedscope);
+* ``python -m repro benchcheck`` — run the deterministic micro-suite and
+  fail on any drift from the committed ``BENCH_*.json`` baseline;
 * ``python -m repro info`` — version, scale presets, strategy list.
 """
 
@@ -64,32 +73,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def _demo_deployment(metrics=None):
     """The small two-object deployment shared by selftest/trace/metrics:
     an indexed, replica-backed system plus the demo condition tree and its
-    ground-truth hit count."""
-    import numpy as np
+    ground-truth hit count.  Also the bench-regression micro-suite's
+    deployment — defined there so both stay one system."""
+    from .obs.regress import demo_deployment
 
-    from .pdc import PDCConfig, PDCSystem
-    from .query.ast import Condition, combine_and
-    from .types import PDCType, QueryOp
-
-    rng = np.random.default_rng(0)
-    system = PDCSystem(
-        PDCConfig(n_servers=4, region_size_bytes=1 << 13), metrics=metrics
-    )
-    n = 1 << 14
-    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
-    x = (rng.random(n) * 300).astype(np.float32)
-    system.create_object("energy", e)
-    system.create_object("x", x)
-    system.build_index("energy")
-    system.build_index("x")
-    system.build_sorted_replica("energy", ["x"])
-
-    node = combine_and(
-        Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0),
-        Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
-    )
-    truth = int(((e > 2.0) & (x < 150.0)).sum())
-    return system, node, truth
+    return demo_deployment(metrics=metrics)
 
 
 def _selftest_faults() -> int:
@@ -337,6 +325,96 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN (plan only) or EXPLAIN ANALYZE (plan + run + join) a demo
+    query."""
+    from .query.planner import explain
+    from .strategies import Strategy
+
+    system, _, _ = _demo_deployment()
+    node = _demo_query(args.query)
+    strategy = Strategy(args.strategy) if args.strategy else None
+    if not args.analyze:
+        print(explain(system, node, strategy))
+        return 0
+
+    from .obs.analyze import analyze, render_analysis
+    from .obs.profiler import write_collapsed, write_speedscope
+
+    # No explicit --strategy: analyze the AUTO-chosen plan, matching what
+    # plain `explain` showed.
+    qa = analyze(system, node, strategy=strategy or Strategy.AUTO)
+    print(render_analysis(qa, label=args.query))
+    if args.flamegraph or args.speedscope:
+        from .obs import Tracer
+
+        tracer = Tracer()
+        system2, _, _ = _demo_deployment()
+        system2.set_tracer(tracer)
+        from .query.executor import QueryEngine
+
+        QueryEngine(system2).execute(node, strategy=qa.strategy)
+        if args.flamegraph:
+            write_collapsed(tracer, args.flamegraph)
+            print(f"collapsed stacks -> {args.flamegraph}")
+        if args.speedscope:
+            write_speedscope(tracer, args.speedscope, name=args.query)
+            print(f"speedscope profile -> {args.speedscope}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a demo query's trace: utilization, skew, critical path."""
+    from .obs import Tracer
+    from .obs.profiler import (
+        profile,
+        render_profile,
+        write_collapsed,
+        write_speedscope,
+    )
+    from .query.executor import QueryEngine
+    from .strategies import Strategy
+
+    if args.load:
+        tracer = Tracer.read_jsonl(args.load)
+        root = None
+    else:
+        system, _, _ = _demo_deployment()
+        tracer = Tracer()
+        system.set_tracer(tracer)
+        node = _demo_query(args.query)
+        strategy = Strategy(args.strategy) if args.strategy else None
+        res = QueryEngine(system).execute(node, strategy=strategy)
+        root = res.trace
+        print(
+            f"{args.query} query ({res.strategy.paper_label}): {res.nhits} "
+            f"hits in {res.elapsed_s * 1e3:.2f} simulated ms"
+        )
+    print(render_profile(profile(tracer, root)))
+    if args.flamegraph:
+        write_collapsed(tracer, args.flamegraph, root)
+        print(f"collapsed stacks -> {args.flamegraph}")
+    if args.speedscope:
+        write_speedscope(tracer, args.speedscope, root)
+        print(f"speedscope profile -> {args.speedscope}")
+    return 0
+
+
+def cmd_benchcheck(args: argparse.Namespace) -> int:
+    """Run the deterministic micro-suite and gate against the baseline."""
+    from .obs.regress import benchcheck
+
+    code, text = benchcheck(
+        baseline_path=args.baseline,
+        update=args.update,
+        report_path=args.report,
+    )
+    print(text)
+    if args.report:
+        print(f"report -> {args.report}")
+    return code
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry
     from .query.executor import QueryEngine
@@ -521,6 +599,76 @@ def main(argv=None) -> int:
         help="evaluation strategy (default: the deployment's)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="show the planner's plan for a demo query "
+             "(--analyze: run it and join estimates with actuals)",
+    )
+    p.add_argument("query", choices=_TRACE_DEMOS, help="demo query to explain")
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and annotate the plan with measured actuals",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        help="evaluation strategy (default: the deployment's)",
+    )
+    p.add_argument(
+        "--flamegraph", metavar="FILE",
+        help="with --analyze: write collapsed-stack flamegraph input to FILE",
+    )
+    p.add_argument(
+        "--speedscope", metavar="FILE",
+        help="with --analyze: write a speedscope JSON profile to FILE",
+    )
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "profile",
+        help="utilization/skew/critical-path profile of a demo query trace",
+    )
+    p.add_argument(
+        "query", choices=_TRACE_DEMOS, nargs="?", default="multi",
+        help="demo query to profile (default: multi)",
+    )
+    p.add_argument(
+        "--load", metavar="JSONL",
+        help="profile a saved JSONL trace instead of running a demo query",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        help="evaluation strategy (default: the deployment's)",
+    )
+    p.add_argument(
+        "--flamegraph", metavar="FILE",
+        help="write collapsed-stack flamegraph input to FILE",
+    )
+    p.add_argument(
+        "--speedscope", metavar="FILE",
+        help="write a speedscope JSON profile to FILE",
+    )
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "benchcheck",
+        help="deterministic micro-suite vs the committed BENCH baseline",
+    )
+    p.add_argument(
+        "--baseline", default="BENCH_microsuite.json",
+        help="baseline file (default: BENCH_microsuite.json)",
+    )
+    p.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline with the current numbers",
+    )
+    p.add_argument(
+        "--report", metavar="FILE",
+        help="also write a JSON report (metrics + per-metric verdicts)",
+    )
+    p.set_defaults(func=cmd_benchcheck)
 
     p = sub.add_parser(
         "metrics", help="run a demo workload and print the metrics registry"

@@ -17,8 +17,26 @@ Tracing is **zero-cost when disabled**: the default tracer is a
 real overhead is a couple of attribute reads, so benchmark numbers are
 unaffected unless a real :class:`Tracer` is installed with
 :meth:`PDCSystem.set_tracer`.
+
+The analysis layer builds on those two primitives:
+
+* :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: join the planner's
+  per-step estimates with the executor's measured actuals;
+* :mod:`repro.obs.profiler` — critical path, per-clock utilization,
+  skew/straggler ranking, and flamegraph export over recorded traces;
+* :mod:`repro.obs.regress` — the deterministic micro-suite behind
+  ``python -m repro benchcheck`` and its ``BENCH_*.json`` baselines.
 """
 
+from .analyze import (
+    BatchAnalysis,
+    QueryAnalysis,
+    StepJoin,
+    analyze,
+    analyze_batch,
+    render_analysis,
+    render_batch_analysis,
+)
 from .metrics import (
     REGISTRY,
     Counter,
@@ -28,9 +46,34 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
 )
+from .profiler import (
+    ProfileReport,
+    TrackStats,
+    profile,
+    render_profile,
+    to_collapsed,
+    to_speedscope,
+    write_collapsed,
+    write_speedscope,
+)
 from .tracer import NOOP_TRACER, NoopTracer, Span, Tracer
 
 __all__ = [
+    "BatchAnalysis",
+    "QueryAnalysis",
+    "StepJoin",
+    "analyze",
+    "analyze_batch",
+    "render_analysis",
+    "render_batch_analysis",
+    "ProfileReport",
+    "TrackStats",
+    "profile",
+    "render_profile",
+    "to_collapsed",
+    "to_speedscope",
+    "write_collapsed",
+    "write_speedscope",
     "Counter",
     "Gauge",
     "HistogramMetric",

@@ -1,0 +1,302 @@
+"""Continuous bench-regression gate: a deterministic micro-suite with
+``BENCH_*.json`` baselines.
+
+Every number the simulator produces is *simulated* time, so benchmark
+results are exactly reproducible: the same code must yield bit-identical
+metrics on every machine and every run.  That turns performance testing
+into regression pinning — a committed ``BENCH_*.json`` baseline plus a
+comparison with per-metric tolerances (default: exact, ~1e-9 relative,
+catching any drift in the cost model or evaluation order).  Intentional
+performance changes update the baseline explicitly
+(``python -m repro benchcheck --update``), which shows up in review as a
+diff of numbers — the BENCH trajectory the roadmap calls for.
+
+The micro-suite covers each access path of the demo deployment (all four
+strategies + AUTO), a shared-scan batch window, and a ``get_data``
+materialization; one run takes well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_TOLERANCES",
+    "MetricCheck",
+    "demo_deployment",
+    "run_micro_suite",
+    "load_baseline",
+    "write_baseline",
+    "compare",
+    "render_comparison",
+    "benchcheck",
+]
+
+#: Canonical committed baseline (repo root), the first entry of the
+#: BENCH trajectory.
+DEFAULT_BASELINE = "BENCH_microsuite.json"
+
+#: Per-metric relative tolerances, first matching ``fnmatch`` pattern
+#: wins.  The default pin is (near-)exact: simulated numbers are
+#: deterministic, so any drift is a behavior change that must be either
+#: fixed or explicitly re-baselined.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "*": 1e-9,
+}
+
+
+def demo_deployment(metrics=None):
+    """The small two-object deployment shared by selftest/trace/metrics
+    and the micro-suite: an indexed, replica-backed 4-server system plus
+    the demo condition tree and its ground-truth hit count."""
+    import numpy as np
+
+    from ..pdc import PDCConfig, PDCSystem
+    from ..query.ast import Condition, combine_and
+    from ..types import PDCType, QueryOp
+
+    rng = np.random.default_rng(0)
+    system = PDCSystem(
+        PDCConfig(n_servers=4, region_size_bytes=1 << 13), metrics=metrics
+    )
+    n = 1 << 14
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300).astype(np.float32)
+    system.create_object("energy", e)
+    system.create_object("x", x)
+    system.build_index("energy")
+    system.build_index("x")
+    system.build_sorted_replica("energy", ["x"])
+
+    node = combine_and(
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0),
+        Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
+    )
+    truth = int(((e > 2.0) & (x < 150.0)).sum())
+    return system, node, truth
+
+
+def run_micro_suite() -> Dict[str, float]:
+    """Run the deterministic micro-suite; returns metric name → value.
+
+    Each strategy runs on a fresh deployment (cold caches) so the
+    per-strategy numbers are independent of suite ordering.
+    """
+    from ..query.ast import Condition
+    from ..query.executor import QueryEngine
+    from ..query.scheduler import QueryScheduler
+    from ..strategies import Strategy
+    from ..types import PDCType, QueryOp
+
+    out: Dict[str, float] = {}
+
+    for strategy in Strategy:
+        system, node, truth = demo_deployment()
+        engine = QueryEngine(system)
+        res = engine.execute(node, strategy=strategy)
+        tag = strategy.name.lower()
+        out[f"query.{tag}.sim_seconds"] = res.elapsed_s
+        out[f"query.{tag}.nhits"] = float(res.nhits)
+        out[f"query.{tag}.bytes_virtual"] = res.bytes_read_virtual
+        out[f"query.{tag}.regions_read"] = float(res.regions_read)
+
+    # Shared-scan batch window over overlapping threshold queries.
+    system, node, truth = demo_deployment()
+    queries = [
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, t)
+        for t in (0.5, 1.0, 1.5, 2.0)
+    ]
+    sched = QueryScheduler(system, max_width=len(queries))
+    sched.run(queries)
+    batch = sched.batches[0]
+    sched.close()
+    out["batch.sim_seconds"] = batch.elapsed_s
+    out["batch.shared_bytes_virtual"] = batch.shared_bytes_virtual
+    out["batch.saved_bytes_virtual"] = batch.saved_bytes_virtual
+    out["batch.shared_reads"] = float(batch.shared_reads)
+
+    # Value materialization on both get_data paths.
+    system, node, truth = demo_deployment()
+    engine = QueryEngine(system)
+    res = engine.execute(node, strategy=Strategy.SORT_HIST)
+    gd = engine.get_data(res.selection, "x", strategy=Strategy.SORT_HIST)
+    out["get_data.replica.sim_seconds"] = gd.elapsed_s
+    gd = engine.get_data(res.selection, "x", strategy=Strategy.HISTOGRAM)
+    out["get_data.original.sim_seconds"] = gd.elapsed_s
+    out["get_data.original.bytes_virtual"] = gd.bytes_read_virtual
+
+    return out
+
+
+# ---------------------------------------------------------------- baselines
+def write_baseline(
+    path: str,
+    metrics: Dict[str, float],
+    tolerances: Optional[Dict[str, float]] = None,
+    note: str = "",
+) -> None:
+    doc = {
+        "suite": "microsuite",
+        "note": note,
+        "tolerances": dict(tolerances or DEFAULT_TOLERANCES),
+        "metrics": dict(metrics),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "metrics" not in doc:
+        raise ValueError(f"{path}: not a BENCH baseline (no 'metrics' key)")
+    return doc
+
+
+def _tolerance_for(name: str, tolerances: Dict[str, float]) -> float:
+    for pattern, tol in tolerances.items():
+        if fnmatch(name, pattern):
+            return float(tol)
+    return DEFAULT_TOLERANCES["*"]
+
+
+@dataclass
+class MetricCheck:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: float
+    #: "ok" | "regressed" | "improved" | "missing" | "new".  Drift in
+    #: either direction beyond tolerance fails the gate — a determinism
+    #: pin, not a one-sided threshold — but direction is still reported.
+    status: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "improved", "missing")
+
+    @property
+    def rel_delta(self) -> float:
+        if self.baseline is None or self.current is None:
+            return float("nan")
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+def compare(baseline: Dict, current: Dict[str, float]) -> List[MetricCheck]:
+    """Check every metric against the baseline's tolerances."""
+    tolerances = dict(baseline.get("tolerances") or DEFAULT_TOLERANCES)
+    base_metrics: Dict[str, float] = baseline["metrics"]
+    checks: List[MetricCheck] = []
+    for name in sorted(set(base_metrics) | set(current)):
+        tol = _tolerance_for(name, tolerances)
+        b = base_metrics.get(name)
+        c = current.get(name)
+        if b is None:
+            checks.append(MetricCheck(name, None, c, tol, "new"))
+            continue
+        if c is None:
+            checks.append(MetricCheck(name, b, None, tol, "missing"))
+            continue
+        if b == 0.0:
+            drift = abs(c) > 0.0
+        else:
+            drift = abs(c - b) / abs(b) > tol
+        if not drift:
+            status = "ok"
+        else:
+            status = "regressed" if c > b else "improved"
+        checks.append(MetricCheck(name, b, c, tol, status))
+    return checks
+
+
+def render_comparison(checks: List[MetricCheck]) -> str:
+    lines = []
+    width = max((len(c.name) for c in checks), default=0)
+    for c in checks:
+        if c.status == "new":
+            lines.append(f"  {c.name:<{width}}  (new)        {c.current!r}")
+            continue
+        if c.status == "missing":
+            lines.append(
+                f"  {c.name:<{width}}  MISSING (baseline {c.baseline!r})"
+            )
+            continue
+        mark = "ok" if c.status == "ok" else c.status.upper()
+        delta = c.rel_delta
+        lines.append(
+            f"  {c.name:<{width}}  {c.baseline!r} -> {c.current!r} "
+            f"({delta:+.2e} rel, tol {c.tolerance:.0e})  {mark}"
+        )
+    failed = [c for c in checks if c.failed]
+    lines.append(
+        f"benchcheck: {'FAIL' if failed else 'PASS'} "
+        f"({len(failed)}/{len(checks)} metrics out of tolerance)"
+        if failed else
+        f"benchcheck: PASS ({len(checks)} metrics within tolerance)"
+    )
+    return "\n".join(lines)
+
+
+def benchcheck(
+    baseline_path: str = DEFAULT_BASELINE,
+    update: bool = False,
+    report_path: Optional[str] = None,
+) -> Tuple[int, str]:
+    """Run the micro-suite and gate against the committed baseline.
+
+    Returns ``(exit_code, report_text)``; exit code 0 means every metric
+    stayed within tolerance (or the baseline was (re)written).  With
+    ``update=True`` the current numbers become the new baseline.
+    ``report_path`` additionally dumps a JSON report (current metrics +
+    per-metric verdicts) for CI artifacts.
+    """
+    current = run_micro_suite()
+
+    if update or not os.path.exists(baseline_path):
+        action = "updated" if os.path.exists(baseline_path) else "created"
+        write_baseline(baseline_path, current)
+        if report_path:
+            _write_report(report_path, current, [])
+        return 0, (
+            f"baseline {action}: {baseline_path} ({len(current)} metrics)"
+        )
+
+    baseline = load_baseline(baseline_path)
+    checks = compare(baseline, current)
+    if report_path:
+        _write_report(report_path, current, checks)
+    text = f"comparing against {baseline_path}\n" + render_comparison(checks)
+    return (1 if any(c.failed for c in checks) else 0), text
+
+
+def _write_report(
+    path: str, current: Dict[str, float], checks: List[MetricCheck]
+) -> None:
+    doc = {
+        "suite": "microsuite",
+        "metrics": current,
+        "checks": [
+            {
+                "name": c.name,
+                "baseline": c.baseline,
+                "current": c.current,
+                "tolerance": c.tolerance,
+                "status": c.status,
+            }
+            for c in checks
+        ],
+        "failed": sorted(c.name for c in checks if c.failed),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")

@@ -204,11 +204,27 @@ class Tracer:
         """Simulated seconds per span category (over ``root``'s subtree, or
         everything).  Categories overlap hierarchically — a ``query`` span
         covers its ``storage_read`` children — so values are per-category
-        totals, not a partition."""
+        totals, not a partition.  Within one category there is no double
+        counting: a span nested (directly or transitively) under a
+        same-category span is already covered by that ancestor's duration
+        and contributes nothing of its own."""
         spans = self.subtree(root) if root is not None else self.spans
+        by_id = {s.span_id: s for s in spans}
         out: Dict[str, float] = {}
         for s in spans:
-            if s.end_s is not None:
+            if s.end_s is None:
+                continue
+            parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+            shadowed = False
+            while parent is not None:
+                if parent.category == s.category:
+                    shadowed = True
+                    break
+                parent = (
+                    by_id.get(parent.parent_id)
+                    if parent.parent_id is not None else None
+                )
+            if not shadowed:
                 out[s.category] = out.get(s.category, 0.0) + s.duration_s
         return out
 
@@ -315,3 +331,37 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as f:
             for rec in self.to_jsonl_records():
                 f.write(json.dumps(rec) + "\n")
+
+    # ---------------------------------------------------------------- import
+    @classmethod
+    def from_jsonl_records(cls, records: List[Dict[str, Any]]) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_jsonl_records` output, so saved
+        traces can be profiled/summarized offline (`repro.obs.profiler`
+        works on loaded traces exactly as on live ones)."""
+        tracer = cls()
+        max_id = 0
+        for rec in records:
+            span = Span(
+                span_id=int(rec["id"]),
+                parent_id=rec["parent"],
+                name=rec["name"],
+                category=rec["cat"],
+                track=rec["track"],
+                start_s=rec["t0"] if rec["type"] == "span" else rec["t"],
+                end_s=rec["t1"] if rec["type"] == "span" else rec["t"],
+                attrs=dict(rec.get("attrs") or {}),
+            )
+            if rec["type"] == "span":
+                tracer.spans.append(span)
+            else:
+                tracer.events.append(span)
+            max_id = max(max_id, span.span_id)
+        tracer._next_id = max_id + 1
+        return tracer
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "Tracer":
+        """Load a trace written by :meth:`write_jsonl`."""
+        with open(path, "r", encoding="utf-8") as f:
+            records = [json.loads(line) for line in f if line.strip()]
+        return cls.from_jsonl_records(records)

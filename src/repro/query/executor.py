@@ -53,6 +53,7 @@ __all__ = [
     "BatchResult",
     "GetDataResult",
     "MetaDataQueryResult",
+    "StepActual",
 ]
 
 #: Approximate wire size of a serialized query plan.
@@ -61,6 +62,38 @@ _PLAN_BYTES = 256
 _REGION_META_BYTES = 96
 #: Page size for binary-search probes on sorted replicas.
 _PROBE_BYTES = 4096
+
+
+@dataclass
+class StepActual:
+    """Measured outcome of one evaluation step (one condition of one
+    conjunct), the executor-side counterpart of
+    :class:`~repro.query.planner.StepEstimate`.
+
+    ``hits`` is the *cumulative* count surviving after this condition was
+    applied (the conjunct is an AND chain), so the first step's hits are
+    directly comparable to the planner's selectivity estimate while later
+    steps measure how fast the candidate set shrinks.  Region/byte counters
+    are deltas attributable to this step alone; ``elapsed_s`` is how far
+    the global simulated-time frontier advanced while the step ran (pure
+    reads of the clocks — recording a step never charges anything).
+    """
+
+    conjunct: int
+    object_name: str
+    interval: Interval
+    #: Surviving hits after this condition (cumulative within the conjunct).
+    hits: int
+    regions_read: int = 0
+    regions_cached: int = 0
+    regions_pruned: int = 0
+    index_reads: int = 0
+    bytes_read_virtual: float = 0.0
+    #: Simulated seconds the time frontier advanced during this step.
+    elapsed_s: float = 0.0
+    #: Access path actually taken ("full-read+scan", "pruned-read+scan",
+    #: "index-probe", "binary-search-run", "replica-slice", "recheck").
+    access_path: str = ""
 
 
 @dataclass
@@ -106,6 +139,16 @@ class QueryResult:
     #: normally), "hit" (exact interval match, zero I/O), or "narrowed"
     #: (subsumed by a cached superset interval, filtered client-side).
     semantic_cache: str = ""
+    #: Per-condition measured actuals in evaluation order — what EXPLAIN
+    #: ANALYZE joins against the planner's :class:`StepEstimate` s.
+    step_actuals: List[StepActual] = field(default_factory=list, repr=False)
+    #: This query's attributed share of its batch's shared-scan pass (both
+    #: zero outside a batch): the virtual bytes read on its behalf by the
+    #: shared pass, and the matching slice of the pass's elapsed time.
+    #: Without these, a batched query whose regions were preloaded would
+    #: report zero read cost and EXPLAIN ANALYZE would under-account it.
+    batch_shared_bytes_virtual: float = 0.0
+    batch_shared_elapsed_s: float = 0.0
 
 
 @dataclass
@@ -173,12 +216,22 @@ class BatchResult:
 
 @dataclass
 class GetDataResult:
-    """Outcome of materializing a selection's values."""
+    """Outcome of materializing a selection's values.
+
+    ``elapsed_s`` is the barrier-to-barrier simulated time of the
+    materialization alone; regions preloaded earlier (by evaluation, a
+    batch's shared pass, or :meth:`QueryEngine.preload`) show up as
+    ``regions_cached`` with zero bytes here — their read cost was charged
+    where the read actually happened, never dropped.
+    """
 
     values: np.ndarray
     elapsed_s: float
     regions_read: int = 0
     regions_cached: int = 0
+    #: Virtual PFS bytes this materialization itself read (cache-miss
+    #: regions only; cached regions were paid for by whoever loaded them).
+    bytes_read_virtual: float = 0.0
 
 
 @dataclass
@@ -352,7 +405,7 @@ class QueryEngine:
                             objects=sorted(conjunct),
                         ):
                             coords = self._eval_conjunct(
-                                conjunct, (cstart, cstop), strat, stats
+                                conjunct, (cstart, cstop), strat, stats, ci
                             )
                         if slab is not None:
                             # Exact N-D filtering of the bounding-range hits; servers
@@ -446,19 +499,44 @@ class QueryEngine:
         # runs, unresolvable plans) contribute nothing and amortize through
         # the ordinary region caches instead.
         demand_counts: Dict[Tuple[str, int], int] = {}
+        spec_demands: List[set] = []
         for spec in specs:
+            keys = set()
             for name, rids in self._batch_demand(spec).items():
                 for rid in rids:
-                    k = (name, int(rid))
-                    demand_counts[k] = demand_counts.get(k, 0) + 1
+                    keys.add((name, int(rid)))
+            spec_demands.append(keys)
+            for k in keys:
+                demand_counts[k] = demand_counts.get(k, 0) + 1
         shared = sorted(k for k, c in demand_counts.items() if c >= 2)
         batch.shared_regions = len(shared)
 
         retries_before = sum(s.retries_total for s in sysm.servers)
+        read_vbytes: Dict[Tuple[str, int], float] = {}
+        shared_elapsed = 0.0
         if shared:
-            self._shared_read_pass(shared, demand_counts, batch)
-            sysm.sync_clocks()
+            read_vbytes = self._shared_read_pass(shared, demand_counts, batch)
+            shared_elapsed = sysm.sync_clocks() - t_start
         batch.retries = sum(s.retries_total for s in sysm.servers) - retries_before
+
+        def _attribute_share(i: int, res: QueryResult) -> None:
+            # Satellite fix: a query whose regions the shared pass preloaded
+            # would otherwise report zero read cost; give each query its
+            # demand-weighted slice of the pass's bytes and elapsed time.
+            if not read_vbytes:
+                return
+            share = sum(
+                read_vbytes[k] / demand_counts[k]
+                for k in spec_demands[i]
+                if k in read_vbytes
+            )
+            if share <= 0.0:
+                return
+            res.batch_shared_bytes_virtual = share
+            if batch.shared_bytes_virtual > 0.0:
+                res.batch_shared_elapsed_s = (
+                    shared_elapsed * share / batch.shared_bytes_virtual
+                )
 
         for i, spec in enumerate(specs):
             ck = self._semantic_key(spec) if selection_cache is not None else None
@@ -466,9 +544,11 @@ class QueryEngine:
                 served = selection_cache.fetch(sysm, ck[0], ck[1])
                 if served is not None:
                     sel, kind, scanned = served
-                    batch.results[i] = self._cache_served_result(
+                    served_res = self._cache_served_result(
                         spec, sel, kind, scanned
                     )
+                    _attribute_share(i, served_res)
+                    batch.results[i] = served_res
                     if kind == "hit":
                         batch.semantic_hits += 1
                     else:
@@ -486,6 +566,7 @@ class QueryEngine:
             except Exception as exc:  # per-query isolation inside a batch
                 batch.errors[i] = exc
                 continue
+            _attribute_share(i, res)
             batch.results[i] = res
             if (
                 ck is not None
@@ -504,9 +585,14 @@ class QueryEngine:
         shared: List[Tuple[str, int]],
         demand_counts: Dict[Tuple[str, int], int],
         batch: BatchResult,
-    ) -> None:
-        """Read each shared (object, region) once, charged to the batch."""
+    ) -> Dict[Tuple[str, int], float]:
+        """Read each shared (object, region) once, charged to the batch.
+
+        Returns the virtual bytes actually read per (object, region) —
+        cache hits and unreadable regions contribute nothing — so the
+        caller can attribute each query its demand-weighted share."""
         sysm = self.system
+        read_vbytes: Dict[Tuple[str, int], float] = {}
         with sysm.tracer.span(
             "batch_shared_read", sysm.client_clock, category="batch",
             regions=len(shared),
@@ -543,6 +629,8 @@ class QueryEngine:
                             batch.saved_bytes_virtual += vbytes * (
                                 demand_counts[(name, int(rid))] - 1
                             )
+                            read_vbytes[(name, int(rid))] = vbytes
+        return read_vbytes
 
     def _batch_demand(self, spec: QuerySpec) -> Dict[str, np.ndarray]:
         """Data regions a query is expected to read, from metadata alone.
@@ -874,12 +962,55 @@ class QueryEngine:
         )
 
     # -------------------------------------------------------- conjunct eval
+    def _frontier(self) -> float:
+        """Current global simulated time (pure read, charges nothing)."""
+        sysm = self.system
+        return max(
+            max(s.clock.now for s in sysm.alive_servers), sysm.client_clock.now
+        )
+
+    @staticmethod
+    def _counter_snapshot(stats: QueryResult) -> Tuple[int, int, int, int, float]:
+        return (
+            stats.regions_read, stats.regions_cached, stats.regions_pruned,
+            stats.index_reads, stats.bytes_read_virtual,
+        )
+
+    def _make_step(
+        self,
+        stats: QueryResult,
+        ci: int,
+        name: str,
+        interval: Interval,
+        hits: int,
+        before: Tuple[int, int, int, int, float],
+        t0: float,
+        path: str,
+    ) -> StepActual:
+        """A :class:`StepActual` from counter deltas since ``before`` and
+        the frontier advance since ``t0``.  Bookkeeping only — nothing here
+        touches a clock or a cache."""
+        return StepActual(
+            conjunct=ci,
+            object_name=name,
+            interval=interval,
+            hits=int(hits),
+            regions_read=stats.regions_read - before[0],
+            regions_cached=stats.regions_cached - before[1],
+            regions_pruned=stats.regions_pruned - before[2],
+            index_reads=stats.index_reads - before[3],
+            bytes_read_virtual=stats.bytes_read_virtual - before[4],
+            elapsed_s=self._frontier() - t0,
+            access_path=path,
+        )
+
     def _eval_conjunct(
         self,
         conjunct: Conjunct,
         constraint: Tuple[int, int],
         strat: Strategy,
         stats: QueryResult,
+        ci: int = 0,
     ) -> np.ndarray:
         """Evaluate one AND-group of per-object intervals; returns sorted
         hit coordinates."""
@@ -910,38 +1041,63 @@ class QueryEngine:
         if strat is Strategy.SORT_HIST:
             replica = sysm.replica_covering([n for n, _ in ordered])
             if replica is not None and replica.replica.key_name == first_name:
-                return self._eval_sorted(replica, ordered, constraint, stats)
+                return self._eval_sorted(replica, ordered, constraint, stats, ci)
             # Sorted replica not applicable (e.g. the planner put another
             # object first, Fig. 4's low-energy-selectivity queries):
             # §VI-B — behaves like the histogram-only path.
 
+        #: Read work done up front for *later* conditions (FULL_SCAN
+        #: pre-loads every object) — folded into those conditions' step
+        #: actuals when the per-condition loop reaches them.
+        preloaded_steps: Dict[str, StepActual] = {}
         if strat is Strategy.FULL_SCAN:
             # §III-D1: pre-load all queried objects' data entirely.
             # (Later objects' lost regions are retried by the per-condition
             # loop below, so only the first object's losses matter here.)
             lost = np.zeros(0, dtype=np.int64)
-            for name, _ in ordered:
+            first_step: Optional[StepActual] = None
+            for name, iv in ordered:
                 o = sysm.get_object(name)
                 all_regions = self._regions_in_constraint(o, constraint)
+                before = self._counter_snapshot(stats)
+                t0 = self._frontier()
                 lost_o = self._charge_data_reads(o, all_regions, stats)
+                step = self._make_step(
+                    stats, ci, name, iv, -1, before, t0, "full-read+scan"
+                )
                 if name == first_name:
                     lost = lost_o
+                    first_step = step
+                else:
+                    preloaded_steps[name] = step
             obj = sysm.get_object(first_name)
+            t0 = self._frontier()
             self._charge_scan(obj, self._regions_in_constraint(obj, constraint), constraint)
             coords = self._mask_coords(obj, first_iv, constraint)
+            assert first_step is not None
+            first_step.elapsed_s += self._frontier() - t0
         else:
+            before = self._counter_snapshot(stats)
+            t0 = self._frontier()
             obj = sysm.get_object(first_name)
             surviving = self._prune_regions(obj, first_iv, constraint, stats)
             if strat is Strategy.HIST_INDEX and obj.indexes is not None:
                 lost = self._charge_index_reads(obj, surviving, first_iv, stats)
+                path = "index-probe"
             else:
                 lost = self._charge_data_reads(obj, surviving, stats)
                 self._charge_scan(obj, surviving, constraint)
+                path = "pruned-read+scan"
             coords = self._mask_coords(obj, first_iv, constraint)
+            first_step = self._make_step(
+                stats, ci, first_name, first_iv, -1, before, t0, path
+            )
         if lost.size:
             # Degraded mode: hits in unreadable regions are dropped (the
             # answer stays a subset of the truth).
             coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
+        first_step.hits = int(coords.size)
+        stats.step_actuals.append(first_step)
 
         # Subsequent conditions: check only already-selected locations.
         for name, iv in ordered[1:]:
@@ -950,8 +1106,11 @@ class QueryEngine:
                 # conjunct immediately.
                 return coords
             self._check_deadline()
+            before = self._counter_snapshot(stats)
+            t0 = self._frontier()
             obj = sysm.get_object(name)
             cand_regions = np.unique(obj.region_of_coords(coords))
+            empty_after_prune = False
             if strat.uses_histogram and self.enable_pruning:
                 keep = iv.overlaps_range_arrays(
                     obj.rmin[cand_regions], obj.rmax[cand_regions]
@@ -964,16 +1123,35 @@ class QueryEngine:
                     # exact); drop them without reading anything.
                     coord_regions = obj.region_of_coords(coords)
                     coords = coords[np.isin(coord_regions, cand_regions)]
-                    if coords.size == 0:
-                        return coords
-            if strat is Strategy.HIST_INDEX and obj.indexes is not None:
-                lost = self._charge_index_reads(obj, cand_regions, iv, stats)
+                    empty_after_prune = coords.size == 0
+            if not empty_after_prune:
+                if strat is Strategy.HIST_INDEX and obj.indexes is not None:
+                    lost = self._charge_index_reads(obj, cand_regions, iv, stats)
+                    path = "index-probe"
+                else:
+                    lost = self._charge_data_reads(obj, cand_regions, stats)
+                    self._charge_candidate_scan(obj, coords)
+                    path = "recheck"
+                if lost.size:
+                    coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
+                coords = coords[iv.mask(obj.data[coords])]
             else:
-                lost = self._charge_data_reads(obj, cand_regions, stats)
-                self._charge_candidate_scan(obj, coords)
-            if lost.size:
-                coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
-            coords = coords[iv.mask(obj.data[coords])]
+                path = "recheck"
+            step = self._make_step(
+                stats, ci, name, iv, int(coords.size), before, t0, path
+            )
+            pre = preloaded_steps.pop(name, None)
+            if pre is not None:
+                # Fold this object's FULL_SCAN pre-load into its own step so
+                # the read cost lands where the plan attributes it.
+                step.regions_read += pre.regions_read
+                step.regions_cached += pre.regions_cached
+                step.bytes_read_virtual += pre.bytes_read_virtual
+                step.elapsed_s += pre.elapsed_s
+                step.access_path = pre.access_path
+            stats.step_actuals.append(step)
+            if coords.size == 0 and empty_after_prune:
+                return coords
         return coords
 
     def _eval_sorted(
@@ -982,12 +1160,15 @@ class QueryEngine:
         ordered: Sequence[Tuple[str, Interval]],
         constraint: Tuple[int, int],
         stats: QueryResult,
+        ci: int = 0,
     ) -> np.ndarray:
         """PDC-SH fast path: binary search the sorted key, then contiguous
         companion reads over the matching run (§III-D3)."""
         sysm = self.system
         replica = group.replica
         (first_name, first_iv), rest = ordered[0], ordered[1:]
+        key_before = self._counter_snapshot(stats)
+        key_t0 = self._frontier()
 
         start, stop = replica.search_range(
             first_iv.lo, first_iv.hi, first_iv.lo_closed, first_iv.hi_closed
@@ -1014,6 +1195,10 @@ class QueryEngine:
         )
 
         if run_len <= 0:
+            stats.step_actuals.append(self._make_step(
+                stats, ci, first_name, first_iv, 0, key_before, key_t0,
+                "binary-search-run",
+            ))
             return np.zeros(0, dtype=np.int64)
 
         run_regions = group.regions_of_run(start, stop)
@@ -1023,8 +1208,18 @@ class QueryEngine:
         lost_parts.append(
             self._charge_replica_regions(group, run_regions, "perm", 8, stats)
         )
-        # Each further condition reads its companion slice — contiguous.
-        for name, _ in rest:
+        stats.step_actuals.append(self._make_step(
+            stats, ci, first_name, first_iv, run_len, key_before, key_t0,
+            "binary-search-run",
+        ))
+
+        # Each further condition reads its companion slice — contiguous —
+        # and filters the run; the exact answer comes from the replica
+        # arrays.
+        mask = np.ones(run_len, dtype=bool)
+        for name, iv in rest:
+            before = self._counter_snapshot(stats)
+            t0 = self._frontier()
             itemsize = sysm.get_object(name).itemsize
             lost_parts.append(self._charge_replica_regions(
                 group, run_regions, name, itemsize, stats
@@ -1033,11 +1228,11 @@ class QueryEngine:
             for server, n in zip(sysm.alive_servers, per_server_elems):
                 if n:
                     server.clock.charge(sysm.cost.scan_time(int(n)), "scan")
-
-        # Exact answer from the replica arrays.
-        mask = np.ones(run_len, dtype=bool)
-        for name, iv in rest:
             mask &= iv.mask(replica.companion_slice(name, start, stop))
+            stats.step_actuals.append(self._make_step(
+                stats, ci, name, iv, int(mask.sum()), before, t0,
+                "replica-slice",
+            ))
         lost_parts = [part for part in lost_parts if part.size]
         if lost_parts:
             # Degraded mode: sorted positions whose key/perm/companion
@@ -1504,6 +1699,9 @@ class QueryEngine:
                         result.regions_cached += 1
                     else:
                         result.regions_read += 1
+                        result.bytes_read_virtual += (
+                            nbytes * sysm.cost.virtual_scale
+                        )
                 else:
                     # Ablation mode: read only the hit extents, merged by
                     # the §III-E aggregator (many small accesses when the
@@ -1522,6 +1720,7 @@ class QueryEngine:
                         "pfs_read",
                     )
                     result.regions_read += 1
+                    result.bytes_read_virtual += nb * sysm.cost.virtual_scale
 
     def _charge_get_data_replica(
         self, group: ReplicaGroup, object_name: str, selection: Selection,
@@ -1553,6 +1752,7 @@ class QueryEngine:
                     result.regions_cached += 1
                 else:
                     result.regions_read += 1
+                    result.bytes_read_virtual += nbytes * sysm.cost.virtual_scale
 
     def _inverse_permutation(self, group: ReplicaGroup) -> np.ndarray:
         inv = getattr(group, "_inverse_perm", None)

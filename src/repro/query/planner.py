@@ -63,6 +63,14 @@ class StepEstimate:
     total_regions: int
     #: Access path chosen for this step under the plan's strategy.
     access_path: str
+    #: Which DNF conjunct this step belongs to (matches
+    #: :attr:`~repro.query.executor.StepActual.conjunct`).
+    conjunct: int = 0
+    #: (lower, upper) estimated hits surviving after this condition —
+    #: cumulative within the conjunct under an independence assumption,
+    #: directly comparable to the executor's measured
+    #: :attr:`~repro.query.executor.StepActual.hits`.
+    est_hits: Tuple[float, float] = (0.0, 0.0)
 
     @property
     def pruned_fraction(self) -> float:
@@ -136,7 +144,7 @@ def estimate_plan(
     plan = PlanEstimate(strategy=strategy, est_seconds=0.0)
     total = system.cost.params.client_overhead_s
 
-    for leaves in to_dnf(node):
+    for ci, leaves in enumerate(to_dnf(node)):
         conjunct = conjunct_intervals(leaves)
         if conjunct is None:
             continue
@@ -149,9 +157,18 @@ def estimate_plan(
         itemsize = first_obj.itemsize
         # Upper-bound hit estimate drives candidate work for later steps.
         hits_ub = first_sel[1] * n_elems
+        # Cumulative surviving-hit bounds after each step (independence
+        # assumption within the conjunct) — what EXPLAIN ANALYZE compares
+        # against the executor's measured per-step hits.
+        cum_hits: List[Tuple[float, float]] = []
+        lo_acc, hi_acc = 1.0, 1.0
+        for _, _, sel, _ in steps:
+            lo_acc *= sel[0]
+            hi_acc *= sel[1]
+            cum_hits.append((lo_acc * n_elems, hi_acc * n_elems))
 
         if strategy is Strategy.FULL_SCAN:
-            for name, interval, sel, _ in steps:
+            for j, (name, interval, sel, _) in enumerate(steps):
                 obj = system.get_object(name)
                 all_rids = np.arange(obj.n_regions, dtype=np.int64)
                 frac = _uncached_fraction(system, obj, all_rids)
@@ -159,7 +176,10 @@ def estimate_plan(
                     system, obj.data.nbytes * frac, obj.n_regions * frac
                 )
                 plan.steps.append(
-                    StepEstimate(name, interval, sel, obj.n_regions, obj.n_regions, "full-read+scan")
+                    StepEstimate(
+                        name, interval, sel, obj.n_regions, obj.n_regions,
+                        "full-read+scan", conjunct=ci, est_hits=cum_hits[j],
+                    )
                 )
             total += _scan_cost(system, n_elems)
             total += _scan_cost(system, hits_ub * (len(steps) - 1))
@@ -196,7 +216,10 @@ def estimate_plan(
                     )
                     path = "pruned-read+scan"
                 plan.steps.append(
-                    StepEstimate(name, interval, sel, int(surviving.size), obj.n_regions, path)
+                    StepEstimate(
+                        name, interval, sel, int(surviving.size),
+                        obj.n_regions, path, conjunct=ci, est_hits=cum_hits[i],
+                    )
                 )
 
         elif strategy is Strategy.SORT_HIST:
@@ -220,11 +243,15 @@ def estimate_plan(
                     first_name, first_iv, first_sel,
                     int(np.ceil(run_elems / group.region_elements)),
                     group.n_regions, "binary-search-run",
+                    conjunct=ci, est_hits=cum_hits[0],
                 )
             )
-            for name, interval, sel, _ in steps[1:]:
+            for j, (name, interval, sel, _) in enumerate(steps[1:], start=1):
                 plan.steps.append(
-                    StepEstimate(name, interval, sel, 0, group.n_regions, "replica-slice")
+                    StepEstimate(
+                        name, interval, sel, 0, group.n_regions,
+                        "replica-slice", conjunct=ci, est_hits=cum_hits[j],
+                    )
                 )
 
         # Result transfer (selection coordinates).
@@ -340,6 +367,7 @@ def explain(system: PDCSystem, node: QueryNode, strategy: Optional[Strategy] = N
             f"  {i}. {s.object_name} {s.interval}  "
             f"selectivity [{s.selectivity[0] * 100:.4f}%, {s.selectivity[1] * 100:.4f}%]  "
             f"{s.access_path}  regions {s.surviving_regions}/{s.total_regions} "
-            f"({s.pruned_fraction * 100:.0f}% pruned)"
+            f"({s.pruned_fraction * 100:.0f}% pruned)  "
+            f"est hits [{s.est_hits[0]:.0f}, {s.est_hits[1]:.0f}]"
         )
     return "\n".join(lines)

@@ -255,6 +255,23 @@ class QueryScheduler:
         self.batches.append(batch)
         return batch
 
+    def analyze_window(self, specs: Sequence[Union[QueryNode, QuerySpec]]):
+        """EXPLAIN ANALYZE one window: plan each query cold, execute the
+        window as a shared-scan batch (through this scheduler's selection
+        cache), and return the joined estimates/actuals — see
+        :func:`repro.obs.analyze.analyze_batch`."""
+        from ..obs.analyze import analyze_batch
+
+        window = [
+            s if isinstance(s, QuerySpec) else QuerySpec(node=s) for s in specs
+        ]
+        ba = analyze_batch(
+            self.system, window, engine=self.engine,
+            selection_cache=self.selection_cache,
+        )
+        self.batches.append(ba.batch)
+        return ba
+
     def run(
         self, queries: Sequence[Union[QueryNode, QuerySpec]], **kwargs
     ) -> List[QueryResult]:

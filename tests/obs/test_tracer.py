@@ -195,3 +195,118 @@ class TestChromeExport:
         assert len(events) == 1
         read = next(r for r in spans if r["name"] == "read")
         assert read["parent"] is not None and read["t1"] >= read["t0"]
+
+
+class TestJsonlImport:
+    """``Tracer.read_jsonl`` must rebuild everything the analysis layer
+    reads: span ids/parents (tree), tracks, times, categories, attrs,
+    and instants."""
+
+    def _trace(self):
+        client = SimClock("client")
+        server = SimClock("server0")
+        tr = Tracer()
+        with tr.span("query", client, category="query"):
+            with tr.span("read", server, category="storage_read", bytes=42):
+                server.charge(0.001, "pfs_read")
+            with tr.span("scan", server, category="scan"):
+                server.charge(0.002, "scan")
+            tr.instant("mark", client, note="hi")
+            client.charge(0.003, "net")
+        return tr
+
+    @staticmethod
+    def _key(s):
+        return (
+            s.span_id, s.parent_id, s.name, s.category, s.track,
+            s.start_s, s.end_s, s.attrs,
+        )
+
+    def test_write_read_round_trip(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "t.jsonl"
+        tr.write_jsonl(str(path))
+        tr2 = Tracer.read_jsonl(str(path))
+        assert [self._key(s) for s in tr2.spans] == [
+            self._key(s) for s in tr.spans
+        ]
+        assert [self._key(e) for e in tr2.events] == [
+            self._key(e) for e in tr.events
+        ]
+
+    def test_loaded_tree_and_summary_match_live(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "t.jsonl"
+        tr.write_jsonl(str(path))
+        tr2 = Tracer.read_jsonl(str(path))
+        root2 = tr2.spans[0]
+        assert len(tr2.subtree(root2)) == 3
+        live = tr.summary()
+        loaded = tr2.summary()
+        assert set(live) == set(loaded)
+        for cat in live:
+            assert loaded[cat] == pytest.approx(live[cat])
+
+    def test_new_spans_get_fresh_ids_after_load(self, clock):
+        tr = self._trace()
+        tr2 = Tracer.from_jsonl_records(tr.to_jsonl_records())
+        old_ids = {s.span_id for s in tr2.spans + tr2.events}
+        with tr2.span("later", clock):
+            pass
+        assert tr2.spans[-1].span_id not in old_ids
+
+    def test_chrome_round_trip_preserves_span_times(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "t.json"
+        tr.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        x = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        for s in tr.spans:
+            assert x[s.name]["ts"] == pytest.approx(s.start_s * 1e6)
+            assert x[s.name]["dur"] == pytest.approx(s.duration_s * 1e6)
+
+
+class TestSummaryNoDoubleCount:
+    """A span nested under a same-category span is covered by its
+    ancestor's duration and must not be counted again."""
+
+    def test_directly_nested_same_category(self, clock):
+        tr = Tracer()
+        with tr.span("outer", clock, category="storage_read"):
+            clock.charge(1.0, "a")
+            with tr.span("inner", clock, category="storage_read"):
+                clock.charge(2.0, "b")
+        assert tr.summary()["storage_read"] == pytest.approx(3.0)
+
+    def test_transitively_nested_same_category(self, clock):
+        tr = Tracer()
+        with tr.span("outer", clock, category="scan"):
+            with tr.span("mid", clock, category="storage_read"):
+                with tr.span("inner", clock, category="scan"):
+                    clock.charge(2.0, "b")
+            clock.charge(1.0, "a")
+        summary = tr.summary()
+        assert summary["scan"] == pytest.approx(3.0)
+        assert summary["storage_read"] == pytest.approx(2.0)
+
+    def test_same_category_siblings_both_count(self, clock):
+        tr = Tracer()
+        with tr.span("root", clock, category="query"):
+            with tr.span("a", clock, category="scan"):
+                clock.charge(1.0, "x")
+            with tr.span("b", clock, category="scan"):
+                clock.charge(2.0, "x")
+        assert tr.summary()["scan"] == pytest.approx(3.0)
+
+    def test_subtree_scope_respects_shadowing(self, clock):
+        tr = Tracer()
+        with tr.span("root", clock, category="query"):
+            with tr.span("child", clock, category="query"):
+                clock.charge(1.0, "x")
+            clock.charge(0.5, "y")
+        root = tr.spans[0]
+        # Over the subtree the child is shadowed by the root...
+        assert tr.summary(root)["query"] == pytest.approx(1.5)
+        # ...but scoped to the child alone it is its own root.
+        child = tr.spans[1]
+        assert tr.summary(child)["query"] == pytest.approx(1.0)

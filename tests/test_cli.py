@@ -40,6 +40,88 @@ class TestInProcess:
             main(["fig3", "--scale", "gigantic"])
 
 
+class TestExplainAnalyze:
+    def test_explain_plain(self, capsys):
+        assert main(["explain", "multi"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation steps" in out
+        assert "est hits [" in out
+        assert "selectivity" in out
+
+    def test_explain_strategy_override(self, capsys):
+        assert main(["explain", "multi", "--strategy", "full_scan"]) == 0
+        assert "PDC-F" in capsys.readouterr().out
+
+    def test_explain_analyze(self, capsys):
+        assert main(["explain", "multi", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE  multi" in out
+        assert "est hits [" in out and "-> actual" in out
+        assert "per-server utilization:" in out
+        assert "imbalance ratio" in out
+
+    def test_explain_analyze_exports(self, capsys, tmp_path):
+        import json
+
+        flame = tmp_path / "flame.collapsed"
+        scope = tmp_path / "prof.json"
+        assert main([
+            "explain", "multi", "--analyze",
+            "--flamegraph", str(flame), "--speedscope", str(scope),
+        ]) == 0
+        lines = flame.read_text().splitlines()
+        assert lines and all(
+            int(line.rsplit(" ", 1)[1]) > 0 for line in lines
+        )
+        doc = json.loads(scope.read_text())
+        assert doc["profiles"] and doc["shared"]["frames"]
+
+    def test_unknown_demo_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "nonsense"])
+
+
+class TestProfileCommand:
+    def test_profile_demo_query(self, capsys):
+        assert main(["profile", "multi"]) == 0
+        out = capsys.readouterr().out
+        assert "per-clock utilization:" in out
+        assert "critical path" in out
+        assert "imbalance ratio" in out
+
+    def test_profile_saved_trace(self, capsys, tmp_path):
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "multi", "--out", str(chrome), "--jsonl", str(jsonl),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "per-clock utilization:" in out and "critical path" in out
+
+
+class TestBenchcheckCommand:
+    def test_create_then_pass(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_t.json"
+        assert main(["benchcheck", "--baseline", str(baseline)]) == 0
+        assert "created" in capsys.readouterr().out
+        assert main(["benchcheck", "--baseline", str(baseline)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_report_flag(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "BENCH_t.json"
+        report = tmp_path / "report.json"
+        main(["benchcheck", "--baseline", str(baseline)])
+        assert main([
+            "benchcheck", "--baseline", str(baseline),
+            "--report", str(report),
+        ]) == 0
+        assert json.loads(report.read_text())["failed"] == []
+
+
 class TestSubprocess:
     def test_module_entrypoint(self):
         res = subprocess.run(
