@@ -1,0 +1,259 @@
+"""Multi-tenant service under open-loop load: queue waits, shed rate, fairness.
+
+Drives the :class:`~repro.service.frontend.QueryService` with an
+open-loop workload — Poisson-ish arrivals drawn from a seeded RNG, mixed
+across three tenants of unequal weight — and reports, per policy:
+
+* p50/p99 simulated queue wait (overall and per tenant),
+* shed + rejection rates,
+* the **fairness ratio**: dispatched-share / weight-share for each
+  tenant while contention lasts (1.0 = perfectly weight-proportional).
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py [--smoke]
+
+``--smoke`` shrinks the workload for CI and exits non-zero if the run is
+nondeterministic across a same-seed repeat, if any request is left
+non-terminal, or if the light tenant is fully starved under WFQ.
+Results are appended as JSON under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.pdc import PDCConfig, PDCSystem
+from repro.query.ast import Condition
+from repro.service import QueryService, ServiceConfig, Tenant
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+
+TENANTS = (
+    Tenant("gold", weight=4.0),
+    Tenant("silver", weight=2.0),
+    Tenant("bronze", weight=1.0, queue_deadline_s=0.02,
+           rate_limit_qps=500.0, burst=8.0, queue_cap=32),
+)
+
+
+def build_system(n_elements: int, metrics=None) -> PDCSystem:
+    rng = np.random.default_rng(7)
+    system = PDCSystem(
+        PDCConfig(
+            n_servers=4,
+            region_size_bytes=1 << 13,
+            strategy=Strategy.HISTOGRAM,
+        ),
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+    )
+    system.create_object(
+        "energy", rng.gamma(2.0, 0.7, n_elements).astype(np.float32)
+    )
+    system.create_object(
+        "x", (rng.random(n_elements) * 300.0).astype(np.float32)
+    )
+    return system
+
+
+def build_arrivals(n_requests: int, rate_qps: float, seed: int):
+    """Open-loop arrival schedule: (arrival_s offset, tenant, query)."""
+    rng = np.random.default_rng(seed)
+    names = [t.name for t in TENANTS]
+    # Heavier tenants also submit more, so contention actually tests the
+    # fair-share bound rather than just idle capacity.
+    probs = np.array([t.weight for t in TENANTS])
+    probs = probs / probs.sum()
+    t = 0.0
+    schedule = []
+    for _ in range(n_requests):
+        t += float(rng.exponential(1.0 / rate_qps))
+        tenant = names[int(rng.choice(len(names), p=probs))]
+        name = "energy" if rng.random() < 0.75 else "x"
+        if name == "energy":
+            value = float(np.float32(rng.uniform(0.3, 3.0)))
+        else:
+            value = float(np.float32(rng.uniform(30.0, 280.0)))
+        schedule.append(
+            (t, tenant, Condition(name, QueryOp.GT, PDCType.FLOAT, value))
+        )
+    return schedule
+
+
+def percentile(values, q):
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+def run_policy(policy: str, schedule, n_elements: int, window: int):
+    system = build_system(n_elements)
+    cfg = ServiceConfig(tenants=TENANTS, policy=policy, batch_window=window)
+    svc = QueryService(system, cfg)
+    t0 = max(c.now for c in system.all_clocks())
+    wall0 = time.perf_counter()
+    tickets = [
+        svc.submit(tenant, q, arrival_s=t0 + dt) for dt, tenant, q in schedule
+    ]
+    svc.drain()
+    svc.close()
+    wall_s = time.perf_counter() - wall0
+
+    waits = [t.queue_wait_s for t in tickets if t.status == "done"]
+    row = {
+        "policy": policy,
+        "requests": len(tickets),
+        "wall_s": wall_s,
+        "served": sum(t.status == "done" for t in tickets),
+        "rejected": sum(t.status == "rejected" for t in tickets),
+        "shed": sum(t.status == "shed" for t in tickets),
+        "non_terminal": sum(not t.finished for t in tickets),
+        "p50_queue_wait_ms": 1e3 * percentile(waits, 50),
+        "p99_queue_wait_ms": 1e3 * percentile(waits, 99),
+        "shed_rate": sum(t.status == "shed" for t in tickets) / len(tickets),
+        "tenants": {},
+    }
+    # Fairness: compare each tenant's share of dispatches against its
+    # weight share, over the window where every tenant still had work.
+    total_weight = sum(t.weight for t in TENANTS)
+    for ten in TENANTS:
+        st = svc.stats[ten.name]
+        t_waits = [
+            t.queue_wait_s for t in tickets
+            if t.status == "done" and t.tenant.name == ten.name
+        ]
+        dispatch_share = (
+            st.dispatched / max(1, sum(s.dispatched for s in svc.stats.values()))
+        )
+        weight_share = ten.weight / total_weight
+        row["tenants"][ten.name] = {
+            "weight": ten.weight,
+            "submitted": st.submitted,
+            "dispatched": st.dispatched,
+            "shed": st.shed,
+            "rejected": st.rejected_rate + st.rejected_queue,
+            "p50_queue_wait_ms": 1e3 * percentile(t_waits, 50),
+            "p99_queue_wait_ms": 1e3 * percentile(t_waits, 99),
+            "fairness_ratio": dispatch_share / weight_share,
+        }
+    # Determinism fingerprint for the smoke gate.
+    row["fingerprint"] = [
+        (t.status, t.reject_reason, round(t.queue_wait_s or 0.0, 12))
+        for t in tickets
+    ]
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI + determinism/starvation gates",
+    )
+    parser.add_argument("--requests", type=int, default=None,
+                        help="workload size (default: 300; smoke: 48)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="aggregate arrival rate in queries per "
+                             "simulated second (default: 2000; smoke: 800)")
+    parser.add_argument("--seed", type=int, default=42, help="arrival RNG seed")
+    parser.add_argument("--window", type=int, default=4,
+                        help="dispatch batch window (default: 4)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_requests = args.requests or 48
+        rate = args.rate or 800.0
+        n_elements = 1 << 14
+    else:
+        n_requests = args.requests or 300
+        rate = args.rate or 2000.0
+        n_elements = 1 << 16
+
+    schedule = build_arrivals(n_requests, rate, args.seed)
+    policies = ("fifo", "wfq") if args.smoke else ("fifo", "priority", "wfq")
+    rows = [run_policy(p, schedule, n_elements, args.window) for p in policies]
+
+    print(f"service load: {n_requests} requests @ {rate:.0f} q/sim-s, "
+          f"window {args.window}, seed {args.seed}")
+    print(f"{'policy':>8} {'served':>7} {'rej':>5} {'shed':>5} "
+          f"{'p50 wait ms':>12} {'p99 wait ms':>12}")
+    for row in rows:
+        print(f"{row['policy']:>8} {row['served']:>7} {row['rejected']:>5} "
+              f"{row['shed']:>5} {row['p50_queue_wait_ms']:>12.3f} "
+              f"{row['p99_queue_wait_ms']:>12.3f}")
+        for name, ten in row["tenants"].items():
+            print(f"  {name:<8} w={ten['weight']:<4} "
+                  f"disp={ten['dispatched']:<4} shed={ten['shed']:<3} "
+                  f"rej={ten['rejected']:<3} "
+                  f"p99={ten['p99_queue_wait_ms']:8.3f}ms "
+                  f"fairness={ten['fairness_ratio']:.2f}")
+
+    failures = 0
+    for row in rows:
+        if row["non_terminal"]:
+            print(f"  ERROR: {row['policy']} left "
+                  f"{row['non_terminal']} requests non-terminal")
+            failures += 1
+        if row["served"] == 0:
+            print(f"  ERROR: {row['policy']} served nothing")
+            failures += 1
+        wfq = row["policy"] == "wfq"
+        if wfq and row["tenants"]["bronze"]["dispatched"] == 0 and (
+            row["tenants"]["bronze"]["submitted"]
+            > row["tenants"]["bronze"]["rejected"]
+        ):
+            print("  ERROR: wfq fully starved the light tenant")
+            failures += 1
+
+    if args.smoke:
+        repeat = run_policy("wfq", schedule, n_elements, args.window)
+        wfq_row = next(r for r in rows if r["policy"] == "wfq")
+        if repeat["fingerprint"] != wfq_row["fingerprint"]:
+            print("  ERROR: same-seed wfq rerun diverged (nondeterminism)")
+            failures += 1
+        else:
+            print("  smoke: same-seed rerun bit-identical  ok")
+
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results"
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "service_load.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "requests": n_requests,
+                "rate_qps": rate,
+                "seed": args.seed,
+                "window": args.window,
+                "n_elements": n_elements,
+                "rows": [
+                    {k: v for k, v in row.items() if k != "fingerprint"}
+                    for row in rows
+                ],
+            },
+            fh,
+            indent=2,
+        )
+    print(f"results -> {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

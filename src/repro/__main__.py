@@ -27,6 +27,10 @@ Gives the open-source release a zero-code entry point:
   (collapsed stacks / speedscope);
 * ``python -m repro benchcheck`` — run the deterministic micro-suite and
   fail on any drift from the committed ``BENCH_*.json`` baseline;
+* ``python -m repro serve`` — multi-tenant query-service demo: open-loop
+  seeded arrivals through admission control and fair-share dispatch, with
+  a per-tenant SLO table (``--smoke`` re-runs the same seed and fails on
+  any nondeterminism);
 * ``python -m repro info`` — version, scale presets, strategy list.
 """
 
@@ -197,6 +201,147 @@ def _selftest_batch() -> int:
     return failures
 
 
+def _selftest_service() -> int:
+    """Query-service leg: the passthrough config must be bit-identical to
+    driving the scheduler directly, and a multi-tenant WFQ config must
+    reproduce its admission/dispatch decisions exactly across runs."""
+    from .query.ast import Condition
+    from .query.scheduler import QueryScheduler
+    from .service import QueryService, ServiceConfig, Tenant
+    from .types import PDCType, QueryOp
+
+    failures = 0
+    queries = [
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, 0.5 + 0.25 * i)
+        for i in range(8)
+    ]
+
+    # Passthrough: twin deployments, one driven directly, one through a
+    # single-tenant/FIFO/no-limit service.
+    system_a, _, _ = _demo_deployment()
+    sched = QueryScheduler(system_a, max_width=4, use_selection_cache=False)
+    direct = sched.run(list(queries))
+    sched.close()
+    system_b, _, _ = _demo_deployment()
+    with QueryService(system_b, ServiceConfig(batch_window=4)) as svc:
+        served = svc.run("default", list(queries))
+    ok = (
+        [(r.nhits, r.elapsed_s, r.bytes_read_virtual) for r in direct]
+        == [(r.nhits, r.elapsed_s, r.bytes_read_virtual) for r in served]
+        and [c.now for c in system_a.all_clocks()]
+        == [c.now for c in system_b.all_clocks()]
+    )
+    failures += not ok
+    print(f"  service passthrough     bit-identical twin run  "
+          f"{'ok' if ok else 'FAIL'}")
+
+    # Multi-tenant WFQ: same submissions twice must make identical
+    # decisions, and the heavy tenant must not starve the light one.
+    def run_once():
+        system, _, _ = _demo_deployment()
+        cfg = ServiceConfig(
+            tenants=(
+                Tenant("heavy", weight=3.0),
+                Tenant("light", weight=1.0),
+                Tenant("limited", rate_limit_qps=0.5, burst=1.0, queue_cap=2),
+            ),
+            policy="wfq",
+            batch_window=1,
+        )
+        svc = QueryService(system, cfg)
+        t0 = max(c.now for c in system.all_clocks())
+        tenants = ["heavy", "heavy", "heavy", "light", "limited", "limited"]
+        tickets = [
+            svc.submit(tenants[i % len(tenants)], q, arrival_s=t0 + 1e-3 * i)
+            for i, q in enumerate(queries + queries)
+        ]
+        order = [r.tenant.name for r in svc.drain() if r.status == "done"]
+        svc.close()
+        return [(t.status, t.reject_reason) for t in tickets], order
+
+    (dec1, order1), (dec2, order2) = run_once(), run_once()
+    ok = dec1 == dec2 and order1 == order2
+    failures += not ok
+    print(f"  service determinism     same config, same decisions  "
+          f"{'ok' if ok else 'FAIL'}")
+    light_served = order1.count("light")
+    ok = light_served > 0 and any(s == "rejected" for s, _ in dec1)
+    failures += not ok
+    print(f"  service wfq+admission   light served {light_served}x, "
+          f"{sum(s == 'rejected' for s, _ in dec1)} rejected  "
+          f"{'ok' if ok else 'FAIL'}")
+    return failures
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Multi-tenant query-service demo: open-loop seeded arrivals against
+    the demo deployment, per-tenant SLO table out."""
+    import numpy as np
+
+    from .query.ast import Condition
+    from .service import QueryService, ServiceConfig, Tenant
+    from .types import PDCType, QueryOp
+
+    def run_once():
+        system, _, _ = _demo_deployment()
+        cfg = ServiceConfig(
+            tenants=(
+                Tenant("batch", weight=1.0, queue_deadline_s=0.0003),
+                Tenant("interactive", weight=4.0, default_timeout_s=0.5),
+                Tenant("adhoc", weight=1.0, rate_limit_qps=200.0, burst=4.0,
+                       queue_cap=8),
+            ),
+            policy=args.policy,
+            batch_window=args.window,
+        )
+        svc = QueryService(system, cfg)
+        rng = np.random.default_rng(args.seed)
+        t = max(c.now for c in system.all_clocks())
+        names = [ten.name for ten in cfg.tenants]
+        tickets = []
+        for _ in range(args.requests):
+            t += float(rng.exponential(1.0 / args.rate))
+            tenant = names[int(rng.integers(len(names)))]
+            q = Condition(
+                "energy", QueryOp.GT, PDCType.FLOAT,
+                float(np.float32(rng.uniform(0.5, 3.0))),
+            )
+            tickets.append(svc.submit(tenant, q, arrival_s=t))
+        svc.drain()
+        svc.close()
+        return svc, tickets
+
+    svc, tickets = run_once()
+    print(f"query-service demo: {args.requests} requests, policy "
+          f"{args.policy}, window {args.window}, seed {args.seed}")
+    print(f"  {'tenant':<12} {'admit':>6} {'rej':>4} {'shed':>5} "
+          f"{'done':>5} {'degr':>5} {'t/o':>4} {'avg wait ms':>12} "
+          f"{'max wait ms':>12}")
+    for name, st in sorted(svc.stats.items()):
+        avg_wait = st.queue_wait_total_s / st.dispatched if st.dispatched else 0.0
+        print(f"  {name:<12} {st.admitted:>6} "
+              f"{st.rejected_rate + st.rejected_queue:>4} {st.shed:>5} "
+              f"{st.done:>5} {st.degraded:>5} {st.timed_out:>4} "
+              f"{avg_wait * 1e3:>12.3f} {st.queue_wait_max_s * 1e3:>12.3f}")
+    hung = [t for t in tickets if not t.finished]
+    if hung:
+        print(f"  {len(hung)} requests left non-terminal  FAIL")
+        return 1
+    if args.smoke:
+        svc2, tickets2 = run_once()
+        same = [(t.status, t.reject_reason) for t in tickets] == [
+            (t.status, t.reject_reason) for t in tickets2
+        ] and {n: s.queue_wait_total_s for n, s in svc.stats.items()} == {
+            n: s.queue_wait_total_s for n, s in svc2.stats.items()
+        }
+        served = sum(1 for t in tickets if t.status == "done")
+        print(f"  smoke: {served} served, determinism "
+              f"{'ok' if same else 'FAIL'}")
+        if not same or served == 0:
+            return 1
+    return 0
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     """Compare a window of overlapping queries run isolated vs batched."""
     from .query.ast import Condition
@@ -268,6 +413,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     failures += _selftest_batch()
     if getattr(args, "faults", False):
         failures += _selftest_faults()
+    if getattr(args, "service", False):
+        failures += _selftest_service()
     if trace_path:
         system.tracer.write_chrome(trace_path)
         print(f"  trace: {len(system.tracer.spans)} spans -> {trace_path}")
@@ -580,6 +727,11 @@ def main(argv=None) -> int:
         "--faults", action="store_true",
         help="also run the deterministic fault-injection leg",
     )
+    p.add_argument(
+        "--service", action="store_true",
+        help="also run the query-service leg (passthrough bit-identity, "
+             "WFQ determinism)",
+    )
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser(
@@ -723,6 +875,34 @@ def main(argv=None) -> int:
         help="batch window width (default: 8)",
     )
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant query-service demo (admission, fair share, SLOs)",
+    )
+    p.add_argument("--seed", type=int, default=1234, help="arrival RNG seed")
+    p.add_argument(
+        "--requests", type=int, default=60,
+        help="number of open-loop requests (default: 60)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=400.0,
+        help="aggregate arrival rate, queries per simulated second "
+             "(default: 400)",
+    )
+    p.add_argument(
+        "--policy", choices=("fifo", "priority", "wfq"), default="wfq",
+        help="dispatch policy (default: wfq)",
+    )
+    p.add_argument(
+        "--window", type=int, default=4,
+        help="batch window width (default: 4)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="re-run with the same seed and fail on any nondeterminism",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("info", help="version, strategies, scale presets")
     p.set_defaults(func=cmd_info)

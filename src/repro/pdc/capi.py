@@ -41,6 +41,8 @@ __all__ = [
     "PDCobj_put_tag",
     "PDCobj_get_tag",
     "PDCobj_del",
+    "PDCquery_set_priority",
+    "PDCquery_set_timeout",
     "PDCclose",
     "ObjectProperty",
 ]
@@ -155,6 +157,25 @@ def PDCobj_del(pdc: PDCSystem, obj_id: int) -> None:
     pdc.metadata.delete(name)
     pdc.containers[obj.meta.container].remove(name)
     del pdc.objects[name]
+
+
+def PDCquery_set_priority(query, priority: int) -> None:
+    """Set a query's service-level dispatch priority (higher runs first
+    under priority-aware scheduling — the strict-priority service policy
+    and :meth:`QueryScheduler.flush` windows).
+
+    ``query`` is a :class:`~repro.query.api.PDCQuery` (duck-typed here so
+    the object layer need not import the query layer)."""
+    query.priority = int(priority)
+
+
+def PDCquery_set_timeout(query, timeout_s: float) -> None:
+    """Bound a query's *simulated* execution time.  A query exceeding the
+    budget returns a partial result flagged ``timed_out`` (a subset of
+    the true answer) instead of running on — see docs/robustness.md."""
+    if not (timeout_s > 0.0):
+        raise PDCError(f"timeout_s must be positive, got {timeout_s!r}")
+    query.timeout_s = float(timeout_s)
 
 
 def PDCclose(pdc: PDCSystem) -> None:

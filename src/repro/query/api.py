@@ -61,6 +61,11 @@ class PDCQuery:
     node: QueryNode
     region: Optional[RegionConstraint] = None
     strategy: Optional[Strategy] = None
+    #: Service-level dispatch priority (``PDCquery_set_priority``).
+    priority: int = 0
+    #: Simulated execution budget (``PDCquery_set_timeout``); exceeding
+    #: it yields a partial, ``timed_out`` result.
+    timeout_s: Optional[float] = None
     #: Result of the most recent evaluation (timing + stats), if any.
     last_result: Optional[QueryResult] = field(default=None, repr=False)
 
@@ -142,6 +147,8 @@ def PDCquery_and(q1: PDCQuery, q2: PDCQuery) -> PDCQuery:
         node=combine_and(q1.node, q2.node),
         region=q1.region or q2.region,
         strategy=q1.strategy or q2.strategy,
+        priority=max(q1.priority, q2.priority),
+        timeout_s=_combine_timeout(q1.timeout_s, q2.timeout_s),
     )
 
 
@@ -153,7 +160,18 @@ def PDCquery_or(q1: PDCQuery, q2: PDCQuery) -> PDCQuery:
         node=combine_or(q1.node, q2.node),
         region=q1.region or q2.region,
         strategy=q1.strategy or q2.strategy,
+        priority=max(q1.priority, q2.priority),
+        timeout_s=_combine_timeout(q1.timeout_s, q2.timeout_s),
     )
+
+
+def _combine_timeout(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """Combined queries keep the *tighter* budget (min of those set)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
 
 
 def PDCquery_set_region(query: PDCQuery, region: "RegionConstraint") -> None:
@@ -226,6 +244,7 @@ def PDCquery_get_nhits(query: PDCQuery) -> int:
         want_selection=False,
         region_constraint=query.region,
         strategy=query.strategy,
+        timeout_s=query.timeout_s,
     )
     query.last_result = res
     return res.nhits
@@ -241,6 +260,7 @@ def PDCquery_get_selection(query: PDCQuery) -> Selection:
         want_selection=True,
         region_constraint=query.region,
         strategy=query.strategy,
+        timeout_s=query.timeout_s,
     )
     query.last_result = res
     assert res.selection is not None
@@ -318,7 +338,13 @@ def PDCquery_execute_batch(
     elif max_width is not None:
         scheduler.max_width = max_width
     specs = [
-        QuerySpec(node=q.node, region_constraint=q.region, strategy=q.strategy)
+        QuerySpec(
+            node=q.node,
+            region_constraint=q.region,
+            strategy=q.strategy,
+            timeout_s=q.timeout_s,
+            priority=q.priority,
+        )
         for q in queries
     ]
     results = scheduler.run(specs)

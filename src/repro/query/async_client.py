@@ -92,6 +92,7 @@ class AsyncQueryClient:
         region_constraint: Optional[Tuple[int, int]] = None,
         strategy: Optional[Strategy] = None,
         timeout_s: Optional[float] = None,
+        priority: int = 0,
     ) -> "Future[QueryResult]":
         """Queue a query; returns immediately with a future."""
         spec = QuerySpec(
@@ -100,6 +101,7 @@ class AsyncQueryClient:
             region_constraint=region_constraint,
             strategy=strategy,
             timeout_s=timeout_s,
+            priority=priority,
         )
         return self._enqueue("query", spec)
 

@@ -161,6 +161,10 @@ class QuerySpec:
     region_constraint: Optional[RegionConstraint] = None
     strategy: Optional[Strategy] = None
     timeout_s: Optional[float] = None
+    #: Service-level dispatch priority (higher first).  The engine itself
+    #: ignores it; the service frontend and priority-aware schedulers
+    #: order on it (``PDCquery_set_priority``).
+    priority: int = 0
 
 
 @dataclass

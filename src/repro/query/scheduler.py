@@ -241,10 +241,17 @@ class QueryScheduler:
         return None
 
     def flush(self) -> Optional[BatchResult]:
-        """Execute the pending window; ``None`` when nothing is queued."""
+        """Execute the pending window; ``None`` when nothing is queued.
+
+        When any pending spec carries a non-zero priority
+        (``PDCquery_set_priority``), the window executes highest-priority
+        first (stable: submission order within a level).  An all-default
+        window keeps pure submission order, bit-identically."""
         if not self._pending:
             return None
         window, self._pending = self._pending, []
+        if any(s.priority for s in window):
+            window.sort(key=lambda s: -s.priority)
         return self.execute_window(window)
 
     def execute_window(self, specs: Sequence[QuerySpec]) -> BatchResult:

@@ -1,0 +1,94 @@
+"""Admission control on simulated time: token buckets and bounded queues.
+
+Admission decisions happen at a request's *arrival instant* (a simulated
+timestamp), never at wall-clock time, so a workload replayed with the
+same arrivals makes the exact same decisions — the same determinism
+contract the fault plans keep (:mod:`repro.faults`).
+
+Two mechanisms, both per tenant:
+
+* :class:`TokenBucket` — classic leaky-bucket rate limiting.  The bucket
+  refills at ``rate`` tokens per simulated second up to ``burst``; each
+  admission spends one token; an empty bucket rejects (``rate_limited``).
+  A tenant without a configured rate never constructs a bucket at all,
+  so the unlimited path does no arithmetic.
+
+* queue caps — a tenant whose admitted-but-undispatched queue is at its
+  ``queue_cap`` rejects new work (``queue_full``) instead of letting the
+  backlog grow without bound.
+
+Every rejection is an explicit :class:`AdmissionDecision` with a reason;
+the frontend turns them into per-tenant metrics and ticket states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PDCError
+
+__all__ = ["TokenBucket", "AdmissionDecision", "ADMIT", "REJECT_RATE", "REJECT_QUEUE"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: "" when admitted; "rate_limited" or "queue_full" otherwise.
+    reason: str = ""
+
+
+ADMIT = AdmissionDecision(True)
+REJECT_RATE = AdmissionDecision(False, "rate_limited")
+REJECT_QUEUE = AdmissionDecision(False, "queue_full")
+
+
+class TokenBucket:
+    """A token bucket running on simulated seconds.
+
+    ``try_take(t)`` refills for the elapsed simulated time since the last
+    call and spends one token if available.  Arrival times must be
+    non-decreasing; an out-of-order arrival is clamped to the bucket's
+    clock (the refill already granted is never revoked), keeping the
+    decision sequence deterministic for any fixed arrival sequence.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "clock_s")
+
+    def __init__(self, rate: float, burst: float = 1.0) -> None:
+        if rate <= 0.0:
+            raise PDCError("token bucket rate must be positive")
+        if burst < 1.0:
+            raise PDCError("token bucket burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        #: Buckets start full: the first ``burst`` arrivals are admitted
+        #: regardless of spacing.
+        self.tokens = float(burst)
+        self.clock_s: Optional[float] = None
+
+    def refill(self, t: float) -> None:
+        """Advance the bucket's clock to simulated instant ``t``."""
+        if self.clock_s is None:
+            self.clock_s = t
+            return
+        if t <= self.clock_s:
+            return
+        self.tokens = min(self.burst, self.tokens + (t - self.clock_s) * self.rate)
+        self.clock_s = t
+
+    def try_take(self, t: float) -> bool:
+        """Spend one token at simulated instant ``t`` if one is available."""
+        self.refill(t)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TokenBucket(rate={self.rate}, burst={self.burst}, "
+            f"tokens={self.tokens:.3f}, t={self.clock_s})"
+        )

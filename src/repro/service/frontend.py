@@ -1,0 +1,534 @@
+"""The query-service frontend: tenants in, shared-scan windows out.
+
+:class:`QueryService` sits between clients and the engine.  Clients
+:meth:`~QueryService.submit` queries under a tenant name and get back a
+:class:`ServiceTicket`; :meth:`~QueryService.drain` runs the service
+loop, which every iteration
+
+1. **sheds** queued requests whose queue deadline has passed,
+2. **waits** (advances all simulated clocks) if nothing has arrived yet,
+3. **selects** up to ``batch_window`` requests by the dispatch policy —
+   ranking per-tenant queue *heads* only, so one tenant's requests never
+   reorder among themselves — and
+4. **executes** them as one :class:`QueryScheduler` shared-scan window,
+   so cross-tenant batching (shared region reads, semantic cache) still
+   fires exactly as it does for a single caller.
+
+Everything runs on simulated time: admission, shedding, queue waits, and
+per-request timeouts (forwarded into the executor's simulated deadlines)
+are all functions of the deployment's :class:`SimClock`\\ s, never the
+wall clock, so identical seeds and configs replay identical decisions.
+
+**Passthrough bit-identity.**  Under a passthrough config
+(:meth:`ServiceConfig.is_passthrough`: one tenant, FIFO, no limits) the
+service performs *zero* clock charges and forms exactly the windows
+:meth:`QueryScheduler.run` would, so every simulated result, latency,
+and engine metric is bit-identical to driving the scheduler directly;
+only ``pdc_service_*`` metrics differ.  tests/service/test_frontend.py
+pins this.
+
+Overload never hangs a request: every ticket terminates as ``done``
+(possibly degraded or timed out, per the fault machinery's partial
+results), ``failed`` (the per-query error, batch-isolated), ``shed``, or
+``rejected`` — see docs/service.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Union
+
+from ..errors import PDCError
+from ..pdc.system import PDCSystem
+from ..query.ast import QueryNode
+from ..query.executor import BatchResult, QueryEngine, QueryResult, QuerySpec
+from ..query.scheduler import QueryScheduler
+from .admission import ADMIT, REJECT_QUEUE, REJECT_RATE, AdmissionDecision, TokenBucket
+from .config import ServiceConfig, Tenant
+from .policies import make_policy
+
+__all__ = ["QueryService", "ServiceTicket", "ServiceRequest", "TenantStats"]
+
+#: Terminal ticket states (``queued`` is the only non-terminal one).
+TERMINAL_STATES = ("done", "failed", "rejected", "shed")
+
+
+@dataclass
+class ServiceRequest:
+    """One submitted query's journey through the service.
+
+    Returned by :meth:`QueryService.submit` (the caller's *ticket*) and
+    mutated in place as the service processes it.
+    """
+
+    #: Global admission sequence number (total submission order).
+    seq: int
+    tenant: Tenant
+    spec: QuerySpec
+    #: Effective priority (per-request override, else the tenant's base).
+    priority: int
+    #: Simulated instant the request arrived at the service.
+    arrival_s: float
+    #: Absolute simulated instant after which the request is shed instead
+    #: of dispatched (``arrival + queue_deadline_s``); None = never.
+    deadline_s: Optional[float] = None
+    #: WFQ virtual finish tag (stamped by the policy at admission).
+    finish_tag: float = 0.0
+    #: "queued" | "done" | "failed" | "rejected" | "shed".
+    status: str = "queued"
+    #: Admission-rejection reason ("rate_limited" / "queue_full").
+    reject_reason: str = ""
+    result: Optional[QueryResult] = field(default=None, repr=False)
+    error: Optional[Exception] = field(default=None, repr=False)
+    #: Simulated instant the request entered a dispatch window.
+    dispatch_s: Optional[float] = None
+    #: Simulated seconds spent queued (``dispatch_s - arrival_s``).
+    queue_wait_s: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+#: Public alias: what callers hold while the service works.
+ServiceTicket = ServiceRequest
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant SLO counters (simulated seconds; mirror of the
+    ``pdc_service_*`` metrics, kept here so callers without a metrics
+    registry still get accounting)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected_rate: int = 0
+    rejected_queue: int = 0
+    shed: int = 0
+    dispatched: int = 0
+    done: int = 0
+    failed: int = 0
+    degraded: int = 0
+    timed_out: int = 0
+    queue_wait_total_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+    service_total_s: float = 0.0
+
+
+class QueryService:
+    """Multi-tenant query-service frontend over one PDC deployment."""
+
+    def __init__(
+        self,
+        system: PDCSystem,
+        config: Optional[ServiceConfig] = None,
+        engine: Optional[QueryEngine] = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else ServiceConfig()
+        self.scheduler = QueryScheduler(
+            system,
+            engine=engine,
+            max_width=self.config.batch_window,
+            use_selection_cache=self.config.use_selection_cache,
+        )
+        self._policy = make_policy(self.config.policy)
+        self._queues: Dict[str, Deque[ServiceRequest]] = {
+            t.name: deque() for t in self.config.tenants
+        }
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_limit_qps, t.burst)
+            for t in self.config.tenants
+            if t.rate_limit_qps is not None
+        }
+        self.stats: Dict[str, TenantStats] = {
+            t.name: TenantStats() for t in self.config.tenants
+        }
+        self._seq = 0
+        self._closed = False
+        self._declare_metrics()
+
+    # --------------------------------------------------------------- metrics
+    def _declare_metrics(self) -> None:
+        m = self.system.metrics
+        self._m_requests = m.counter(
+            "pdc_service_requests_total", "Requests submitted", ("tenant",)
+        )
+        self._m_admitted = m.counter(
+            "pdc_service_admitted_total", "Requests admitted to a queue", ("tenant",)
+        )
+        self._m_rejected = m.counter(
+            "pdc_service_rejected_total",
+            "Requests rejected at admission",
+            ("tenant", "reason"),
+        )
+        self._m_shed = m.counter(
+            "pdc_service_shed_total",
+            "Queued requests shed past their queue deadline",
+            ("tenant",),
+        )
+        self._m_dispatched = m.counter(
+            "pdc_service_dispatched_total",
+            "Requests dispatched into batch windows",
+            ("tenant",),
+        )
+        self._m_done = m.counter(
+            "pdc_service_completed_total", "Requests completed", ("tenant",)
+        )
+        self._m_failed = m.counter(
+            "pdc_service_failed_total", "Requests that raised per-query errors",
+            ("tenant",),
+        )
+        self._m_degraded = m.counter(
+            "pdc_service_degraded_total",
+            "Completed requests with degraded (incomplete) results",
+            ("tenant",),
+        )
+        self._m_timeout = m.counter(
+            "pdc_service_timeout_total",
+            "Completed requests that hit their simulated execution deadline",
+            ("tenant",),
+        )
+        self._m_windows = m.counter(
+            "pdc_service_windows_total", "Dispatch windows executed"
+        )
+        self._m_qwait = m.histogram(
+            "pdc_service_queue_wait_sim_seconds",
+            "Simulated queue wait per dispatched request",
+            ("tenant",),
+        )
+        self._m_service = m.histogram(
+            "pdc_service_service_sim_seconds",
+            "Simulated service time per completed request",
+            ("tenant",),
+        )
+        self._m_depth = m.gauge(
+            "pdc_service_queue_depth", "Queued (undispatched) requests", ("tenant",)
+        )
+
+    # ------------------------------------------------------------------ time
+    def _now(self) -> float:
+        """The deployment's simulated frontier (a pure read — computing it
+        never advances any clock, which the passthrough guarantee needs)."""
+        return max(c.now for c in self.system.all_clocks())
+
+    # ------------------------------------------------------------- admission
+    def submit(
+        self,
+        tenant: str,
+        query: Union[QueryNode, QuerySpec],
+        *,
+        priority: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        arrival_s: Optional[float] = None,
+        **spec_kwargs,
+    ) -> ServiceRequest:
+        """Submit one query under ``tenant``; returns its ticket.
+
+        ``arrival_s`` places the request at an explicit simulated arrival
+        instant (open-loop workloads); omitted, the request arrives "now"
+        (at the deployment's current simulated frontier).  ``priority``
+        overrides the tenant's base priority; ``timeout_s`` overrides the
+        tenant's default execution budget.  Remaining ``spec_kwargs``
+        become :class:`QuerySpec` fields (``want_selection``,
+        ``region_constraint``, ``strategy``).
+
+        Admission control runs here, at the arrival instant: a rejected
+        request's ticket comes back already terminal (``rejected``) with
+        a reason, and never touches the engine.
+        """
+        if self._closed:
+            raise PDCError("service is closed")
+        ten = self.config.tenant(tenant)
+        arrival = self._now() if arrival_s is None else float(arrival_s)
+        eff_priority = ten.priority if priority is None else int(priority)
+        eff_timeout = timeout_s
+        if eff_timeout is None and isinstance(query, QuerySpec):
+            eff_timeout = query.timeout_s
+        if eff_timeout is None:
+            eff_timeout = ten.default_timeout_s
+
+        if isinstance(query, QuerySpec):
+            spec = query
+            if spec.timeout_s != eff_timeout or spec.priority != eff_priority:
+                spec = replace(spec, timeout_s=eff_timeout, priority=eff_priority)
+        else:
+            spec = QuerySpec(
+                node=query,
+                timeout_s=eff_timeout,
+                priority=eff_priority,
+                **spec_kwargs,
+            )
+
+        req = ServiceRequest(
+            seq=self._seq,
+            tenant=ten,
+            spec=spec,
+            priority=eff_priority,
+            arrival_s=arrival,
+            deadline_s=(
+                arrival + ten.queue_deadline_s
+                if ten.queue_deadline_s is not None
+                else None
+            ),
+        )
+        self._seq += 1
+        st = self.stats[ten.name]
+        st.submitted += 1
+        self._m_requests.labels(tenant=ten.name).inc()
+
+        decision = self._admit(req)
+        if not decision.admitted:
+            req.status = "rejected"
+            req.reject_reason = decision.reason
+            if decision.reason == "rate_limited":
+                st.rejected_rate += 1
+            else:
+                st.rejected_queue += 1
+            self._m_rejected.labels(tenant=ten.name, reason=decision.reason).inc()
+            self.system.tracer.instant(
+                f"service.reject:{ten.name}",
+                self.system.client_clock,
+                category="service",
+                reason=decision.reason,
+                seq=req.seq,
+            )
+            return req
+
+        self._policy.on_admit(req)
+        self._queues[ten.name].append(req)
+        st.admitted += 1
+        self._m_admitted.labels(tenant=ten.name).inc()
+        self._m_depth.labels(tenant=ten.name).set(len(self._queues[ten.name]))
+        if self.system.tracer.enabled:
+            self.system.tracer.instant(
+                f"service.admit:{ten.name}",
+                self.system.client_clock,
+                category="service",
+                seq=req.seq,
+                priority=req.priority,
+            )
+        return req
+
+    def _admit(self, req: ServiceRequest) -> AdmissionDecision:
+        ten = req.tenant
+        bucket = self._buckets.get(ten.name)
+        if bucket is not None and not bucket.try_take(req.arrival_s):
+            return REJECT_RATE
+        if (
+            ten.queue_cap is not None
+            and len(self._queues[ten.name]) >= ten.queue_cap
+        ):
+            return REJECT_QUEUE
+        return ADMIT
+
+    # -------------------------------------------------------------- dispatch
+    def queued(self) -> int:
+        """Total admitted-but-undispatched requests across tenants."""
+        return sum(len(q) for q in self._queues.values())
+
+    def drain(self) -> List[ServiceRequest]:
+        """Run the service loop until every queue is empty.
+
+        Returns the requests terminalized by this call (shed + executed),
+        in processing order.  Every returned ticket is terminal; the loop
+        cannot leave a request hanging — each iteration either sheds,
+        dispatches, or advances simulated time to the next arrival.
+        """
+        processed: List[ServiceRequest] = []
+        while self.queued():
+            now = self._now()
+            processed.extend(self._shed_expired(now))
+            eligible = self._eligible_heads(now)
+            if not eligible:
+                if not self.queued():
+                    break
+                # Idle: nothing has arrived yet.  Advance the whole
+                # deployment to the earliest queued arrival (a rendezvous,
+                # like any barrier wait).
+                t_next = min(
+                    r.arrival_s for q in self._queues.values() for r in q
+                )
+                for c in self.system.all_clocks():
+                    c.advance_to(t_next, "service_idle")
+                continue
+            window = self._select_window(eligible, now)
+            processed.extend(self._execute_window(window, now))
+        return processed
+
+    def _shed_expired(self, now: float) -> List[ServiceRequest]:
+        """Drop queued requests whose queue deadline has passed."""
+        shed: List[ServiceRequest] = []
+        for name, q in self._queues.items():
+            if not any(r.deadline_s is not None and now > r.deadline_s for r in q):
+                continue
+            kept: Deque[ServiceRequest] = deque()
+            for r in q:
+                if r.deadline_s is not None and now > r.deadline_s:
+                    r.status = "shed"
+                    r.queue_wait_s = now - r.arrival_s
+                    self.stats[name].shed += 1
+                    self._m_shed.labels(tenant=name).inc()
+                    self.system.tracer.instant(
+                        f"service.shed:{name}",
+                        self.system.client_clock,
+                        category="service",
+                        seq=r.seq,
+                        waited_s=r.queue_wait_s,
+                    )
+                    shed.append(r)
+                else:
+                    kept.append(r)
+            self._queues[name] = kept
+            self._m_depth.labels(tenant=name).set(len(kept))
+        return shed
+
+    def _eligible_heads(self, now: float) -> List[ServiceRequest]:
+        """Dispatch candidates whose arrival instant has been reached.
+
+        Normally the per-tenant queue *heads* only (a tenant's own
+        requests never reorder); a ``ranks_all`` policy (strict priority)
+        considers every queued request instead."""
+        if self._policy.ranks_all:
+            return [
+                r
+                for q in self._queues.values()
+                for r in q
+                if r.arrival_s <= now
+            ]
+        return [
+            q[0] for q in self._queues.values() if q and q[0].arrival_s <= now
+        ]
+
+    def _select_window(
+        self, heads: List[ServiceRequest], now: float
+    ) -> List[ServiceRequest]:
+        """Fill one batch window by repeatedly taking the policy's best
+        eligible queue head.  Re-ranking after every pick lets the next
+        request of the picked tenant compete immediately, which is what
+        makes WFQ interleave within a single window."""
+        window: List[ServiceRequest] = []
+        while len(window) < self.config.batch_window and heads:
+            best = min(heads, key=self._policy.key)
+            q = self._queues[best.tenant.name]
+            if q[0] is best:
+                q.popleft()
+            else:  # ranks_all policy picked past the tenant's head
+                q.remove(best)
+            self._policy.on_dispatch(best)
+            window.append(best)
+            heads = self._eligible_heads(now)
+        return window
+
+    def _execute_window(
+        self, window: List[ServiceRequest], now: float
+    ) -> List[ServiceRequest]:
+        tracer = self.system.tracer
+        for r in window:
+            r.dispatch_s = now
+            r.queue_wait_s = now - r.arrival_s
+            name = r.tenant.name
+            st = self.stats[name]
+            st.dispatched += 1
+            st.queue_wait_total_s += r.queue_wait_s
+            st.queue_wait_max_s = max(st.queue_wait_max_s, r.queue_wait_s)
+            self._m_dispatched.labels(tenant=name).inc()
+            self._m_qwait.labels(tenant=name).observe(r.queue_wait_s)
+            self._m_depth.labels(tenant=name).set(len(self._queues[name]))
+            if tracer.enabled:
+                # The queue span covers arrival → dispatch: open it now
+                # and backdate its start to the arrival instant.
+                handle = tracer.span(
+                    f"service.queue:{name}",
+                    self.system.client_clock,
+                    category="service",
+                    seq=r.seq,
+                    tenant=name,
+                )
+                handle.span.start_s = r.arrival_s
+                handle.__exit__(None, None, None)
+
+        if tracer.enabled:
+            with tracer.span(
+                "service.dispatch",
+                self.system.client_clock,
+                category="service",
+                width=len(window),
+                tenants=sorted({r.tenant.name for r in window}),
+            ):
+                batch = self.scheduler.execute_window([r.spec for r in window])
+        else:
+            batch = self.scheduler.execute_window([r.spec for r in window])
+        self._m_windows.inc()
+        self._account_window(window, batch)
+        return window
+
+    def _account_window(
+        self, window: List[ServiceRequest], batch: BatchResult
+    ) -> None:
+        for i, r in enumerate(window):
+            name = r.tenant.name
+            st = self.stats[name]
+            err = batch.errors.get(i)
+            if err is not None:
+                r.status = "failed"
+                r.error = err
+                st.failed += 1
+                self._m_failed.labels(tenant=name).inc()
+                continue
+            result = batch.results[i]
+            r.status = "done"
+            r.result = result
+            st.done += 1
+            st.service_total_s += result.elapsed_s
+            self._m_done.labels(tenant=name).inc()
+            self._m_service.labels(tenant=name).observe(result.elapsed_s)
+            if not result.complete:
+                st.degraded += 1
+                self._m_degraded.labels(tenant=name).inc()
+            if result.timed_out:
+                st.timed_out += 1
+                self._m_timeout.labels(tenant=name).inc()
+
+    # ----------------------------------------------------------- convenience
+    def run(
+        self,
+        tenant: str,
+        queries: List[Union[QueryNode, QuerySpec]],
+        **submit_kwargs,
+    ) -> List[QueryResult]:
+        """Submit ``queries`` under one tenant, drain, and return results
+        in submission order — the service-side twin of
+        :meth:`QueryScheduler.run`.  Re-raises the first per-query error;
+        a rejected or shed request raises :class:`PDCError`."""
+        tickets = [self.submit(tenant, q, **submit_kwargs) for q in queries]
+        self.drain()
+        results: List[QueryResult] = []
+        for t in tickets:
+            if t.status == "failed":
+                assert t.error is not None
+                raise t.error
+            if t.status != "done":
+                raise PDCError(
+                    f"request {t.seq} not served: {t.status}"
+                    + (f" ({t.reject_reason})" if t.reject_reason else "")
+                )
+            assert t.result is not None
+            results.append(t.result)
+        return results
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Drain outstanding work and release the scheduler."""
+        if self._closed:
+            return
+        self.drain()
+        self.scheduler.close()
+        self._closed = True
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

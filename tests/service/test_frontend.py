@@ -1,0 +1,380 @@
+"""QueryService behaviour: passthrough bit-identity, admission, shedding,
+deadlines, fairness, and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ObjectNotFoundError, PDCError
+from repro.obs.metrics import MetricsRegistry
+from repro.query.ast import Condition
+from repro.query.scheduler import QueryScheduler
+from repro.service import QueryService, ServiceConfig, Tenant
+from repro.types import PDCType, QueryOp
+
+from tests.conftest import make_system
+
+
+def fresh_deployment(metrics=None):
+    rng = np.random.default_rng(12345)
+    sysm = make_system(metrics=metrics if metrics is not None else MetricsRegistry())
+    sysm.create_object("energy", rng.gamma(2.0, 0.7, 1 << 14).astype(np.float32))
+    sysm.create_object(
+        "x", (rng.random(1 << 14) * 300.0).astype(np.float32)
+    )
+    sysm.build_index("energy")
+    return sysm
+
+
+def queries(n=10):
+    return [
+        Condition("energy", QueryOp.GT, PDCType.FLOAT, 0.4 + 0.2 * (i % 8))
+        for i in range(n)
+    ]
+
+
+def fingerprint(res):
+    return (res.nhits, res.elapsed_s, res.bytes_read_virtual, res.complete)
+
+
+def engine_metric_lines(registry):
+    """Registry render minus the service's own pdc_service_* families."""
+    return [
+        line
+        for line in registry.render().splitlines()
+        if not line.startswith("#") and not line.startswith("pdc_service_")
+    ]
+
+
+class TestPassthrough:
+    def test_bit_identical_to_direct_scheduler(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        sysm_a = fresh_deployment(reg_a)
+        sched = QueryScheduler(sysm_a, max_width=4, use_selection_cache=False)
+        direct = sched.run(queries())
+        sched.close()
+
+        sysm_b = fresh_deployment(reg_b)
+        with QueryService(sysm_b, ServiceConfig(batch_window=4)) as svc:
+            served = svc.run("default", queries())
+
+        assert [fingerprint(r) for r in direct] == [
+            fingerprint(r) for r in served
+        ]
+        assert [c.now for c in sysm_a.all_clocks()] == [
+            c.now for c in sysm_b.all_clocks()
+        ]
+        # Every engine/server/storage metric must match sample for sample;
+        # only the service's own families may differ.
+        assert engine_metric_lines(reg_a) == engine_metric_lines(reg_b)
+
+    def test_bit_identical_with_selection_cache(self):
+        sysm_a = fresh_deployment()
+        sched = QueryScheduler(sysm_a, max_width=4)
+        direct = sched.run(queries()) + sched.run(queries())
+        sched.close()
+
+        sysm_b = fresh_deployment()
+        cfg = ServiceConfig(batch_window=4, use_selection_cache=True)
+        with QueryService(sysm_b, cfg) as svc:
+            served = svc.run("default", queries()) + svc.run(
+                "default", queries()
+            )
+        assert [fingerprint(r) for r in direct] == [
+            fingerprint(r) for r in served
+        ]
+
+    def test_windows_match_scheduler_chunking(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, ServiceConfig(batch_window=4)) as svc:
+            svc.run("default", queries(10))
+            widths = [b.width for b in svc.scheduler.batches]
+        assert widths == [4, 4, 2]
+
+
+class TestAdmission:
+    def test_queue_cap_rejects_overflow(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(tenants=(Tenant("t", queue_cap=3),))
+        svc = QueryService(sysm, cfg)
+        tickets = [svc.submit("t", q) for q in queries(5)]
+        assert [t.status for t in tickets] == [
+            "queued", "queued", "queued", "rejected", "rejected",
+        ]
+        assert all(t.reject_reason == "queue_full" for t in tickets[3:])
+        svc.drain()
+        assert [t.status for t in tickets[:3]] == ["done"] * 3
+        assert svc.stats["t"].rejected_queue == 2
+        assert sysm.metrics.total("pdc_service_rejected_total") == 2.0
+        svc.close()
+
+    def test_rate_limit_rejects_by_arrival_spacing(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("t", rate_limit_qps=1.0, burst=1.0),)
+        )
+        svc = QueryService(sysm, cfg)
+        t0 = max(c.now for c in sysm.all_clocks())
+        qs = queries(4)
+        # Burst admits the first; the next two arrive inside the refill
+        # window; the last arrives a full simulated second later.
+        outcomes = [
+            svc.submit("t", qs[0], arrival_s=t0).status,
+            svc.submit("t", qs[1], arrival_s=t0 + 0.1).status,
+            svc.submit("t", qs[2], arrival_s=t0 + 0.2).status,
+            svc.submit("t", qs[3], arrival_s=t0 + 1.1).status,
+        ]
+        assert outcomes == ["queued", "rejected", "rejected", "queued"]
+        svc.close()
+
+    def test_unknown_tenant(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm) as svc:
+            with pytest.raises(PDCError, match="unknown tenant"):
+                svc.submit("nobody", queries(1)[0])
+
+    def test_submit_after_close(self):
+        sysm = fresh_deployment()
+        svc = QueryService(sysm)
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(PDCError, match="closed"):
+            svc.submit("default", queries(1)[0])
+
+
+class TestOverload:
+    def test_queue_deadline_sheds_instead_of_dispatching(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("t", queue_deadline_s=1e-4),), batch_window=1
+        )
+        svc = QueryService(sysm, cfg)
+        tickets = [svc.submit("t", q) for q in queries(6)]
+        svc.drain()
+        statuses = [t.status for t in tickets]
+        # The first request dispatches immediately; while it runs, the
+        # rest blow their 0.1 simulated-ms queue budget and are shed.
+        assert statuses[0] == "done"
+        assert statuses[1:] == ["shed"] * 5
+        assert all(t.finished for t in tickets)
+        for t in tickets[1:]:
+            assert t.result is None and t.queue_wait_s > 1e-4
+        assert svc.stats["t"].shed == 5
+        assert sysm.metrics.total("pdc_service_shed_total") == 5.0
+        svc.close()
+
+    def test_tenant_default_timeout_degrades_results(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(tenants=(Tenant("t", default_timeout_s=1e-9),))
+        with QueryService(sysm, cfg) as svc:
+            ticket = svc.submit("t", queries(1)[0])
+            svc.drain()
+        assert ticket.status == "done"
+        assert ticket.result.timed_out and not ticket.result.complete
+        assert svc.stats["t"].timed_out == 1
+        assert svc.stats["t"].degraded == 1
+
+    def test_per_request_timeout_overrides_tenant_default(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(tenants=(Tenant("t", default_timeout_s=1e-9),))
+        with QueryService(sysm, cfg) as svc:
+            ticket = svc.submit("t", queries(1)[0], timeout_s=60.0)
+            svc.drain()
+        assert ticket.result.complete and not ticket.result.timed_out
+
+    def test_per_query_error_fails_only_that_ticket(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, ServiceConfig(batch_window=4)) as svc:
+            good = svc.submit("default", queries(1)[0])
+            bad = svc.submit(
+                "default",
+                Condition("missing", QueryOp.GT, PDCType.FLOAT, 1.0),
+            )
+            svc.drain()
+        assert good.status == "done"
+        assert bad.status == "failed"
+        assert isinstance(bad.error, ObjectNotFoundError)
+        assert svc.stats["default"].failed == 1
+
+    def test_run_raises_on_failed_request(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm) as svc:
+            with pytest.raises(ObjectNotFoundError):
+                svc.run(
+                    "default",
+                    [Condition("missing", QueryOp.GT, PDCType.FLOAT, 1.0)],
+                )
+
+    def test_future_arrivals_advance_clocks_not_hang(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, ServiceConfig(batch_window=1)) as svc:
+            t0 = max(c.now for c in sysm.all_clocks())
+            ticket = svc.submit("default", queries(1)[0], arrival_s=t0 + 5.0)
+            done = svc.drain()
+        assert [r.seq for r in done] == [ticket.seq]
+        assert ticket.status == "done"
+        assert ticket.queue_wait_s == 0.0
+        assert min(c.now for c in sysm.all_clocks()) >= t0 + 5.0
+
+
+class TestFairness:
+    def _interleave(self, heavy_weight, n_heavy, n_light):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(
+                Tenant("heavy", weight=heavy_weight),
+                Tenant("light", weight=1.0),
+            ),
+            policy="wfq",
+            batch_window=1,
+        )
+        svc = QueryService(sysm, cfg)
+        for q in queries(n_heavy):
+            svc.submit("heavy", q)
+        for q in queries(n_light):
+            svc.submit("light", q)
+        order = [r.tenant.name for r in svc.drain()]
+        svc.close()
+        return order
+
+    def test_wfq_bounds_starvation(self):
+        order = self._interleave(heavy_weight=3.0, n_heavy=24, n_light=6)
+        # While the light tenant has queued work, the heavy tenant's
+        # dispatch share cannot exceed its 3:1 weight share: before the
+        # light tenant's k-th dispatch there are at most 3k heavy ones.
+        light_positions = [i for i, n in enumerate(order) if n == "light"]
+        assert len(light_positions) == 6
+        for k, pos in enumerate(light_positions, start=1):
+            heavy_before = pos + 1 - k
+            assert heavy_before <= 3 * k, (k, order)
+
+    def test_fifo_would_starve_where_wfq_does_not(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("heavy"), Tenant("light")),
+            policy="fifo",
+            batch_window=1,
+        )
+        svc = QueryService(sysm, cfg)
+        for q in queries(8):
+            svc.submit("heavy", q)
+        svc.submit("light", queries(1)[0])
+        order = [r.tenant.name for r in svc.drain()]
+        svc.close()
+        assert order == ["heavy"] * 8 + ["light"]
+
+    def test_strict_priority_preempts_order(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("lo", priority=0), Tenant("hi", priority=10)),
+            policy="priority",
+            batch_window=1,
+        )
+        svc = QueryService(sysm, cfg)
+        for q in queries(3):
+            svc.submit("lo", q)
+        for q in queries(3):
+            svc.submit("hi", q)
+        order = [r.tenant.name for r in svc.drain()]
+        svc.close()
+        assert order == ["hi"] * 3 + ["lo"] * 3
+
+    def test_per_request_priority_overrides_tenant_base(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("t", priority=0),), policy="priority",
+            batch_window=1,
+        )
+        svc = QueryService(sysm, cfg)
+        low = svc.submit("t", queries(1)[0])
+        high = svc.submit("t", queries(2)[1], priority=5)
+        order = [r.seq for r in svc.drain()]
+        svc.close()
+        assert order == [high.seq, low.seq]
+
+
+class TestDeterminism:
+    CFG = dict(
+        tenants=(
+            Tenant("a", weight=2.0, queue_deadline_s=0.004),
+            Tenant("b", weight=1.0, rate_limit_qps=300.0, burst=2.0,
+                   queue_cap=4),
+        ),
+        policy="wfq",
+        batch_window=2,
+    )
+
+    def _run(self):
+        sysm = fresh_deployment()
+        svc = QueryService(sysm, ServiceConfig(**self.CFG))
+        t0 = max(c.now for c in sysm.all_clocks())
+        tickets = [
+            svc.submit(
+                "a" if i % 3 else "b", q, arrival_s=t0 + 4e-4 * i
+            )
+            for i, q in enumerate(queries(20))
+        ]
+        svc.drain()
+        svc.close()
+        return (
+            [(t.status, t.reject_reason, t.queue_wait_s) for t in tickets],
+            {n: (s.dispatched, s.shed, s.rejected_rate + s.rejected_queue,
+                 s.queue_wait_total_s, s.service_total_s)
+             for n, s in svc.stats.items()},
+        )
+
+    def test_same_config_same_decisions_and_slo_metrics(self):
+        assert self._run() == self._run()
+
+
+class TestAccounting:
+    def test_every_ticket_terminal_and_counted_once(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(
+                Tenant("a", queue_cap=4),
+                Tenant("b", rate_limit_qps=100.0, queue_deadline_s=0.002),
+            ),
+            policy="wfq",
+            batch_window=2,
+        )
+        svc = QueryService(sysm, cfg)
+        t0 = max(c.now for c in sysm.all_clocks())
+        tickets = [
+            svc.submit("a" if i % 2 else "b", q, arrival_s=t0 + 1e-4 * i)
+            for i, q in enumerate(queries(16))
+        ]
+        svc.drain()
+        svc.close()
+        assert all(t.finished for t in tickets)
+        for name in ("a", "b"):
+            st = svc.stats[name]
+            assert st.submitted == (
+                st.admitted + st.rejected_rate + st.rejected_queue
+            )
+            assert st.admitted == st.dispatched + st.shed
+            assert st.dispatched == st.done + st.failed
+        reg = sysm.metrics
+        assert reg.total("pdc_service_requests_total") == 16.0
+        assert reg.total("pdc_service_admitted_total") + reg.total(
+            "pdc_service_rejected_total"
+        ) == 16.0
+
+    def test_trace_spans_cover_lifecycle(self):
+        from repro.obs import Tracer
+
+        sysm = fresh_deployment()
+        tracer = Tracer()
+        sysm.set_tracer(tracer)
+        with QueryService(sysm, ServiceConfig(batch_window=2)) as svc:
+            svc.run("default", queries(4))
+        names = [s.name for s in tracer.spans]
+        events = [e.name for e in tracer.events]
+        assert "service.dispatch" in names
+        assert any(n.startswith("service.queue:") for n in names)
+        assert any(e.startswith("service.admit:") for e in events)
+        queue_spans = [
+            s for s in tracer.spans if s.name.startswith("service.queue:")
+        ]
+        assert all(s.end_s >= s.start_s for s in queue_spans)
