@@ -1,0 +1,166 @@
+"""Monitor overhead: pin the zero-cost-when-disabled invariant.
+
+Runs the demo overload scenario (seeded Poisson arrivals over two
+tenants, three load phases) twice — once with the :class:`ServiceMonitor`
+installed, once without — and checks, byte for byte, that monitoring
+never perturbs the simulation:
+
+* every ticket reaches the same terminal status with the same result,
+* every simulated clock (servers + client) lands on the same instant,
+* the engine's cumulative metrics render identically.
+
+The monitor only ever *reads* simulated clocks, so this holds for the
+enabled path too — "zero cost" here means zero simulated cost, which is
+the reproduction-critical claim.  Wall-clock overhead of the enabled
+path is also measured and reported (but not gated: wall time is noisy
+in CI).
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_monitor_overhead.py [--smoke]
+
+``--smoke`` shrinks the workload for CI and exits non-zero if any
+bit-identity check fails, if the alert stream is nondeterministic across
+a same-seed repeat, or if the overload scenario fails to fire and clear
+a fast-burn alert.  Results are appended as JSON under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.obs.monitor import demo_monitor_run
+
+
+def timed_run(seed: int, requests: int, monitored: bool):
+    wall0 = time.perf_counter()
+    run = demo_monitor_run(seed=seed, requests=requests, monitored=monitored)
+    wall_s = time.perf_counter() - wall0
+    return run, wall_s
+
+
+def fingerprint(run):
+    """Everything monitoring must not perturb, in comparable form."""
+    return {
+        "tickets": [
+            (
+                t.status,
+                t.reject_reason,
+                getattr(t.result, "nhits", None),
+                t.queue_wait_s,
+            )
+            for t in run.tickets
+        ],
+        "clocks": [c.now for c in run.system.all_clocks()],
+        "t_end": run.t_end,
+        "metrics": run.system.metrics.render(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI + bit-identity/determinism gates",
+    )
+    parser.add_argument("--requests", type=int, default=None,
+                        help="workload size (default: 600; smoke: 150)")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="arrival RNG seed")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-time repeats per configuration")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    n_requests = args.requests or (150 if args.smoke else 600)
+
+    failures = 0
+    walls = {"off": [], "on": []}
+    run_off = run_on = None
+    for _ in range(max(1, args.repeats)):
+        run_off, w_off = timed_run(args.seed, n_requests, monitored=False)
+        run_on, w_on = timed_run(args.seed, n_requests, monitored=True)
+        walls["off"].append(w_off)
+        walls["on"].append(w_on)
+
+    # --- the invariant: monitoring never changes the simulation -------
+    fp_off, fp_on = fingerprint(run_off), fingerprint(run_on)
+    for key in fp_off:
+        if fp_off[key] != fp_on[key]:
+            print(f"  ERROR: monitoring perturbed the simulation ({key})")
+            failures += 1
+    if not failures:
+        print("  bit-identity: tickets, clocks, t_end, metrics  ok")
+
+    # --- alert-stream determinism ------------------------------------
+    rerun, _ = timed_run(args.seed, n_requests, monitored=True)
+    if rerun.monitor.fingerprint() != run_on.monitor.fingerprint():
+        print("  ERROR: same-seed alert stream diverged (nondeterminism)")
+        failures += 1
+    else:
+        print("  determinism: same-seed alert fingerprint identical  ok")
+
+    # --- the overload scenario must exercise the burn-rate path ------
+    kinds = [(a.window, a.kind) for a in run_on.alerts]
+    if ("fast", "fire") not in kinds or ("fast", "clear") not in kinds:
+        print("  ERROR: overload scenario produced no fast-burn "
+              "fire/clear cycle")
+        failures += 1
+    else:
+        fire = next(a for a in run_on.alerts
+                    if a.window == "fast" and a.kind == "fire")
+        print(f"  fast-burn alert: fired at t={fire.t_s * 1e3:.3f} sim-ms, "
+              f"burn {fire.burn_rate:.1f}x, cleared before drain  ok")
+
+    off_s = min(walls["off"])
+    on_s = min(walls["on"])
+    overhead = (on_s - off_s) / off_s if off_s > 0 else float("nan")
+    print(f"monitor overhead: {n_requests} requests, seed {args.seed}")
+    print(f"  wall (min of {max(1, args.repeats)}): "
+          f"off {off_s * 1e3:8.2f} ms   on {on_s * 1e3:8.2f} ms   "
+          f"({overhead:+.1%} wall, informational)")
+    print(f"  samples recorded: {run_on.monitor.recorder.total_samples()}, "
+          f"alerts: {len(run_on.alerts)}")
+
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results"
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "monitor_overhead.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "requests": n_requests,
+                "seed": args.seed,
+                "wall_off_s": off_s,
+                "wall_on_s": on_s,
+                "wall_overhead_rel": overhead,
+                "samples": run_on.monitor.recorder.total_samples(),
+                "alerts": len(run_on.alerts),
+                "alert_fingerprint": run_on.monitor.fingerprint(),
+                "bit_identical": failures == 0,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"results -> {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -273,6 +273,40 @@ def _selftest_service() -> int:
     return failures
 
 
+def _selftest_monitor() -> int:
+    """Continuous-telemetry leg: the shared overload scenario must fire a
+    fast-burn alert and clear it, replay byte-identically, and cost
+    nothing when the monitor is disabled."""
+    from .obs.monitor import demo_monitor_run
+
+    failures = 0
+    run1 = demo_monitor_run()
+    run2 = demo_monitor_run()
+    fp1, fp2 = run1.monitor.fingerprint(), run2.monitor.fingerprint()
+    ok = fp1 == fp2 and len(run1.alerts) > 0
+    failures += not ok
+    print(f"  monitor determinism     {len(run1.alerts)} alerts, "
+          f"fingerprint {fp1[:12]}  {'ok' if ok else 'FAIL'}")
+
+    kinds = {(a.window, a.kind) for a in run1.alerts}
+    ok = ("fast", "fire") in kinds and ("fast", "clear") in kinds
+    failures += not ok
+    print(f"  monitor burn cycle      fast-burn fire+clear  "
+          f"{'ok' if ok else 'FAIL'}")
+
+    off = demo_monitor_run(monitored=False)
+    on = run1
+    ok = (
+        [(t.status, t.reject_reason) for t in off.tickets]
+        == [(t.status, t.reject_reason) for t in on.tickets]
+        and off.t_end == on.t_end
+    )
+    failures += not ok
+    print(f"  monitor zero-cost       disabled vs enabled bit-identical  "
+          f"{'ok' if ok else 'FAIL'}")
+    return failures
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Multi-tenant query-service demo: open-loop seeded arrivals against
     the demo deployment, per-tenant SLO table out."""
@@ -338,6 +372,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"  smoke: {served} served, determinism "
               f"{'ok' if same else 'FAIL'}")
         if not same or served == 0:
+            return 1
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Continuous-telemetry demo: run the deterministic overload scenario,
+    print the per-tenant SLO/burn status table, optionally replay the run
+    frame by frame (``--watch``) and export OpenMetrics/JSONL artifacts."""
+    from .obs.export import (
+        render_openmetrics,
+        replay_frames,
+        write_alerts_jsonl,
+    )
+    from .obs.monitor import demo_monitor_run
+
+    run = demo_monitor_run(seed=args.seed, requests=args.requests)
+    mon = run.monitor
+    print(f"monitor demo: {args.requests} requests, seed {args.seed}, "
+          f"{run.t_end * 1e3:.3f} simulated ms, "
+          f"{len(run.alerts)} alert transitions")
+    if args.watch:
+        for frame in replay_frames(
+            mon.recorder, run.alerts, step_s=args.step
+        ):
+            print(frame)
+        print()
+    print(mon.render_status(run.t_end))
+    if run.alerts:
+        print("alert stream:")
+        for a in run.alerts:
+            print(f"  {a.t_s * 1e3:9.3f} ms  {a.kind.upper():<5} "
+                  f"{a.slo} [{a.window}] burn={a.burn_rate:.2f} "
+                  f"budget_used={a.budget_used * 100:.1f}%")
+    print(f"alert fingerprint: {mon.fingerprint()}")
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as f:
+            f.write(
+                render_openmetrics(
+                    registry=run.system.metrics,
+                    recorder=mon.recorder,
+                    slo_monitor=mon.slo,
+                    t_end=run.t_end,
+                ) + "\n"
+            )
+        print(f"openmetrics exposition -> {args.openmetrics}")
+    if args.series:
+        mon.recorder.write_jsonl(args.series)
+        print(f"{mon.recorder.total_samples()} samples -> {args.series}")
+    if args.alerts:
+        write_alerts_jsonl(run.alerts, args.alerts)
+        print(f"{len(run.alerts)} alert records -> {args.alerts}")
+    if args.smoke:
+        run2 = demo_monitor_run(seed=args.seed, requests=args.requests)
+        same = run2.monitor.fingerprint() == mon.fingerprint()
+        kinds = {(a.window, a.kind) for a in run.alerts}
+        cycled = ("fast", "fire") in kinds and ("fast", "clear") in kinds
+        print(f"  smoke: determinism {'ok' if same else 'FAIL'}, "
+              f"fast-burn cycle {'ok' if cycled else 'FAIL'}")
+        if not (same and cycled):
             return 1
     return 0
 
@@ -415,6 +508,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         failures += _selftest_faults()
     if getattr(args, "service", False):
         failures += _selftest_service()
+    if getattr(args, "monitor", False):
+        failures += _selftest_monitor()
     if trace_path:
         system.tracer.write_chrome(trace_path)
         print(f"  trace: {len(system.tracer.spans)} spans -> {trace_path}")
@@ -732,6 +827,11 @@ def main(argv=None) -> int:
         help="also run the query-service leg (passthrough bit-identity, "
              "WFQ determinism)",
     )
+    p.add_argument(
+        "--monitor", action="store_true",
+        help="also run the continuous-telemetry leg (SLO burn-rate alert "
+             "determinism, zero-cost when disabled)",
+    )
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser(
@@ -903,6 +1003,45 @@ def main(argv=None) -> int:
         help="re-run with the same seed and fail on any nondeterminism",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "monitor",
+        help="continuous-telemetry demo: SLO burn-rate alerts over a "
+             "deterministic overload run (--watch: frame-by-frame replay)",
+    )
+    p.add_argument("--seed", type=int, default=1234, help="arrival RNG seed")
+    p.add_argument(
+        "--requests", type=int, default=150,
+        help="number of open-loop requests (default: 150)",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="replay the run frame by frame (per-tenant rates, queue-wait "
+             "p99, alert transitions)",
+    )
+    p.add_argument(
+        "--step", type=float, default=0.01,
+        help="--watch frame width in simulated seconds (default: 0.01)",
+    )
+    p.add_argument(
+        "--openmetrics", metavar="FILE",
+        help="write the OpenMetrics exposition (cumulative + windowed + "
+             "SLO gauges) to FILE",
+    )
+    p.add_argument(
+        "--series", metavar="FILE",
+        help="write the recorded time series as JSONL to FILE",
+    )
+    p.add_argument(
+        "--alerts", metavar="FILE",
+        help="write the alert stream as JSONL to FILE",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="re-run with the same seed and fail on any nondeterminism "
+             "or a missing fast-burn fire/clear cycle",
+    )
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("info", help="version, strategies, scale presets")
     p.set_defaults(func=cmd_info)

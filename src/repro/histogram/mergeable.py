@@ -225,6 +225,38 @@ class MergeableHistogram:
             return (0.0, 0.0)
         return (lower / total, upper / total)
 
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate from the bin counts.
+
+        Locates the bin holding the ``q``-th cumulative count and
+        interpolates linearly inside it, with the bin's value range
+        tightened to the true data extrema so edge bins cannot push the
+        estimate outside ``[data_min, data_max]``.  Exact at ``q = 0``
+        and ``q = 1`` (the recorded extrema); in between the error is
+        bounded by one bin width — the same resolution every other
+        estimate this histogram serves has.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise QueryError(f"quantile {q!r} outside [0, 1]")
+        total = self.total
+        if total == 0:
+            raise QueryError("quantile of an empty histogram")
+        if q == 0.0:
+            return self.data_min
+        if q == 1.0:
+            return self.data_max
+        target = q * total
+        cum = np.cumsum(self.counts)
+        i = int(np.searchsorted(cum, target, side="left"))
+        i = min(i, self.n_bins - 1)
+        below = float(cum[i - 1]) if i > 0 else 0.0
+        in_bin = float(self.counts[i])
+        frac = 0.0 if in_bin == 0.0 else (target - below) / in_bin
+        lo, hi = self.bin_range(i)
+        lo = max(lo, self.data_min)
+        hi = min(hi, self.data_max)
+        return float(lo + frac * (hi - lo))
+
     # ----------------------------------------------------------------- merging
     def coarsened(self, new_width: float) -> "MergeableHistogram":
         """Re-bin onto a coarser aligned grid (``new_width`` must be a

@@ -37,6 +37,13 @@ from .analyze import (
     render_analysis,
     render_batch_analysis,
 )
+from .export import (
+    read_alerts_jsonl,
+    render_openmetrics,
+    replay_frames,
+    write_alerts_jsonl,
+    write_openmetrics,
+)
 from .metrics import (
     REGISTRY,
     Counter,
@@ -44,7 +51,24 @@ from .metrics import (
     HistogramMetric,
     MetricsError,
     MetricsRegistry,
+    escape_label_value,
+    format_labels,
     get_registry,
+)
+from .monitor import (
+    NOOP_MONITOR,
+    MonitorRun,
+    NoopMonitor,
+    ServiceMonitor,
+    demo_monitor_run,
+    demo_slos,
+)
+from .slo import SLI_NAMES, SLO, Alert, SLOMonitor, SLOState
+from .timeseries import (
+    Sample,
+    TimeSeries,
+    TimeSeriesRecorder,
+    WindowStats,
 )
 from .profiler import (
     ProfileReport,
@@ -85,4 +109,26 @@ __all__ = [
     "NoopTracer",
     "Span",
     "Tracer",
+    "escape_label_value",
+    "format_labels",
+    "Sample",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+    "WindowStats",
+    "SLI_NAMES",
+    "SLO",
+    "Alert",
+    "SLOMonitor",
+    "SLOState",
+    "NOOP_MONITOR",
+    "NoopMonitor",
+    "ServiceMonitor",
+    "MonitorRun",
+    "demo_monitor_run",
+    "demo_slos",
+    "render_openmetrics",
+    "write_openmetrics",
+    "read_alerts_jsonl",
+    "write_alerts_jsonl",
+    "replay_frames",
 ]

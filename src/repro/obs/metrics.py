@@ -29,6 +29,8 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "get_registry",
+    "escape_label_value",
+    "format_labels",
 ]
 
 #: Observations buffered before folding into the mergeable histogram.
@@ -37,6 +39,30 @@ _HIST_FLUSH_THRESHOLD = 1024
 
 class MetricsError(ValueError):
     """Bad metric declaration or use (type/label mismatch, cardinality)."""
+
+
+def escape_label_value(value: str) -> str:
+    """OpenMetrics label-value escaping: backslash, double quote, and
+    newline must be escaped inside the quoted value (exposition-format
+    spec).  Order matters — backslash first, or the other escapes would
+    be double-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    """Deterministic ``{k="v",...}`` rendering: labels sorted by name,
+    values escaped.  Empty string for an empty label set."""
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
 
 
 class _Metric:
@@ -212,10 +238,25 @@ class HistogramMetric(_Metric):
     @property
     def histogram(self):
         """The folded :class:`MergeableHistogram` (None before any
-        observation)."""
+        observation).
+
+        Pending observations are folded into a *view* without being
+        committed: reading the histogram — including via ``collect()``
+        / ``render()`` / a monitor scrape — never advances the fold
+        state, so the bucket grid a later read sees is independent of
+        how often the registry was observed in between.
+        """
         self._check_unlabeled()
-        self._flush()
-        return self._hist
+        if not self._pending:
+            return self._hist
+        from ..histogram.mergeable import MergeableHistogram
+
+        batch = MergeableHistogram.from_data(
+            np.asarray(self._pending, dtype=np.float64),
+            n_bins=self.n_bins,
+            sample_fraction=1.0,
+        )
+        return batch if self._hist is None else self._hist.merge(batch)
 
     def buckets(self) -> List[Tuple[float, float, int]]:
         """Non-empty ``(lo, hi, count)`` buckets on the aligned grid."""
@@ -324,11 +365,7 @@ class MetricsRegistry:
                     if metric.help:
                         lines.append(f"# HELP {family} {metric.help}")
                     lines.append(f"# TYPE {family} {metric.kind}")
-            if labels:
-                rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
-                lines.append(f"{name}{{{rendered}}} {value:g}")
-            else:
-                lines.append(f"{name} {value:g}")
+            lines.append(f"{name}{format_labels(labels)} {value:g}")
         return "\n".join(lines)
 
     def reset(self) -> None:

@@ -1,0 +1,497 @@
+"""Continuous telemetry for a PDC deployment: the service monitor.
+
+:class:`ServiceMonitor` ties the two telemetry primitives together and
+hangs them off the event points of a running deployment:
+
+* every :class:`~repro.service.frontend.QueryService` admission /
+  shed / dispatch / completion, every
+  :class:`~repro.query.scheduler.QueryScheduler` batch window, and every
+  :class:`~repro.pdc.server.PDCServer` region read lands as a sample in
+  a :class:`~repro.obs.timeseries.TimeSeriesRecorder` (ring-buffered,
+  windowed aggregates on simulated time);
+* terminal request outcomes additionally feed an
+  :class:`~repro.obs.slo.SLOMonitor`, whose multi-window burn-rate
+  evaluation emits the deterministic :class:`~repro.obs.slo.Alert`
+  stream controllers subscribe to.
+
+Install with :meth:`PDCSystem.set_monitor`; the default on every system
+is :data:`NOOP_MONITOR`, which — like the no-op tracer — records
+nothing, charges nothing, and costs one attribute read per site, so a
+deployment without a monitor is bit-identical to one built before this
+module existed.  An installed monitor only ever *reads* simulated
+clocks (each hook receives the instant explicitly), so even enabled
+monitoring never changes results, clocks, or engine metrics; tests pin
+both properties.
+
+:func:`demo_monitor_run` is the shared deterministic overload scenario
+(seeded Poisson arrivals overrunning a rate-limited tenant, then
+receding) used by the ``python -m repro monitor`` CLI, the selftest
+monitor leg, the bench-regression micro-suite, and the alert-determinism
+tests — one scenario, one set of pinned numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .slo import SLO, Alert, SLOMonitor, SLOState
+from .timeseries import TimeSeriesRecorder, WindowStats
+
+__all__ = [
+    "NoopMonitor",
+    "NOOP_MONITOR",
+    "ServiceMonitor",
+    "MonitorRun",
+    "demo_slos",
+    "demo_monitor_run",
+]
+
+
+class NoopMonitor:
+    """Disabled monitor: every hook is a no-op.
+
+    ``enabled`` is False so instrumentation sites skip building hook
+    arguments entirely; safe to share across systems (stateless).
+    """
+
+    enabled = False
+
+    def on_submit(self, t_s: float, tenant: str) -> None:
+        return None
+
+    def on_reject(self, t_s: float, tenant: str, reason: str) -> None:
+        return None
+
+    def on_admit(self, t_s: float, tenant: str, depth: int) -> None:
+        return None
+
+    def on_shed(self, t_s: float, tenant: str, waited_s: float) -> None:
+        return None
+
+    def on_dispatch(
+        self, t_s: float, tenant: str, queue_wait_s: float, depth: int
+    ) -> None:
+        return None
+
+    def on_complete(
+        self,
+        t_s: float,
+        tenant: str,
+        status: str,
+        queue_wait_s: float,
+        service_s: float,
+        degraded: bool = False,
+        timed_out: bool = False,
+    ) -> None:
+        return None
+
+    def on_window(
+        self,
+        t_s: float,
+        width: int,
+        elapsed_s: float,
+        shared_reads: int,
+        saved_bytes: float,
+    ) -> None:
+        return None
+
+    def on_region_read(
+        self, t_s: float, server_id: int, nbytes: float, category: str
+    ) -> None:
+        return None
+
+    def on_tick(self, t_s: float) -> None:
+        return None
+
+
+#: The process-wide disabled monitor (the default on every PDCSystem).
+NOOP_MONITOR = NoopMonitor()
+
+
+class ServiceMonitor:
+    """Recording monitor: time-series samples + SLO burn-rate alerts.
+
+    ``registry`` (optional) is scraped into counter series every
+    ``scrape_interval_s`` simulated seconds, driven by the event stream
+    itself — no wall clock, no timers, fully deterministic.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        slos: Tuple[SLO, ...] = (),
+        recorder: Optional[TimeSeriesRecorder] = None,
+        registry=None,
+        scrape_interval_s: Optional[float] = None,
+        window_s: float = 0.05,
+    ) -> None:
+        if scrape_interval_s is not None and scrape_interval_s <= 0.0:
+            raise ValueError("scrape_interval_s must be positive (or None)")
+        if window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
+        self.slo = SLOMonitor(tuple(slos))
+        self.registry = registry
+        self.scrape_interval_s = scrape_interval_s
+        #: Default window width for :meth:`tenant_window` / status tables.
+        self.window_s = window_s
+        self._next_scrape_s: Optional[float] = None
+
+    # ------------------------------------------------------- service hooks
+    #
+    # Submission-side hooks (submit/reject/admit) stamp the request's
+    # *arrival* instant, which in an open-loop workload can lie ahead of
+    # the drain loop's frontier.  They therefore only touch event series
+    # that are fed exclusively from the submission path (arrivals are
+    # nondecreasing across submit calls), never the drain-side series or
+    # the scrape cadence — per-series sample order stays monotonic.
+    def on_submit(self, t_s: float, tenant: str) -> None:
+        self.recorder.observe(
+            "pdc_service_outcomes", t_s, 1.0, tenant=tenant, outcome="submitted"
+        )
+
+    def on_reject(self, t_s: float, tenant: str, reason: str) -> None:
+        self.recorder.observe(
+            "pdc_service_outcomes", t_s, 1.0, tenant=tenant, outcome="rejected"
+        )
+
+    def on_admit(self, t_s: float, tenant: str, depth: int) -> None:
+        self.recorder.observe(
+            "pdc_service_outcomes", t_s, 1.0, tenant=tenant, outcome="admitted"
+        )
+
+    def on_shed(self, t_s: float, tenant: str, waited_s: float) -> None:
+        self.recorder.observe(
+            "pdc_service_outcomes", t_s, 1.0, tenant=tenant, outcome="shed"
+        )
+        self.slo.observe(t_s, tenant, "shed", queue_wait_s=waited_s)
+
+    def on_dispatch(
+        self, t_s: float, tenant: str, queue_wait_s: float, depth: int
+    ) -> None:
+        self.recorder.observe(
+            "pdc_service_queue_wait_sim_seconds", t_s, queue_wait_s,
+            tenant=tenant,
+        )
+        self.recorder.record(
+            "pdc_service_queue_depth", t_s, float(depth), kind="gauge",
+            tenant=tenant,
+        )
+
+    def on_complete(
+        self,
+        t_s: float,
+        tenant: str,
+        status: str,
+        queue_wait_s: float,
+        service_s: float,
+        degraded: bool = False,
+        timed_out: bool = False,
+    ) -> None:
+        self.recorder.observe(
+            "pdc_service_outcomes", t_s, 1.0, tenant=tenant, outcome=status
+        )
+        if status == "done":
+            self.recorder.observe(
+                "pdc_service_service_sim_seconds", t_s, service_s,
+                tenant=tenant,
+            )
+        if degraded:
+            self.recorder.observe(
+                "pdc_service_outcomes", t_s, 1.0, tenant=tenant,
+                outcome="degraded",
+            )
+        if timed_out:
+            self.recorder.observe(
+                "pdc_service_outcomes", t_s, 1.0, tenant=tenant,
+                outcome="timeout",
+            )
+        self.slo.observe(
+            t_s, tenant, status, queue_wait_s=queue_wait_s, timed_out=timed_out
+        )
+
+    # ----------------------------------------------------- scheduler hooks
+    def on_window(
+        self,
+        t_s: float,
+        width: int,
+        elapsed_s: float,
+        shared_reads: int,
+        saved_bytes: float,
+    ) -> None:
+        self.recorder.observe("pdc_window_width", t_s, float(width))
+        self.recorder.observe("pdc_window_sim_seconds", t_s, elapsed_s)
+        self.recorder.observe(
+            "pdc_window_shared_reads", t_s, float(shared_reads)
+        )
+        self.recorder.observe(
+            "pdc_window_saved_bytes_virtual", t_s, saved_bytes
+        )
+        self._maybe_scrape(t_s)
+
+    # -------------------------------------------------------- server hooks
+    def on_region_read(
+        self, t_s: float, server_id: int, nbytes: float, category: str
+    ) -> None:
+        self.recorder.observe(
+            "pdc_server_read_bytes", t_s, float(nbytes),
+            server=f"server{server_id}",
+        )
+
+    # ---------------------------------------------------------------- time
+    def on_tick(self, t_s: float) -> None:
+        """Service-loop heartbeat: re-evaluates SLOs so alerts can clear
+        even when no new terminal events arrive."""
+        self.slo.evaluate(t_s)
+        self._maybe_scrape(t_s)
+
+    def _maybe_scrape(self, t_s: float) -> None:
+        if self.registry is None or self.scrape_interval_s is None:
+            return
+        if self._next_scrape_s is None:
+            self._next_scrape_s = t_s  # first event starts the cadence
+        while t_s >= self._next_scrape_s:
+            self.recorder.scrape(self.registry, t_s)
+            self._next_scrape_s += self.scrape_interval_s
+
+    # ------------------------------------------------------------- queries
+    @property
+    def alerts(self) -> List[Alert]:
+        return self.slo.alerts
+
+    def subscribe(self, callback) -> None:
+        """Forward to :meth:`SLOMonitor.subscribe`."""
+        self.slo.subscribe(callback)
+
+    def fingerprint(self) -> str:
+        """The alert stream's deterministic fingerprint."""
+        return self.slo.fingerprint()
+
+    def tenant_window(
+        self,
+        tenant: str,
+        t_end: Optional[float] = None,
+        width_s: Optional[float] = None,
+    ) -> Dict[str, WindowStats]:
+        """Windowed per-tenant view at ``t_end`` (default: latest sample):
+        queue wait distribution, completion/shed rates, queue depth."""
+        t = self.recorder.t_latest if t_end is None else t_end
+        w = self.window_s if width_s is None else width_s
+        out = {
+            "queue_wait": self.recorder.window(
+                "pdc_service_queue_wait_sim_seconds", t, w, tenant=tenant
+            ),
+            "queue_depth": self.recorder.window(
+                "pdc_service_queue_depth", t, w, tenant=tenant
+            ),
+        }
+        for outcome in ("submitted", "done", "shed", "rejected", "failed"):
+            out[outcome] = self.recorder.window(
+                "pdc_service_outcomes", t, w, tenant=tenant, outcome=outcome
+            )
+        return out
+
+    def slo_rows(self) -> List[SLOState]:
+        return list(self.slo.states)
+
+    def render_status(
+        self, t_end: Optional[float] = None, width_s: Optional[float] = None
+    ) -> str:
+        """One status table: per-SLO burn rates + per-tenant window stats
+        — what ``python -m repro monitor`` prints."""
+        t = self.recorder.t_latest if t_end is None else t_end
+        w = self.window_s if width_s is None else width_s
+        lines = [
+            f"monitor status @ t={t * 1e3:.3f} simulated ms "
+            f"(window {w * 1e3:.1f} ms)"
+        ]
+        lines.append(
+            f"  {'slo':<16} {'tenant':<10} {'sli':<10} {'burn_fast':>9} "
+            f"{'burn_slow':>9} {'budget':>7}  state"
+        )
+        for st in self.slo.states:
+            state = []
+            if st.firing_fast:
+                state.append("FAST-BURN")
+            if st.firing_slow:
+                state.append("SLOW-BURN")
+            lines.append(
+                f"  {st.slo.name:<16} {st.slo.tenant:<10} {st.slo.sli:<10} "
+                f"{st.burn_fast:>9.2f} {st.burn_slow:>9.2f} "
+                f"{st.budget_used * 100:>6.1f}%  {'+'.join(state) or 'ok'}"
+            )
+        tenants = sorted(
+            {
+                s.labels["tenant"]
+                for s in self.recorder.all_series()
+                if "tenant" in s.labels
+            }
+        )
+        if tenants:
+            lines.append(
+                f"  {'tenant':<10} {'req/s':>8} {'done/s':>8} {'shed/s':>8} "
+                f"{'p50 wait ms':>12} {'p95 wait ms':>12} {'p99 wait ms':>12}"
+            )
+            for tenant in tenants:
+                tw = self.tenant_window(tenant, t, w)
+                qw = tw["queue_wait"]
+                lines.append(
+                    f"  {tenant:<10} {tw['submitted'].rate:>8.0f} "
+                    f"{tw['done'].rate:>8.0f} {tw['shed'].rate:>8.0f} "
+                    f"{_ms(qw.p50):>12} {_ms(qw.p95):>12} {_ms(qw.p99):>12}"
+                )
+        return "\n".join(lines)
+
+
+def _ms(v: float) -> str:
+    return "-" if v != v else f"{v * 1e3:.3f}"  # NaN-safe
+
+
+# --------------------------------------------------------------- demo run
+@dataclass
+class MonitorRun:
+    """Everything the shared overload scenario produced."""
+
+    system: object
+    service: object
+    monitor: Optional[ServiceMonitor]
+    tickets: List[object]
+    #: Simulated end of the run (latest clock after drain).
+    t_end: float
+    alerts: List[Alert] = field(default_factory=list)
+
+
+def demo_slos(
+    fast_window_s: float = 0.008, slow_window_s: float = 0.04
+) -> Tuple[SLO, ...]:
+    """The demo scenario's SLOs: shed rate on the rate-limited tenant,
+    p-high queue wait on the steady tenant, error rate across tenants."""
+    return (
+        SLO(
+            name="bursty-shed",
+            tenant="bursty",
+            sli="shed",
+            objective=0.90,
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            fast_burn=5.0,
+            slow_burn=1.0,
+        ),
+        SLO(
+            name="steady-wait",
+            tenant="steady",
+            sli="queue_wait",
+            objective=0.95,
+            threshold_s=0.004,
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            fast_burn=5.0,
+            slow_burn=1.0,
+        ),
+        SLO(
+            name="any-error",
+            tenant="*",
+            sli="error",
+            objective=0.99,
+            fast_window_s=fast_window_s,
+            slow_window_s=slow_window_s,
+            fast_burn=5.0,
+            slow_burn=1.0,
+        ),
+    )
+
+
+def demo_monitor_run(
+    seed: int = 1234,
+    requests: int = 150,
+    monitored: bool = True,
+    fault_plan=None,
+    scrape_interval_s: Optional[float] = 0.002,
+) -> MonitorRun:
+    """The deterministic overload scenario every monitor surface shares.
+
+    Two tenants on the demo deployment: ``steady`` (no knobs) and
+    ``bursty`` (rate-limited with a queue deadline).  Seeded Poisson
+    arrivals run light → overload (the burst tenant's offered load far
+    exceeds its rate limit, queues back up, sheds begin) → light again,
+    so the fast-burn alert must fire during the surge and clear once the
+    backlog drains.  With ``monitored=False`` the run is the zero-cost
+    control: no monitor is installed and the system behaves exactly as a
+    pre-monitor build.
+    """
+    import numpy as np
+
+    from ..service import QueryService, ServiceConfig, Tenant
+    from ..query.ast import Condition
+    from ..types import PDCType, QueryOp
+    from .metrics import MetricsRegistry
+    from .regress import demo_deployment
+
+    # An isolated registry: the scrape cadence records counter series,
+    # so sharing the process-wide registry would make the sample count
+    # depend on whatever else ran in this process.
+    system, _, _ = demo_deployment(metrics=MetricsRegistry())
+    monitor: Optional[ServiceMonitor] = None
+    if monitored:
+        monitor = ServiceMonitor(
+            slos=demo_slos(),
+            registry=system.metrics,
+            scrape_interval_s=scrape_interval_s,
+        )
+        system.set_monitor(monitor)
+    if fault_plan is not None:
+        system.set_fault_plan(fault_plan)
+
+    cfg = ServiceConfig(
+        tenants=(
+            Tenant("steady", weight=2.0),
+            Tenant(
+                "bursty",
+                weight=1.0,
+                rate_limit_qps=2000.0,
+                burst=4.0,
+                queue_cap=32,
+                queue_deadline_s=0.002,
+            ),
+        ),
+        policy="wfq",
+        batch_window=4,
+    )
+    svc = QueryService(system, cfg)
+
+    rng = np.random.default_rng(seed)
+    t = max(c.now for c in system.all_clocks())
+    n_light = requests // 3
+    n_heavy = requests - 2 * n_light
+    phases = (
+        # (count, aggregate rate qps, bursty share)
+        (n_light, 400.0, 0.3),
+        (n_heavy, 6000.0, 0.7),
+        (n_light, 400.0, 0.3),
+    )
+    tickets = []
+    for count, rate, bursty_share in phases:
+        for _ in range(count):
+            t += float(rng.exponential(1.0 / rate))
+            tenant = "bursty" if rng.random() < bursty_share else "steady"
+            q = Condition(
+                "energy", QueryOp.GT, PDCType.FLOAT,
+                float(np.float32(rng.uniform(0.5, 3.0))),
+            )
+            tickets.append(svc.submit(tenant, q, arrival_s=t))
+    svc.drain()
+    svc.close()
+    t_end = max(c.now for c in system.all_clocks())
+    if monitor is not None:
+        # Final tick so burn rates settle at the drained frontier.
+        monitor.on_tick(t_end)
+    return MonitorRun(
+        system=system,
+        service=svc,
+        monitor=monitor,
+        tickets=tickets,
+        t_end=t_end,
+        alerts=list(monitor.alerts) if monitor is not None else [],
+    )

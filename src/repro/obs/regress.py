@@ -174,6 +174,30 @@ def run_micro_suite() -> Dict[str, float]:
         s.queue_wait_max_s for s in svc.stats.values()
     )
 
+    # Continuous-telemetry pins: the demo overload scenario's alert
+    # stream is simulated-deterministic, so the burn-rate monitor's
+    # fire/clear instants, sample volume, and per-tenant tail waits pin
+    # exactly like any cost number.  A drift here means either the
+    # service's simulated decisions or the monitor's evaluation changed.
+    from .monitor import demo_monitor_run
+
+    mrun = demo_monitor_run(requests=90)
+    out["monitor.alerts"] = float(len(mrun.alerts))
+    fast = [a for a in mrun.alerts if a.window == "fast"]
+    out["monitor.fast_fire_sim_seconds"] = next(
+        (a.t_s for a in fast if a.kind == "fire"), 0.0
+    )
+    out["monitor.fast_clear_sim_seconds"] = next(
+        (a.t_s for a in fast if a.kind == "clear"), 0.0
+    )
+    out["monitor.samples"] = float(mrun.monitor.recorder.total_samples())
+    out["monitor.shed"] = float(
+        sum(s.shed for s in mrun.service.stats.values())
+    )
+    out["monitor.bursty.p99_queue_wait_sim_seconds"] = (
+        mrun.service.stats["bursty"].p99_queue_wait_s
+    )
+
     return out
 
 

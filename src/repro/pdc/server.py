@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Set
 
 from ..errors import RegionUnavailableError
+from ..obs.monitor import NOOP_MONITOR
 from ..obs.tracer import NOOP_TRACER
 from ..storage.cache import RegionCache
 from ..storage.costmodel import CostModel, SimClock
@@ -59,6 +60,9 @@ class PDCServer:
         #: Tracer shared with the owning system (swapped by
         #: :meth:`PDCSystem.set_tracer`); the default no-op records nothing.
         self.tracer = NOOP_TRACER
+        #: Monitor shared with the owning system (swapped by
+        #: :meth:`PDCSystem.set_monitor`); the default no-op records nothing.
+        self.monitor = NOOP_MONITOR
         #: Fault plan shared with the owning system (installed by
         #: :meth:`PDCSystem.set_fault_plan`); None means no injection and
         #: leaves every charge bit-identical to the pre-fault code path.
@@ -167,6 +171,10 @@ class PDCServer:
         else:
             self.faultable_read(key, read_time, category=category)
         self.cache.put(key, nbytes=nbytes if scaled else 0)
+        if self.monitor.enabled:
+            self.monitor.on_region_read(
+                self.clock.now, self.server_id, float(nbytes), category
+            )
         return False
 
     def preload_region(

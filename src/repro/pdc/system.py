@@ -20,6 +20,7 @@ from ..errors import ObjectNotFoundError, PDCError, QueryError
 from ..histogram.global_hist import GlobalHistogram
 from ..histogram.mergeable import MergeableHistogram
 from ..obs.metrics import REGISTRY
+from ..obs.monitor import NOOP_MONITOR
 from ..obs.tracer import NOOP_TRACER
 from ..strategies import Strategy, strategy_from_env
 from ..sorting.reorganize import SortedReplica
@@ -203,6 +204,10 @@ class PDCSystem:
         #: unless the caller supplies an isolated registry.
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.metrics = metrics if metrics is not None else REGISTRY
+        #: Continuous-telemetry monitor; the default no-op records nothing
+        #: and costs one attribute read per event point (see
+        #: :meth:`set_monitor`).
+        self.monitor = NOOP_MONITOR
         self.cost = CostModel(
             params=self.config.cost_params, virtual_scale=self.config.virtual_scale
         )
@@ -221,6 +226,7 @@ class PDCSystem:
         ]
         for s in self.servers:
             s.tracer = self.tracer
+            s.monitor = self.monitor
         self.client_clock = SimClock("client")
         self._failed_servers: set = set()
         #: Deterministic fault plan (:mod:`repro.faults`); None = no faults.
@@ -694,6 +700,16 @@ class PDCSystem:
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         for s in self.servers:
             s.tracer = self.tracer
+
+    def set_monitor(self, monitor) -> None:
+        """Install a :class:`repro.obs.monitor.ServiceMonitor` on this
+        system and every server (None restores the zero-cost no-op).
+        Monitor hooks only *read* simulated clocks — the instant is passed
+        in by the instrumented site — so enabling monitoring never changes
+        query results, costs, or engine metrics."""
+        self.monitor = monitor if monitor is not None else NOOP_MONITOR
+        for s in self.servers:
+            s.monitor = self.monitor
 
     def drop_all_caches(self) -> None:
         for s in self.servers:

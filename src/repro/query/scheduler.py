@@ -260,6 +260,15 @@ class QueryScheduler:
             list(specs), selection_cache=self.selection_cache
         )
         self.batches.append(batch)
+        monitor = self.system.monitor
+        if monitor.enabled:
+            monitor.on_window(
+                max(c.now for c in self.system.all_clocks()),
+                len(specs),
+                batch.elapsed_s,
+                batch.shared_reads,
+                batch.saved_bytes_virtual,
+            )
         return batch
 
     def analyze_window(self, specs: Sequence[Union[QueryNode, QuerySpec]]):

@@ -35,9 +35,12 @@ results), ``failed`` (the per-query error, batch-isolated), ``shed``, or
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Union
+
+import numpy as np
 
 from ..errors import PDCError
 from ..pdc.system import PDCSystem
@@ -114,6 +117,35 @@ class TenantStats:
     queue_wait_total_s: float = 0.0
     queue_wait_max_s: float = 0.0
     service_total_s: float = 0.0
+    #: Per-dispatch queue waits (simulated seconds), the distribution
+    #: behind the percentile properties.  Mirrors the population of the
+    #: ``pdc_service_queue_wait_sim_seconds`` histogram metric.
+    queue_waits_s: List[float] = field(default_factory=list, repr=False)
+
+    def queue_wait_quantile_s(self, q: float) -> float:
+        """Queue-wait quantile over dispatched requests, estimated with
+        the paper's mergeable power-of-two histogram (the same machinery
+        the metrics layer uses).  NaN before the first dispatch."""
+        if not self.queue_waits_s:
+            return math.nan
+        if len(self.queue_waits_s) == 1:
+            return self.queue_waits_s[0]
+        from ..histogram.mergeable import MergeableHistogram
+
+        hist = MergeableHistogram.from_data(
+            np.asarray(self.queue_waits_s, dtype=np.float64),
+            n_bins=64,
+            sample_fraction=1.0,
+        )
+        return hist.quantile(q)
+
+    @property
+    def p95_queue_wait_s(self) -> float:
+        return self.queue_wait_quantile_s(0.95)
+
+    @property
+    def p99_queue_wait_s(self) -> float:
+        return self.queue_wait_quantile_s(0.99)
 
 
 class QueryService:
@@ -277,6 +309,9 @@ class QueryService:
         st = self.stats[ten.name]
         st.submitted += 1
         self._m_requests.labels(tenant=ten.name).inc()
+        monitor = self.system.monitor
+        if monitor.enabled:
+            monitor.on_submit(arrival, ten.name)
 
         decision = self._admit(req)
         if not decision.admitted:
@@ -287,6 +322,8 @@ class QueryService:
             else:
                 st.rejected_queue += 1
             self._m_rejected.labels(tenant=ten.name, reason=decision.reason).inc()
+            if monitor.enabled:
+                monitor.on_reject(arrival, ten.name, decision.reason)
             self.system.tracer.instant(
                 f"service.reject:{ten.name}",
                 self.system.client_clock,
@@ -301,6 +338,8 @@ class QueryService:
         st.admitted += 1
         self._m_admitted.labels(tenant=ten.name).inc()
         self._m_depth.labels(tenant=ten.name).set(len(self._queues[ten.name]))
+        if monitor.enabled:
+            monitor.on_admit(arrival, ten.name, len(self._queues[ten.name]))
         if self.system.tracer.enabled:
             self.system.tracer.instant(
                 f"service.admit:{ten.name}",
@@ -337,8 +376,11 @@ class QueryService:
         dispatches, or advances simulated time to the next arrival.
         """
         processed: List[ServiceRequest] = []
+        monitor = self.system.monitor
         while self.queued():
             now = self._now()
+            if monitor.enabled:
+                monitor.on_tick(now)
             processed.extend(self._shed_expired(now))
             eligible = self._eligible_heads(now)
             if not eligible:
@@ -360,6 +402,7 @@ class QueryService:
     def _shed_expired(self, now: float) -> List[ServiceRequest]:
         """Drop queued requests whose queue deadline has passed."""
         shed: List[ServiceRequest] = []
+        monitor = self.system.monitor
         for name, q in self._queues.items():
             if not any(r.deadline_s is not None and now > r.deadline_s for r in q):
                 continue
@@ -370,6 +413,8 @@ class QueryService:
                     r.queue_wait_s = now - r.arrival_s
                     self.stats[name].shed += 1
                     self._m_shed.labels(tenant=name).inc()
+                    if monitor.enabled:
+                        monitor.on_shed(now, name, r.queue_wait_s)
                     self.system.tracer.instant(
                         f"service.shed:{name}",
                         self.system.client_clock,
@@ -425,6 +470,7 @@ class QueryService:
         self, window: List[ServiceRequest], now: float
     ) -> List[ServiceRequest]:
         tracer = self.system.tracer
+        monitor = self.system.monitor
         for r in window:
             r.dispatch_s = now
             r.queue_wait_s = now - r.arrival_s
@@ -433,9 +479,14 @@ class QueryService:
             st.dispatched += 1
             st.queue_wait_total_s += r.queue_wait_s
             st.queue_wait_max_s = max(st.queue_wait_max_s, r.queue_wait_s)
+            st.queue_waits_s.append(r.queue_wait_s)
             self._m_dispatched.labels(tenant=name).inc()
             self._m_qwait.labels(tenant=name).observe(r.queue_wait_s)
             self._m_depth.labels(tenant=name).set(len(self._queues[name]))
+            if monitor.enabled:
+                monitor.on_dispatch(
+                    now, name, r.queue_wait_s, len(self._queues[name])
+                )
             if tracer.enabled:
                 # The queue span covers arrival → dispatch: open it now
                 # and backdate its start to the arrival instant.
@@ -467,6 +518,10 @@ class QueryService:
     def _account_window(
         self, window: List[ServiceRequest], batch: BatchResult
     ) -> None:
+        monitor = self.system.monitor
+        # Completions land at the post-execution simulated frontier (a
+        # pure read, like every monitor instant).
+        t_done = self._now() if monitor.enabled else 0.0
         for i, r in enumerate(window):
             name = r.tenant.name
             st = self.stats[name]
@@ -476,6 +531,10 @@ class QueryService:
                 r.error = err
                 st.failed += 1
                 self._m_failed.labels(tenant=name).inc()
+                if monitor.enabled:
+                    monitor.on_complete(
+                        t_done, name, "failed", r.queue_wait_s, 0.0
+                    )
                 continue
             result = batch.results[i]
             r.status = "done"
@@ -490,6 +549,16 @@ class QueryService:
             if result.timed_out:
                 st.timed_out += 1
                 self._m_timeout.labels(tenant=name).inc()
+            if monitor.enabled:
+                monitor.on_complete(
+                    t_done,
+                    name,
+                    "done",
+                    r.queue_wait_s,
+                    result.elapsed_s,
+                    degraded=not result.complete,
+                    timed_out=result.timed_out,
+                )
 
     # ----------------------------------------------------------- convenience
     def run(

@@ -321,3 +321,46 @@ class TestExtremeWidthRatios:
         hists = [MergeableHistogram.from_data(d, n_bins=6) for d in datasets]
         merged = MergeableHistogram.merge_many(hists)
         assert merged.total == sum(h.total for h in hists)
+
+
+class TestQuantile:
+    @given(data_arrays, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_data_range(self, data, q):
+        h = MergeableHistogram.from_data(data, n_bins=32, sample_fraction=1.0)
+        v = h.quantile(q)
+        assert h.data_min <= v <= h.data_max
+
+    def test_endpoints_are_exact_extrema(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(0.0, 3.0, 5000)
+        h = MergeableHistogram.from_data(data, n_bins=64, sample_fraction=1.0)
+        assert h.quantile(0.0) == h.data_min == data.min()
+        assert h.quantile(1.0) == h.data_max == data.max()
+
+    def test_monotonic_in_q(self):
+        rng = np.random.default_rng(12)
+        data = rng.gamma(2.0, 0.7, 4000)
+        h = MergeableHistogram.from_data(data, n_bins=64, sample_fraction=1.0)
+        qs = np.linspace(0.0, 1.0, 21)
+        vs = [h.quantile(float(q)) for q in qs]
+        assert vs == sorted(vs)
+
+    def test_accuracy_vs_numpy(self):
+        rng = np.random.default_rng(13)
+        data = rng.exponential(1.0, 20000)
+        h = MergeableHistogram.from_data(data, n_bins=128, sample_fraction=1.0)
+        for q in (0.5, 0.95, 0.99):
+            est = h.quantile(q)
+            true = float(np.quantile(data, q))
+            # Binned estimate: within one bin width of the truth.
+            assert abs(est - true) <= h.bin_width + 1e-12
+
+    def test_invalid_inputs(self):
+        h = MergeableHistogram.from_data(
+            np.array([1.0, 2.0]), n_bins=8, sample_fraction=1.0
+        )
+        with pytest.raises(QueryError):
+            h.quantile(1.5)
+        with pytest.raises(QueryError):
+            h.quantile(-0.1)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.histogram.mergeable import MergeableHistogram, round_down_pow2
 from repro.obs import MetricsError, MetricsRegistry
+from repro.obs.metrics import escape_label_value, format_labels
 
 
 @pytest.fixture
@@ -112,6 +113,46 @@ class TestRegistry:
         reg.counter("x_total").inc()
         reg.reset()
         assert reg.names() == []
+
+
+class TestRenderEscaping:
+    """Regression: exposition must sort labels deterministically and
+    escape quotes/backslashes/newlines in label values per the
+    OpenMetrics exposition format."""
+
+    def test_label_values_escaped(self, reg):
+        c = reg.counter("q_total", labels=("expr",))
+        c.labels(expr='energy > "2.0" \\ x\nAND y').inc()
+        text = reg.render()
+        assert (
+            'q_total{expr="energy > \\"2.0\\" \\\\ x\\nAND y"} 1' in text
+        )
+        # The raw newline must NOT survive into the sample line.
+        sample_lines = [
+            line for line in text.splitlines() if line.startswith("q_total{")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_escape_helper(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # Backslash first: an escaped quote does not get double-escaped.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_format_labels_sorted_and_deterministic(self):
+        labels = {"zeta": "1", "alpha": "2", "mid": "3"}
+        rendered = format_labels(labels)
+        assert rendered == '{alpha="2",mid="3",zeta="1"}'
+        assert format_labels(dict(reversed(list(labels.items())))) == rendered
+        assert format_labels({}) == ""
+
+    def test_render_sorts_multi_label_series(self, reg):
+        c = reg.counter("m_total", labels=("b", "a"))
+        c.labels(b="2", a="1").inc()
+        text = reg.render()
+        # Alphabetical label order regardless of declaration order.
+        assert 'm_total{a="1",b="2"} 1' in text
 
 
 class TestHistogramBucketAlignment:

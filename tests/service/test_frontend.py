@@ -378,3 +378,52 @@ class TestAccounting:
             s for s in tracer.spans if s.name.startswith("service.queue:")
         ]
         assert all(s.end_s >= s.start_s for s in queue_spans)
+
+
+class TestTenantStatsPercentiles:
+    def test_percentiles_from_wait_histogram(self):
+        sysm = fresh_deployment()
+        cfg = ServiceConfig(
+            tenants=(Tenant("a"), Tenant("b", weight=2.0)),
+            policy="wfq",
+            batch_window=2,
+        )
+        svc = QueryService(sysm, cfg)
+        t0 = max(c.now for c in sysm.all_clocks())
+        for i, q in enumerate(queries(20)):
+            svc.submit("a" if i % 2 else "b", q, arrival_s=t0 + 5e-5 * i)
+        svc.drain()
+        svc.close()
+        for name in ("a", "b"):
+            st = svc.stats[name]
+            assert len(st.queue_waits_s) == st.dispatched
+            p50 = st.queue_wait_quantile_s(0.50)
+            p95 = st.p95_queue_wait_s
+            p99 = st.p99_queue_wait_s
+            assert 0.0 <= p50 <= p95 <= p99 <= st.queue_wait_max_s + 1e-12
+            # The estimator's extrema clamp to the true sample extrema.
+            assert p99 <= max(st.queue_waits_s)
+
+    def test_nan_before_first_dispatch(self):
+        import math
+
+        from repro.service.frontend import TenantStats
+
+        st = TenantStats()
+        assert math.isnan(st.p95_queue_wait_s)
+        assert math.isnan(st.p99_queue_wait_s)
+
+    def test_single_dispatch_degenerate(self):
+        from repro.service.frontend import TenantStats
+
+        st = TenantStats()
+        st.queue_waits_s.append(0.25)
+        assert st.p95_queue_wait_s == 0.25
+        assert st.p99_queue_wait_s == 0.25
+
+    def test_constant_waits(self):
+        from repro.service.frontend import TenantStats
+
+        st = TenantStats()
+        st.queue_waits_s.extend([0.0] * 10)
+        assert st.p99_queue_wait_s == 0.0
