@@ -115,6 +115,23 @@ class MergeableHistogram:
         return cls._count_into_grid(data, width)
 
     @classmethod
+    def from_data_width(cls, data: np.ndarray, width: float) -> "MergeableHistogram":
+        """Exact histogram of ``data`` on the aligned grid of ``width``.
+
+        The continuous-ingest delta path uses this to build an epoch's
+        delta histogram on the *same* grid as the maintained region
+        histogram, so :meth:`merge` (appends / new values) and
+        :meth:`subtract` (overwritten old values) are exact bin-for-bin.
+        ``width`` must be a positive power of two.
+        """
+        data = np.asarray(data)
+        if data.ndim != 1 or data.size == 0:
+            raise QueryError("histogram needs non-empty 1-D data")
+        if width != round_down_pow2(width):
+            raise QueryError(f"width {width!r} is not a power of two")
+        return cls._count_into_grid(data.astype(np.float64, copy=False), width)
+
+    @classmethod
     def _count_into_grid(cls, data: np.ndarray, width: float) -> "MergeableHistogram":
         """Exact O(N) counting pass on the aligned grid of ``width``."""
         true_min = float(data.min())
@@ -320,6 +337,74 @@ class MergeableHistogram:
             data_min=min(self.data_min, other.data_min),
             data_max=max(self.data_max, other.data_max),
         )
+
+    def subtract(
+        self,
+        other: "MergeableHistogram",
+        data_min: float = None,
+        data_max: float = None,
+    ) -> "MergeableHistogram":
+        """Exact multiset difference: remove ``other``'s counts from this
+        histogram (the inverse of :meth:`merge` for a sub-multiset).
+
+        ``other`` must be at the same or a finer power-of-two width — its
+        grid then nests into this one exactly, so the subtraction is
+        bin-for-bin exact.  Raises when any bin would go negative (i.e.
+        ``other`` counts elements this histogram never held).
+
+        The extrema of a difference cannot be derived from the operands
+        (removing the minimum says nothing about the runner-up), so the
+        caller supplies the true ``data_min``/``data_max`` of the
+        remaining multiset; omitted, this histogram's extrema are kept —
+        only sound when the caller proved neither extremum was removed.
+        """
+        width = self.bin_width
+        if other.bin_width > width:
+            raise QueryError(
+                f"cannot subtract width {other.bin_width} from finer "
+                f"width {width}"
+            )
+        o = other.coarsened(width) if other.bin_width < width else other
+        off = round((o.start - self.start) / width)
+        if off < 0 or off + o.n_bins > self.n_bins:
+            raise QueryError(
+                "subtrahend grid extends outside this histogram's grid"
+            )
+        counts = self.counts.copy()
+        counts[off : off + o.n_bins] -= o.counts
+        if (counts < 0).any():
+            raise QueryError("subtract would drive a bin count negative")
+        return MergeableHistogram(
+            bin_width=width,
+            start=self.start,
+            counts=counts,
+            data_min=self.data_min if data_min is None else float(data_min),
+            data_max=self.data_max if data_max is None else float(data_max),
+        )
+
+    def equivalent(self, other: "MergeableHistogram") -> bool:
+        """Whether two histograms describe the *same multiset* at the
+        same extrema: coarsened onto their common (coarser) grid, the
+        aligned counts must match bin-for-bin and the true min/max must
+        be equal.  This is the exactness oracle for incrementally
+        maintained histograms vs from-scratch rebuilds — grids may differ
+        (sampling picks the width), the content may not.
+        """
+        if self.data_min != other.data_min or self.data_max != other.data_max:
+            return False
+        if self.total != other.total:
+            return False
+        width = max(self.bin_width, other.bin_width)
+        a = self.coarsened(width)
+        b = other.coarsened(width)
+        start = min(a.start, b.start)
+        end = max(a.start + a.n_bins * width, b.start + b.n_bins * width)
+        n = round((end - start) / width)
+        ca = np.zeros(n, dtype=np.int64)
+        cb = np.zeros(n, dtype=np.int64)
+        ca[round((a.start - start) / width) :][: a.n_bins] = a.counts
+        cb[round((b.start - start) / width) :][: b.n_bins] = b.counts
+        return bool(np.array_equal(ca, cb))
 
     @classmethod
     def merge_many(cls, histograms: Sequence["MergeableHistogram"]) -> "MergeableHistogram":

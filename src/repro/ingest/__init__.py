@@ -1,0 +1,21 @@
+"""Continuous-ingest write path: epoch-batched streams with incremental
+index maintenance (see :mod:`repro.ingest.stream` and ``docs/ingest.md``).
+"""
+
+from .stream import (
+    EpochResult,
+    IngestConfig,
+    IngestStream,
+    WriteOp,
+    WriteResult,
+    WriteSpec,
+)
+
+__all__ = [
+    "EpochResult",
+    "IngestConfig",
+    "IngestStream",
+    "WriteOp",
+    "WriteResult",
+    "WriteSpec",
+]

@@ -101,6 +101,25 @@ class NoopMonitor:
     ) -> None:
         return None
 
+    def on_ingest_epoch(
+        self,
+        t_s: float,
+        tenant: str,
+        epoch: int,
+        n_ops: int,
+        n_elements: int,
+        lag_s: float,
+        hist_merges: int = 0,
+        hist_rebuilds: int = 0,
+        compactions: int = 0,
+    ) -> None:
+        return None
+
+    def on_compaction(
+        self, t_s: float, object_name: str, region_id: int, delta_elements: int
+    ) -> None:
+        return None
+
     def on_tick(self, t_s: float) -> None:
         return None
 
@@ -238,6 +257,58 @@ class ServiceMonitor:
         self.recorder.observe(
             "pdc_server_read_bytes", t_s, float(nbytes),
             server=f"server{server_id}",
+        )
+
+    # -------------------------------------------------------- ingest hooks
+    def on_ingest_epoch(
+        self,
+        t_s: float,
+        tenant: str,
+        epoch: int,
+        n_ops: int,
+        n_elements: int,
+        lag_s: float,
+        hist_merges: int = 0,
+        hist_rebuilds: int = 0,
+        compactions: int = 0,
+    ) -> None:
+        """One applied ingest epoch: rate series plus the ingest-lag SLI
+        (an epoch whose apply lag exceeds the SLO threshold is a bad
+        event)."""
+        self.recorder.observe(
+            "pdc_ingest_ops", t_s, float(n_ops), tenant=tenant
+        )
+        self.recorder.observe(
+            "pdc_ingest_elements", t_s, float(n_elements), tenant=tenant
+        )
+        self.recorder.observe(
+            "pdc_ingest_lag_sim_seconds", t_s, float(lag_s), tenant=tenant
+        )
+        if hist_merges:
+            self.recorder.observe(
+                "pdc_ingest_maintenance", t_s, float(hist_merges),
+                tenant=tenant, action="merge",
+            )
+        if hist_rebuilds:
+            self.recorder.observe(
+                "pdc_ingest_maintenance", t_s, float(hist_rebuilds),
+                tenant=tenant, action="rebuild",
+            )
+        if compactions:
+            self.recorder.observe(
+                "pdc_ingest_maintenance", t_s, float(compactions),
+                tenant=tenant, action="compact",
+            )
+        self.slo.observe(t_s, tenant, "ingest_epoch", queue_wait_s=lag_s)
+        self._maybe_scrape(t_s)
+
+    def on_compaction(
+        self, t_s: float, object_name: str, region_id: int, delta_elements: int
+    ) -> None:
+        """One background index compaction (delta segments folded in)."""
+        self.recorder.observe(
+            "pdc_compaction_delta_elements", t_s, float(delta_elements),
+            object=object_name,
         )
 
     # ---------------------------------------------------------------- time

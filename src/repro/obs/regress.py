@@ -174,6 +174,71 @@ def run_micro_suite() -> Dict[str, float]:
         s.queue_wait_max_s for s in svc.stats.values()
     )
 
+    # Continuous-ingest pins: a fixed epoch-batched write stream in delta
+    # maintenance mode.  The maintenance decisions (merge vs rebuild vs
+    # rescan), compaction instants, and every simulated charge are pure
+    # functions of the op stream, so the counters and the post-ingest
+    # query pin exactly.  A drift here means the incremental-maintenance
+    # or compaction policy changed.
+    import numpy as np
+
+    from ..ingest import IngestConfig, IngestStream
+
+    system, node, truth = demo_deployment()
+    obj = system.objects["energy"]
+    wrng = np.random.default_rng(3)
+    stream = IngestStream(
+        system,
+        IngestConfig(
+            epoch_interval_s=0.002,
+            maintenance="delta",
+            histogram_rebuild_fraction=0.5,
+            index_compact_fraction=0.05,
+        ),
+    )
+    t0 = max(c.now for c in system.all_clocks())
+    ingest_start = t0
+    for i in range(24):
+        t_i = t0 + 2.5e-4 * i
+        if i % 6 == 5:
+            # Appends grow both query operands in lockstep (conjunct
+            # evaluation requires shared dimensions).
+            stream.append(
+                "energy",
+                wrng.gamma(2.0, 0.7, 256).astype(np.float32),
+                t_s=t_i,
+            )
+            stream.append(
+                "x",
+                (wrng.random(256) * 300).astype(np.float32),
+                t_s=t_i,
+            )
+        else:
+            offset = (i * 611) % (obj.n_elements - 64)
+            stream.update(
+                "energy",
+                offset,
+                wrng.gamma(2.0, 0.7, 64).astype(np.float32),
+                t_s=t_i,
+            )
+        stream.advance_to(t_i)
+    stream.flush()
+    totals = stream.totals()
+    out["ingest.epochs"] = totals["epochs"]
+    out["ingest.elements"] = totals["elements"]
+    out["ingest.hist_merges"] = totals["hist_merges"]
+    out["ingest.hist_rebuilds"] = totals["hist_rebuilds"]
+    out["ingest.minmax_rescans"] = totals["minmax_rescans"]
+    out["ingest.index_delta_appends"] = totals["index_delta_appends"]
+    out["ingest.compactions"] = totals["compactions"]
+    out["ingest.max_lag_sim_seconds"] = totals["max_lag_s"]
+    out["ingest.sim_seconds"] = (
+        max(c.now for c in system.all_clocks()) - ingest_start
+    )
+    res = QueryEngine(system).execute(node)
+    out["ingest.post_query.nhits"] = float(res.nhits)
+    out["ingest.post_query.sim_seconds"] = res.elapsed_s
+
     # Continuous-telemetry pins: the demo overload scenario's alert
     # stream is simulated-deterministic, so the burn-rate monitor's
     # fire/clear instants, sample volume, and per-tenant tail waits pin

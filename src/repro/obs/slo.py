@@ -51,8 +51,10 @@ __all__ = ["SLI_NAMES", "SLO", "Alert", "SLOState", "SLOMonitor"]
 #: * ``shed``      — bad when the admitted request was shed;
 #: * ``error``     — bad when the dispatched request failed;
 #: * ``timeout``   — bad when the completed request hit its simulated
-#:   execution deadline.
-SLI_NAMES = ("queue_wait", "shed", "error", "timeout")
+#:   execution deadline;
+#: * ``ingest_lag`` — judges ``ingest_epoch`` observations only: bad
+#:   when the epoch's apply lag exceeded ``threshold_s``.
+SLI_NAMES = ("queue_wait", "shed", "error", "timeout", "ingest_lag")
 
 
 @dataclass(frozen=True)
@@ -84,11 +86,11 @@ class SLO:
                 f"SLO {self.name!r}: objective must be in (0, 1), "
                 f"got {self.objective}"
             )
-        if self.sli == "queue_wait" and (
+        if self.sli in ("queue_wait", "ingest_lag") and (
             self.threshold_s is None or self.threshold_s < 0.0
         ):
             raise PDCError(
-                f"SLO {self.name!r}: queue_wait needs a non-negative "
+                f"SLO {self.name!r}: {self.sli} needs a non-negative "
                 "threshold_s"
             )
         if self.fast_window_s <= 0.0 or self.slow_window_s <= 0.0:
@@ -120,6 +122,14 @@ class SLO:
         only judges dispatched work).
         """
         if outcome == "rejected":
+            return None
+        if self.sli == "ingest_lag":
+            # Judges ingest epochs only; queue_wait_s carries the lag.
+            if outcome != "ingest_epoch" or queue_wait_s is None:
+                return None
+            return queue_wait_s > self.threshold_s
+        if outcome == "ingest_epoch":
+            # Ingest epochs are outside every request-oriented SLI.
             return None
         if self.sli == "queue_wait":
             if outcome == "shed":

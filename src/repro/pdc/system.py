@@ -9,6 +9,7 @@ bitmap indexes and sorted replicas).  The query engine
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -80,6 +81,25 @@ class PDCConfig:
     #: Placement policy used to re-assign a crashed server's region share
     #: across the survivors (see :mod:`repro.pdc.placement`).
     failover_policy: str = "round_robin"
+    #: What happens to a sorted replica when a covered object is written:
+    #: ``"drop"`` deletes it (the pre-ingest behaviour — a sorted copy
+    #: cannot be patched in place, §III-D3), ``"mark_stale"`` keeps the
+    #: files but removes the replica from planning until explicitly
+    #: refreshed, ``"rebuild"`` marks stale and re-sorts automatically
+    #: once :attr:`replica_rebuild_threshold` of the key is overwritten.
+    replica_staleness_policy: str = "drop"
+    #: Fraction of replica elements written since the last (re)build that
+    #: triggers an automatic re-sort under the ``"rebuild"`` policy.
+    replica_rebuild_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.replica_staleness_policy not in ("drop", "mark_stale", "rebuild"):
+            raise PDCError(
+                f"unknown replica_staleness_policy "
+                f"{self.replica_staleness_policy!r}"
+            )
+        if not (0.0 < self.replica_rebuild_threshold <= 1.0):
+            raise PDCError("replica_rebuild_threshold must be in (0, 1]")
 
     def histogram_bins_for(self, region_size_bytes: int) -> int:
         """Per-region histogram bin count: explicit, or the adaptive
@@ -125,6 +145,14 @@ class StoredObject:
     #: Per-region index-file sizes / compressed word counts.
     index_nbytes: Optional[np.ndarray] = None
     index_words: Optional[np.ndarray] = None
+    #: Per-region count of elements covered only by *uncompacted* WAH
+    #: delta segments (continuous ingest appends deltas instead of
+    #: rebuilding the bitmap; probes treat delta positions as candidates
+    #: until background compaction folds them in).
+    index_delta_counts: Optional[np.ndarray] = None
+    #: Per-region element count overwritten since the histogram was last
+    #: rebuilt from scratch (drift gauge for the delta-merge path).
+    hist_dirty_elements: Optional[np.ndarray] = None
 
     @property
     def name(self) -> str:
@@ -172,6 +200,12 @@ class ReplicaGroup:
     key_rmax: np.ndarray
     #: One-time reorganization cost in simulated seconds (sort + write).
     build_time_s: float = 0.0
+    #: Under the ``"mark_stale"``/``"rebuild"`` staleness policies a
+    #: written-to replica stays on disk but is skipped by planning until
+    #: refreshed; ``stale_elements`` counts elements written since the
+    #: last (re)build and drives the rebuild threshold.
+    stale: bool = False
+    stale_elements: int = 0
 
     @property
     def n_regions(self) -> int:
@@ -184,6 +218,30 @@ class ReplicaGroup:
         first = start // self.region_elements
         last = (stop - 1) // self.region_elements
         return np.arange(first, min(last, self.n_regions - 1) + 1, dtype=np.int64)
+
+
+@dataclass
+class _RegionDerived:
+    """Refreshed-but-uncommitted derived state for one region (the unit
+    of the write path's compute-then-commit atomicity)."""
+
+    hist: MergeableHistogram
+    rmin: float
+    rmax: float
+    index: Optional[RegionBitmapIndex]
+    index_delta: int
+    dirty_elements: int
+    maint_seconds: float
+
+
+def _new_write_stats() -> Dict[str, int]:
+    return {
+        "hist_merges": 0,
+        "hist_rebuilds": 0,
+        "minmax_rescans": 0,
+        "index_delta_appends": 0,
+        "index_rebuilds": 0,
+    }
 
 
 class PDCSystem:
@@ -240,6 +298,13 @@ class PDCSystem:
         #: ``None`` after a server failure (conservative whole-system
         #: signal).  Registered by semantic selection caches.
         self._invalidation_hooks: List = []
+        #: Subset of hooks that accept ``(name, regions)`` (decided at
+        #: registration time by signature introspection).
+        self._region_aware_hooks: List = []
+        #: Maintenance counters of the most recent write-path call
+        #: (:meth:`update_object_region` / :meth:`append_to_object`);
+        #: the ingest stream aggregates these into epoch results.
+        self.last_write_stats: Dict[str, int] = {}
 
     # ----------------------------------------------------------------- config
     @property
@@ -295,17 +360,49 @@ class PDCSystem:
     def register_invalidation_hook(self, hook) -> None:
         """Subscribe ``hook(object_name_or_None)`` to staleness events:
         it is called with the object name after a region rewrite and with
-        ``None`` after a server failure."""
+        ``None`` after a server failure.
+
+        Hooks that accept a second positional argument additionally
+        receive the affected region ids (a list, or ``None`` for a
+        whole-object/whole-system signal), enabling region-granular
+        cache maintenance; single-argument hooks keep working unchanged.
+        """
         if hook not in self._invalidation_hooks:
             self._invalidation_hooks.append(hook)
+            if self._hook_accepts_regions(hook):
+                self._region_aware_hooks.append(hook)
 
     def unregister_invalidation_hook(self, hook) -> None:
         if hook in self._invalidation_hooks:
             self._invalidation_hooks.remove(hook)
+        if hook in self._region_aware_hooks:
+            self._region_aware_hooks.remove(hook)
 
-    def _notify_invalidation(self, name) -> None:
+    @staticmethod
+    def _hook_accepts_regions(hook) -> bool:
+        """Whether ``hook`` can take ``(name, regions)`` — decided once at
+        registration so notification never misroutes a hook's own
+        ``TypeError``."""
+        try:
+            sig = inspect.signature(hook)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return False
+        params = list(sig.parameters.values())
+        if any(p.kind == p.VAR_POSITIONAL for p in params):
+            return True
+        positional = [
+            p
+            for p in params
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        return len(positional) >= 2
+
+    def _notify_invalidation(self, name, regions=None) -> None:
         for hook in list(self._invalidation_hooks):
-            hook(name)
+            if hook in self._region_aware_hooks:
+                hook(name, regions)
+            else:
+                hook(name)
 
     def recover_server(self, server_id: int) -> None:
         """Bring a failed server back (cold caches, clock rejoins at the
@@ -430,7 +527,12 @@ class PDCSystem:
         return obj
 
     def update_object_region(
-        self, name: str, offset: int, values: np.ndarray
+        self,
+        name: str,
+        offset: int,
+        values: np.ndarray,
+        maintenance: str = "rebuild",
+        rebuild_fraction: float = 0.5,
     ) -> List[int]:
         """Overwrite part of an object and maintain all derived state.
 
@@ -438,17 +540,34 @@ class PDCSystem:
         supports updates; this keeps the query structures *consistent*
         when they happen:
 
-        * affected regions' histograms and min/max are rebuilt;
+        * affected regions' histograms and min/max are refreshed — rebuilt
+          from scratch (``maintenance="rebuild"``, the default), or
+          incrementally via exact same-grid subtract/merge of the write's
+          delta histograms (``"delta"``, Algorithm 1 merges as the delta
+          unit) with a from-scratch rebuild once ``rebuild_fraction`` of
+          the region has been overwritten since the last rebuild;
         * the global histogram is re-merged;
-        * affected regions' bitmap indexes are rebuilt (when present) and
-          the index file is rewritten;
-        * sorted replicas containing the object are dropped (a sorted copy
-          cannot be patched in place — the §III-D3 trade-off);
+        * affected regions' bitmap indexes are rebuilt (rebuild mode) or
+          extended with WAH delta segments (delta mode; probes treat
+          delta positions as candidates until compaction);
+        * sorted replicas covering the object follow
+          :attr:`PDCConfig.replica_staleness_policy` (drop / mark-stale /
+          rebuild-on-threshold), and their cached sorted-region bytes are
+          invalidated on every server regardless of policy;
         * stale cache entries on every server are invalidated.
 
+        The refresh is atomic: derived state is computed for every
+        affected region before any of it is committed or charged, and on
+        failure the payload write itself is rolled back — a mid-loop
+        error can no longer leave clocks charged for writes whose derived
+        state was never refreshed.
+
         Returns the affected region ids.  Write time is charged to the
-        owning servers' clocks.
+        owning servers' clocks; delta-maintenance work is charged under
+        ``"ingest_maint"``.
         """
+        if maintenance not in ("rebuild", "delta"):
+            raise PDCError(f"unknown maintenance mode {maintenance!r}")
         obj = self.get_object(name)
         values = np.ascontiguousarray(values, dtype=obj.data.dtype)
         if values.ndim != 1 or values.size == 0:
@@ -459,34 +578,36 @@ class PDCSystem:
                 f"update [{offset}, {stop}) out of bounds for {name!r} "
                 f"({obj.n_elements} elements)"
             )
-        # Write through (obj.data is the same array the PFS file holds).
+        stats = _new_write_stats()
+        # Write through (obj.data is the same array the PFS file holds),
+        # keeping the overwritten payload for rollback and for the delta
+        # path's exact subtraction.
+        old = obj.data[offset:stop].copy()
         obj.data[offset:stop] = values
         first = offset // obj.region_elements
         last = (stop - 1) // obj.region_elements
         affected = list(range(first, min(last, obj.n_regions - 1) + 1))
 
-        for rid in affected:
-            roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
-            segment = obj.data[roff : roff + count]
-            hist = MergeableHistogram.from_data(
-                segment,
-                n_bins=self.config.histogram_bins_for(self.config.region_size_bytes),
-                seed=(obj.meta.object_id * 100003 + rid) & 0x7FFFFFFF,
-            )
-            obj.meta.regions[rid].histogram = hist
-            obj.rmin[rid], obj.rmax[rid] = hist.data_min, hist.data_max
-            if obj.indexes is not None:
-                idx = RegionBitmapIndex.build(
-                    segment, precision=self.config.index_precision
+        try:
+            refreshed = [
+                self._refresh_region_derived(
+                    obj, rid, offset, old, maintenance, rebuild_fraction, stats
                 )
-                obj.indexes[rid] = idx
-                obj.index_nbytes[rid] = idx.nbytes
-                obj.index_words[rid] = idx.total_words()
-            # Invalidate stale cache entries everywhere.
-            for server in self.servers:
-                server.cache.invalidate(region_key(name, rid))
-                server.cache.invalidate(region_key(name, rid, replica="idx"))
-            # Charge the write to the owning server.
+                for rid in affected
+            ]
+        except Exception:
+            # Atomic failure path: restore the payload so data and the
+            # (untouched) derived state agree again, conservatively
+            # invalidate caches, and charge nothing.
+            obj.data[offset:stop] = old
+            self._invalidate_region_caches(name, affected)
+            self._notify_invalidation(name, affected)
+            raise
+
+        for rid, derived in zip(affected, refreshed):
+            self._commit_region_derived(obj, rid, derived)
+            self._invalidate_region_caches(name, [rid])
+            count = int(obj.counts[rid])
             server = self.servers[self.server_of_region(rid)]
             server.clock.charge(
                 self.cost.pfs_write_time(
@@ -495,31 +616,446 @@ class PDCSystem:
                 "pfs_write",
             )
 
-        # Re-merge the global histogram from the refreshed regions.
+        self.remerge_global_histogram(name)
+        if any(d.index is not None for d in refreshed):
+            self._rewrite_index_file(obj)
+        self._handle_replica_staleness(name, values.size, stats)
+        self.last_write_stats = stats
+        self._notify_invalidation(name, affected)
+        return affected
+
+    def append_to_object(
+        self,
+        name: str,
+        values: np.ndarray,
+        maintenance: str = "rebuild",
+        rebuild_fraction: float = 0.5,
+    ) -> List[int]:
+        """Grow a 1-D object at the tail and maintain all derived state.
+
+        The tail region absorbs elements up to the region size; further
+        elements open new regions (with fresh histograms and — when the
+        object is indexed — fresh bitmap indexes).  Under
+        ``maintenance="delta"`` the grown tail's histogram is updated by
+        an exact Algorithm 1 merge of the appended elements' delta
+        histogram and its bitmap gains a WAH delta segment instead of a
+        rebuild.  Returns the affected region ids (grown tail + new
+        regions).
+        """
+        if maintenance not in ("rebuild", "delta"):
+            raise PDCError(f"unknown maintenance mode {maintenance!r}")
+        obj = self.get_object(name)
+        if obj.meta.dims is not None:
+            raise PDCError("append only supports 1-D objects")
+        values = np.ascontiguousarray(values, dtype=obj.data.dtype)
+        if values.ndim != 1 or values.size == 0:
+            raise PDCError("append payload must be non-empty 1-D")
+        stats = _new_write_stats()
+        old_n = obj.n_elements
+        old_n_regions = obj.n_regions
+        old_tail_count = int(obj.counts[old_n_regions - 1])
+
+        data = np.concatenate([obj.data, values])
+        extents = partition(data.size, obj.region_elements)
+        # The PFS files hold the payload array itself: recreate them so
+        # reads resolve against the grown array.
+        for path, stripe, imbalance in (
+            (obj.file_path, self.config.pdc_stripe_count, 1.0),
+            (obj.hdf5_path, self.config.hdf5_stripe_count, self.config.hdf5_imbalance),
+        ):
+            if self.pfs.exists(path):
+                self.pfs.delete(path)
+            self.pfs.create(path, data, stripe_count=stripe, imbalance=imbalance)
+        obj.data = data
+        obj.meta.n_elements = int(data.size)
+        obj.offsets = np.array([e[0] for e in extents], dtype=np.int64)
+        obj.counts = np.array([e[1] for e in extents], dtype=np.int64)
+        n_regions = len(extents)
+        grow = n_regions - old_n_regions
+        if grow:
+            pad = np.zeros(grow)
+            obj.rmin = np.concatenate([obj.rmin, pad])
+            obj.rmax = np.concatenate([obj.rmax, pad])
+            if obj.region_tier is not None:
+                obj.region_tier.extend([DeviceKind.DISK] * grow)
+            for arr_name in ("index_nbytes", "index_words", "index_delta_counts",
+                             "hist_dirty_elements"):
+                arr = getattr(obj, arr_name)
+                if arr is not None:
+                    setattr(obj, arr_name, np.concatenate(
+                        [arr, np.zeros(grow, dtype=np.int64)]))
+
+        affected: List[int] = []
+        tail = old_n_regions - 1
+        tail_grew = int(obj.counts[tail]) > old_tail_count
+        if tail_grew:
+            affected.append(tail)
+            self._refresh_appended_tail(obj, tail, old_n, maintenance, stats)
+        for rid in range(old_n_regions, n_regions):
+            affected.append(rid)
+            self._create_appended_region(obj, rid, maintenance, stats)
+
+        for rid in affected:
+            self._invalidate_region_caches(name, [rid])
+            count = int(obj.counts[rid])
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(
+                self.cost.pfs_write_time(
+                    count * obj.itemsize, 1, self.config.pdc_stripe_count
+                ),
+                "pfs_write",
+            )
+
+        self.remerge_global_histogram(name)
+        if obj.indexes is not None:
+            self._rewrite_index_file(obj)
+        self._handle_replica_staleness(name, values.size, stats)
+        self.last_write_stats = stats
+        self._notify_invalidation(name, affected)
+        return affected
+
+    # ------------------------------------------------------ write-path helpers
+    def _refresh_region_derived(
+        self,
+        obj: StoredObject,
+        rid: int,
+        w_off: int,
+        old: np.ndarray,
+        maintenance: str,
+        rebuild_fraction: float,
+        stats: Dict[str, int],
+    ) -> "_RegionDerived":
+        """Compute (without committing) a region's refreshed derived
+        state after an overwrite of ``[w_off, w_off + old.size)``."""
+        roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
+        segment = obj.data[roff : roff + count]
+        lo = max(w_off, roff)
+        hi = min(w_off + old.size, roff + count)
+        span = hi - lo
+        h = obj.meta.regions[rid].histogram
+        prev_dirty = 0
+        if obj.hist_dirty_elements is not None:
+            prev_dirty = int(obj.hist_dirty_elements[rid])
+        dirty = prev_dirty + span
+        maint = 0.0
+        use_delta = (
+            maintenance == "delta"
+            and h is not None
+            and dirty < rebuild_fraction * count
+        )
+        if use_delta:
+            old_span = old[lo - w_off : hi - w_off].astype(np.float64, copy=False)
+            new_span = segment[lo - roff : hi - roff].astype(np.float64, copy=False)
+            # Exact extrema: a removal can only disturb an extremum when
+            # an overwritten value attains it; then a charged region
+            # rescan recovers the truth.
+            if (
+                float(old_span.min()) <= h.data_min
+                or float(old_span.max()) >= h.data_max
+            ):
+                new_min = float(segment.min())
+                new_max = float(segment.max())
+                maint += self.cost.scan_time(count)
+                stats["minmax_rescans"] += 1
+            else:
+                new_min = min(h.data_min, float(new_span.min()))
+                new_max = max(h.data_max, float(new_span.max()))
+            delta_old = MergeableHistogram.from_data_width(old_span, h.bin_width)
+            delta_new = MergeableHistogram.from_data_width(new_span, h.bin_width)
+            hist = h.subtract(
+                delta_old, data_min=new_min, data_max=new_max
+            ).merge(delta_new)
+            maint += self.cost.scan_time(2 * span)
+            stats["hist_merges"] += 1
+            new_dirty = dirty
+        else:
+            hist = MergeableHistogram.from_data(
+                segment,
+                n_bins=self.config.histogram_bins_for(self.config.region_size_bytes),
+                seed=(obj.meta.object_id * 100003 + rid) & 0x7FFFFFFF,
+            )
+            if maintenance == "delta":
+                maint += self.cost.scan_time(count)
+            stats["hist_rebuilds"] += 1
+            new_dirty = 0
+
+        index = None
+        index_delta = 0
+        if obj.indexes is not None:
+            if use_delta:
+                index_delta = span
+                maint += self.cost.scan_time(span)
+                stats["index_delta_appends"] += 1
+            else:
+                index = RegionBitmapIndex.build(
+                    segment, precision=self.config.index_precision
+                )
+                stats["index_rebuilds"] += 1
+        return _RegionDerived(
+            hist=hist,
+            rmin=hist.data_min,
+            rmax=hist.data_max,
+            index=index,
+            index_delta=index_delta,
+            dirty_elements=new_dirty,
+            maint_seconds=maint,
+        )
+
+    def _commit_region_derived(
+        self, obj: StoredObject, rid: int, derived: "_RegionDerived"
+    ) -> None:
+        obj.meta.regions[rid].histogram = derived.hist
+        obj.rmin[rid], obj.rmax[rid] = derived.rmin, derived.rmax
+        if obj.hist_dirty_elements is None and derived.dirty_elements:
+            obj.hist_dirty_elements = np.zeros(obj.n_regions, dtype=np.int64)
+        if obj.hist_dirty_elements is not None:
+            obj.hist_dirty_elements[rid] = derived.dirty_elements
+        if derived.index is not None:
+            obj.indexes[rid] = derived.index
+            obj.index_nbytes[rid] = derived.index.nbytes
+            obj.index_words[rid] = derived.index.total_words()
+            if obj.index_delta_counts is not None:
+                obj.index_delta_counts[rid] = 0
+        elif derived.index_delta:
+            if obj.index_delta_counts is None:
+                obj.index_delta_counts = np.zeros(obj.n_regions, dtype=np.int64)
+            obj.index_delta_counts[rid] += derived.index_delta
+        if derived.maint_seconds > 0.0:
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(derived.maint_seconds, "ingest_maint")
+
+    def _refresh_appended_tail(
+        self,
+        obj: StoredObject,
+        rid: int,
+        old_n: int,
+        maintenance: str,
+        stats: Dict[str, int],
+    ) -> None:
+        """Refresh the grown tail region after an append: a pure exact
+        merge in delta mode (appends remove nothing), a rebuild
+        otherwise."""
+        roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
+        segment = obj.data[roff : roff + count]
+        appended = segment[old_n - roff :]
+        h = obj.meta.regions[rid].histogram
+        if maintenance == "delta" and h is not None:
+            delta = MergeableHistogram.from_data_width(
+                appended.astype(np.float64, copy=False), h.bin_width
+            )
+            hist = h.merge(delta)
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(
+                self.cost.scan_time(int(appended.size)), "ingest_maint"
+            )
+            stats["hist_merges"] += 1
+            if obj.indexes is not None:
+                if obj.index_delta_counts is None:
+                    obj.index_delta_counts = np.zeros(obj.n_regions, dtype=np.int64)
+                obj.index_delta_counts[rid] += int(appended.size)
+                server.clock.charge(
+                    self.cost.scan_time(int(appended.size)), "ingest_maint"
+                )
+                stats["index_delta_appends"] += 1
+        else:
+            hist = MergeableHistogram.from_data(
+                segment,
+                n_bins=self.config.histogram_bins_for(self.config.region_size_bytes),
+                seed=(obj.meta.object_id * 100003 + rid) & 0x7FFFFFFF,
+            )
+            stats["hist_rebuilds"] += 1
+            if obj.indexes is not None:
+                idx = RegionBitmapIndex.build(
+                    segment, precision=self.config.index_precision
+                )
+                obj.indexes[rid] = idx
+                obj.index_nbytes[rid] = idx.nbytes
+                obj.index_words[rid] = idx.total_words()
+                if obj.index_delta_counts is not None:
+                    obj.index_delta_counts[rid] = 0
+                stats["index_rebuilds"] += 1
+        obj.meta.regions[rid].histogram = hist
+        obj.meta.regions[rid].n_elements = count
+        obj.rmin[rid], obj.rmax[rid] = hist.data_min, hist.data_max
+
+    def _create_appended_region(
+        self, obj: StoredObject, rid: int, maintenance: str, stats: Dict[str, int]
+    ) -> None:
+        """Materialize a brand-new region opened by an append (exact
+        histogram and index in either mode — there is nothing to patch)."""
+        roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
+        segment = obj.data[roff : roff + count]
+        hist = MergeableHistogram.from_data(
+            segment,
+            n_bins=self.config.histogram_bins_for(self.config.region_size_bytes),
+            seed=(obj.meta.object_id * 100003 + rid) & 0x7FFFFFFF,
+        )
+        stats["hist_rebuilds"] += 1
+        obj.meta.regions.append(
+            RegionMeta(
+                region_id=rid,
+                object_name=obj.name,
+                offset=roff,
+                n_elements=count,
+                file_path=obj.file_path,
+                histogram=hist,
+            )
+        )
+        obj.rmin[rid], obj.rmax[rid] = hist.data_min, hist.data_max
+        if maintenance == "delta":
+            server = self.servers[self.server_of_region(rid)]
+            server.clock.charge(self.cost.scan_time(count), "ingest_maint")
+        if obj.indexes is not None:
+            idx = RegionBitmapIndex.build(
+                segment, precision=self.config.index_precision
+            )
+            obj.indexes.append(idx)
+            obj.index_nbytes[rid] = idx.nbytes
+            obj.index_words[rid] = idx.total_words()
+            obj.meta.regions[rid].index_path = f"/pdc/index/{obj.name}"
+            stats["index_rebuilds"] += 1
+
+    def _invalidate_region_caches(self, name: str, region_ids: Sequence[int]) -> None:
+        for server in self.servers:
+            for rid in region_ids:
+                server.cache.invalidate(region_key(name, rid))
+                server.cache.invalidate(region_key(name, rid, replica="idx"))
+
+    def remerge_global_histogram(self, name: str) -> None:
+        """Re-merge an object's global histogram from its (refreshed)
+        region histograms (no-op for histogram-less objects)."""
+        obj = self.get_object(name)
         if obj.meta.global_histogram is not None:
             obj.meta.global_histogram = GlobalHistogram.build(
                 {r.region_id: r.histogram for r in obj.meta.regions if r.histogram}
             )
 
-        # Rewrite the index file to match the rebuilt regions.
-        if obj.indexes is not None:
-            path = f"/pdc/index/{name}"
-            if self.pfs.exists(path):
-                self.pfs.delete(path)
-            self.pfs.create(
-                path,
-                np.concatenate([idx.to_bytes() for idx in obj.indexes]),
-                stripe_count=self.config.pdc_stripe_count,
-            )
+    def _rewrite_index_file(self, obj: StoredObject) -> None:
+        if obj.indexes is None:
+            return
+        path = f"/pdc/index/{obj.name}"
+        if self.pfs.exists(path):
+            self.pfs.delete(path)
+        self.pfs.create(
+            path,
+            np.concatenate([idx.to_bytes() for idx in obj.indexes]),
+            stripe_count=self.config.pdc_stripe_count,
+        )
 
-        # Sorted replicas covering this object are now stale: drop them.
+    def _invalidate_replica_caches(self, key_name: str, group: ReplicaGroup) -> None:
+        """Invalidate every server's cached sorted-replica bytes for one
+        replica group — on *any* write to a covered object, regardless of
+        staleness policy, so a cached sorted read can never serve
+        pre-update bytes."""
+        for server in self.servers:
+            for rid in range(group.n_regions):
+                for which in ("key", "perm", *group.companion_files):
+                    server.cache.invalidate(
+                        region_key(key_name, rid, replica=f"sorted:{which}")
+                    )
+
+    def _handle_replica_staleness(
+        self, name: str, n_written: int, stats: Dict[str, int]
+    ) -> None:
+        """Apply :attr:`PDCConfig.replica_staleness_policy` to every
+        sorted replica covering a just-written object."""
+        policy = self.config.replica_staleness_policy
+        counter = self.metrics.counter(
+            "pdc_replica_staleness_total",
+            "Sorted-replica staleness actions taken on object writes",
+            labels=("action",),
+        )
         for key_name in list(self.replicas):
             group = self.replicas[key_name]
             covered = {key_name, *group.replica.companions}
-            if name in covered:
+            if name not in covered:
+                continue
+            self._invalidate_replica_caches(key_name, group)
+            if policy == "drop":
                 self.drop_sorted_replica(key_name)
-        self._notify_invalidation(name)
-        return affected
+                action = "drop"
+            else:
+                group.stale = True
+                group.stale_elements += int(n_written)
+                action = "mark_stale"
+                if (
+                    policy == "rebuild"
+                    and group.stale_elements
+                    >= self.config.replica_rebuild_threshold
+                    * group.replica.n_elements
+                    # The replica zips key and companions positionally,
+                    # so a rebuild must wait out uneven growth (e.g. the
+                    # key appended, its companion not yet): stay stale
+                    # until every covered object is the same length
+                    # again — the next covered write re-checks.
+                    and all(
+                        self.objects[c].n_elements
+                        == self.objects[key_name].n_elements
+                        for c in group.replica.companions
+                        if c in self.objects
+                    )
+                ):
+                    self.refresh_sorted_replica(key_name)
+                    action = "rebuild"
+            counter.labels(action=action).inc()
+            stats[f"replica_{action}"] = stats.get(f"replica_{action}", 0) + 1
+
+    def refresh_sorted_replica(self, key_name: str) -> ReplicaGroup:
+        """Re-sort a stale replica from the objects' current payloads.
+
+        The rebuild cost (sort + parallel write, the same formula as the
+        initial build) is charged to every alive server under
+        ``"replica_rebuild"`` — unlike the initial build, refreshes
+        happen *during* service and compete with queries for simulated
+        time.
+        """
+        group = self.replicas.get(key_name)
+        if group is None:
+            raise PDCError(f"no sorted replica keyed by {key_name!r}")
+        companions = tuple(group.replica.companions)
+        self.drop_sorted_replica(key_name)
+        new = self.build_sorted_replica(key_name, companions)
+        for s in self.alive_servers:
+            s.clock.charge(new.build_time_s, "replica_rebuild")
+        return new
+
+    def compact_region_index(
+        self, name: str, rid: int, rewrite_file: bool = True
+    ) -> int:
+        """Fold a region's WAH delta segments into a freshly built bitmap
+        (background compaction).  Charges a region scan plus the index
+        write to the owning server under ``"compaction"``; returns the
+        number of delta elements folded in."""
+        obj = self.get_object(name)
+        if obj.indexes is None:
+            raise QueryError(f"object {name!r} has no index")
+        rid = int(rid)
+        if not (0 <= rid < obj.n_regions):
+            raise PDCError(f"object {name!r} has no region {rid}")
+        roff, count = int(obj.offsets[rid]), int(obj.counts[rid])
+        idx = RegionBitmapIndex.build(
+            obj.data[roff : roff + count], precision=self.config.index_precision
+        )
+        obj.indexes[rid] = idx
+        obj.index_nbytes[rid] = idx.nbytes
+        obj.index_words[rid] = idx.total_words()
+        n_delta = 0
+        if obj.index_delta_counts is not None:
+            n_delta = int(obj.index_delta_counts[rid])
+            obj.index_delta_counts[rid] = 0
+        server = self.servers[self.server_of_region(rid)]
+        server.clock.charge(
+            self.cost.scan_time(count)
+            + self.cost.pfs_write_time(
+                int(idx.nbytes), 1, self.config.pdc_stripe_count
+            ),
+            "compaction",
+        )
+        for s in self.servers:
+            s.cache.invalidate(region_key(name, rid, replica="idx"))
+        if rewrite_file:
+            self._rewrite_index_file(obj)
+        return n_delta
 
     def migrate_regions(
         self, name: str, region_ids: Sequence[int], tier: str
@@ -674,8 +1210,12 @@ class PDCSystem:
 
     def replica_covering(self, object_names: Sequence[str]) -> Optional[ReplicaGroup]:
         """A replica whose key+companions cover all the given objects, if
-        one exists."""
+        one exists.  Stale replicas (``mark_stale``/``rebuild`` staleness
+        policies) are skipped — planning must never consult a sorted copy
+        that no longer matches the payload."""
         for key_name, group in self.replicas.items():
+            if group.stale:
+                continue
             covered = {key_name, *group.replica.companions}
             if all(n in covered for n in object_names):
                 return group

@@ -201,6 +201,9 @@ class BatchResult:
     semantic_hits: int = 0
     #: Queries served by narrowing a cached superset selection (no I/O).
     semantic_narrowed: int = 0
+    #: Queries served by healing a dirty cached selection in place
+    #: (region-scoped writes re-evaluated over just the written spans).
+    semantic_repaired: int = 0
     #: Cacheable queries that missed the semantic cache.
     semantic_misses: int = 0
     #: query index -> exception raised by that query's evaluation.
@@ -555,6 +558,8 @@ class QueryEngine:
                     batch.results[i] = served_res
                     if kind == "hit":
                         batch.semantic_hits += 1
+                    elif kind == "repaired":
+                        batch.semantic_repaired += 1
                     else:
                         batch.semantic_narrowed += 1
                     continue
@@ -788,6 +793,8 @@ class QueryEngine:
             lookups.labels(result="hit").inc(batch.semantic_hits)
         if batch.semantic_narrowed:
             lookups.labels(result="narrowed").inc(batch.semantic_narrowed)
+        if batch.semantic_repaired:
+            lookups.labels(result="repaired").inc(batch.semantic_repaired)
         if batch.semantic_misses:
             lookups.labels(result="miss").inc(batch.semantic_misses)
 
@@ -931,6 +938,15 @@ class QueryEngine:
                         sysm.cost.wah_scan_time(int(obj.index_words[rid])), "scan"
                     )
                     _, cand = obj.indexes[rid].count_range(interval)
+                    if obj.index_delta_counts is not None:
+                        # Uncompacted WAH delta segments: every delta
+                        # position is a candidate until compaction.
+                        n_delta = int(obj.index_delta_counts[rid])
+                        if n_delta:
+                            server.clock.charge(
+                                sysm.cost.scan_time(n_delta), "scan"
+                            )
+                            cand += n_delta
                     if cand:
                         server.ensure_region(
                             region_key(name, rid), nbytes, 1,
@@ -1565,15 +1581,25 @@ class QueryEngine:
         server.clock.charge(
             sysm.cost.wah_scan_time(probe.words_touched), "scan"
         )
+        # Uncompacted WAH delta segments (continuous ingest): the base
+        # bitmap predates the deltas, so every delta position must be
+        # treated as a candidate until background compaction folds the
+        # segments in.
+        candidates = probe.candidates
+        if obj.index_delta_counts is not None:
+            n_delta = int(obj.index_delta_counts[rid])
+            if n_delta:
+                server.clock.charge(sysm.cost.scan_time(n_delta), "scan")
+                candidates += n_delta
         # Candidate check: boundary-bin members verified against raw
         # values (whole-region read, block-index style).
-        if probe.candidates:
+        if candidates:
             nbytes = int(obj.counts[rid]) * obj.itemsize
             was_hit = server.ensure_region(
                 region_key(obj.name, rid), nbytes, 1,
                 sysm.config.pdc_stripe_count, readers,
             )
-            server.clock.charge(sysm.cost.scan_time(probe.candidates), "scan")
+            server.clock.charge(sysm.cost.scan_time(candidates), "scan")
             if was_hit:
                 stats.regions_cached += 1
             else:

@@ -59,6 +59,10 @@ class SelectionCacheStats:
     inserts: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Entries marked dirty by a region-scoped write (not evicted).
+    marked_dirty: int = 0
+    #: Dirty entries healed in place at fetch time.
+    repaired: int = 0
 
 
 @dataclass
@@ -66,6 +70,29 @@ class _CachedSelection:
     interval: Interval
     coords: np.ndarray
     domain: int
+    #: Element spans rewritten since this entry was cached.  A write
+    #: anywhere in the object can add or remove hits *only* inside the
+    #: written spans, so a dirty entry is healed at fetch time by
+    #: re-evaluating just those spans against live data — region-aware
+    #: staleness without the unsound "evict only intersecting
+    #: selections" shortcut (a write can create hits in regions the
+    #: cached selection never touched).
+    dirty: List[Tuple[int, int]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dirty is None:
+            self.dirty = []
+
+
+def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce overlapping/adjacent [lo, hi) spans (sorted output)."""
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(spans):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
 
 
 class SelectionCache:
@@ -92,10 +119,13 @@ class SelectionCache:
         """Serve ``interval`` over ``object_name`` from the cache.
 
         Returns ``(selection, kind, scanned)`` where ``kind`` is ``"hit"``
-        (exact interval match, ``scanned == 0``) or ``"narrowed"`` (a
+        (exact interval match, ``scanned == 0``), ``"narrowed"`` (a
         cached superset's coordinates were filtered down; ``scanned`` is
         the number of cached coordinates the filter touched, for cost
-        accounting).  Returns ``None`` on a miss.  Entries whose domain no
+        accounting), or ``"repaired"`` (an exact match carrying dirty
+        spans from region-scoped writes was healed by re-evaluating just
+        those spans against live data; ``scanned`` is the span element
+        count).  Returns ``None`` on a miss.  Entries whose domain no
         longer matches the live object are dropped rather than served.
         """
         if object_name not in system.objects:
@@ -118,14 +148,23 @@ class SelectionCache:
                     self.stats.misses += 1
                     return None
                 per_obj.move_to_end(key)
+                if entry.dirty:
+                    scanned = self._repair_locked(obj, entry)
+                    self.stats.repaired += 1
+                    return (
+                        Selection(entry.coords, entry.domain),
+                        "repaired",
+                        scanned,
+                    )
                 self.stats.hits += 1
                 return Selection(entry.coords, entry.domain), "hit", 0
 
             # Subsumption: the smallest cached superset minimizes the
-            # narrowing scan.
+            # narrowing scan.  Dirty candidates are skipped — their
+            # coordinate sets no longer describe the live payload.
             best: Optional[_CachedSelection] = None
             for cand in per_obj.values():
-                if cand.domain != obj.n_elements:
+                if cand.domain != obj.n_elements or cand.dirty:
                     continue
                 if cand.interval.covers(interval):
                     if best is None or cand.coords.size < best.coords.size:
@@ -163,14 +202,60 @@ class SelectionCache:
             per_obj.popitem(last=False)
             self.stats.evictions += 1
 
+    def _repair_locked(self, obj, entry: _CachedSelection) -> int:
+        """Heal a dirty entry in place: drop cached coordinates inside
+        the dirty spans and re-evaluate exactly those spans against the
+        live payload.  Returns the number of elements scanned (the cost
+        the caller charges).  The result is bit-identical to a cold
+        re-execution — outside the spans nothing changed by definition,
+        inside them we recompute from data."""
+        spans = _merge_spans(entry.dirty)
+        coords = entry.coords
+        pieces: List[np.ndarray] = []
+        scanned = 0
+        prev = 0
+        for lo, hi in spans:
+            lo = max(0, min(lo, entry.domain))
+            hi = max(lo, min(hi, entry.domain))
+            a = int(np.searchsorted(coords, lo, side="left"))
+            b = int(np.searchsorted(coords, hi, side="left"))
+            pieces.append(coords[prev:a])
+            fresh = np.nonzero(entry.interval.mask(obj.data[lo:hi]))[0]
+            pieces.append(fresh.astype(np.int64) + lo)
+            scanned += hi - lo
+            prev = b
+        pieces.append(coords[prev:])
+        entry.coords = np.concatenate(pieces) if pieces else coords
+        entry.dirty = []
+        return scanned
+
     # ---------------------------------------------------------- invalidation
-    def invalidate_object(self, object_name: str) -> int:
-        """Drop every cached selection over ``object_name`` (rewrite)."""
+    def invalidate_object(
+        self, object_name: str, spans: Optional[List[Tuple[int, int]]] = None
+    ) -> int:
+        """Handle a write to ``object_name``.
+
+        With ``spans=None`` (whole-object rewrite, or a caller without
+        region information) every cached selection for the object is
+        dropped — the legacy behaviour.  With element spans, entries are
+        *kept* and marked dirty; they are healed lazily at fetch time by
+        re-evaluating only the written spans (see :meth:`fetch`), so a
+        write to region 0 no longer evicts a selection whose answer the
+        cache can cheaply patch.
+        """
         with self._lock:
-            per_obj = self._entries.pop(object_name, None)
-            dropped = len(per_obj) if per_obj else 0
-            self.stats.invalidations += dropped
-            return dropped
+            if spans is None:
+                per_obj = self._entries.pop(object_name, None)
+                dropped = len(per_obj) if per_obj else 0
+                self.stats.invalidations += dropped
+                return dropped
+            per_obj = self._entries.get(object_name)
+            if not per_obj:
+                return 0
+            for entry in per_obj.values():
+                entry.dirty.extend((int(lo), int(hi)) for lo, hi in spans)
+            self.stats.marked_dirty += len(per_obj)
+            return 0
 
     def clear(self) -> int:
         """Drop everything (server failure — conservative)."""
@@ -307,13 +392,25 @@ class QueryScheduler:
         return results
 
     # ------------------------------------------------------------- lifecycle
-    def _on_invalidate(self, object_name: Optional[str]) -> None:
+    def _on_invalidate(
+        self,
+        object_name: Optional[str],
+        regions: Optional[Sequence[int]] = None,
+    ) -> None:
         if self.selection_cache is None:
             return
         if object_name is None:
             self.selection_cache.clear()
-        else:
-            self.selection_cache.invalidate_object(object_name)
+            return
+        spans: Optional[List[Tuple[int, int]]] = None
+        if regions is not None and object_name in self.system.objects:
+            obj = self.system.get_object(object_name)
+            spans = [
+                (int(obj.offsets[rid]), int(obj.offsets[rid] + obj.counts[rid]))
+                for rid in regions
+                if 0 <= rid < obj.n_regions
+            ]
+        self.selection_cache.invalidate_object(object_name, spans)
 
     def close(self) -> None:
         """Flush pending work and unregister the invalidation hook."""

@@ -60,10 +60,19 @@ class Tenant:
     #: Default execution budget (simulated seconds) for this tenant's
     #: queries; per-request timeouts override it.
     default_timeout_s: Optional[float] = None
+    #: Workload class: ``"query"`` tenants submit queries, ``"write"``
+    #: tenants submit ingest writes (:meth:`QueryService.submit_write`).
+    #: Both classes compete under the same admission control and dispatch
+    #: policy, so WFQ weights arbitrate reads against ingest.
+    kind: str = "query"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise PDCError("tenant needs a non-empty name")
+        if self.kind not in ("query", "write"):
+            raise PDCError(
+                f"tenant {self.name!r}: kind must be 'query' or 'write'"
+            )
         if self.weight <= 0.0:
             raise PDCError(f"tenant {self.name!r}: weight must be positive")
         if self.rate_limit_qps is not None and self.rate_limit_qps <= 0.0:
@@ -102,6 +111,11 @@ class ServiceConfig:
     #: be shared across them is a policy decision the caller makes
     #: explicitly.
     use_selection_cache: bool = False
+    #: Ingest configuration for write tenants
+    #: (:class:`repro.ingest.IngestConfig`); None uses that class's
+    #: defaults.  Kept untyped here to avoid importing the ingest stack
+    #: for query-only services.
+    ingest: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.tenants:

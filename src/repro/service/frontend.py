@@ -19,6 +19,14 @@ per-request timeouts (forwarded into the executor's simulated deadlines)
 are all functions of the deployment's :class:`SimClock`\\ s, never the
 wall clock, so identical seeds and configs replay identical decisions.
 
+**Write tenants.**  A tenant declared with ``kind="write"`` submits
+ingest writes (:meth:`QueryService.submit_write`) instead of queries.
+Writes ride the same admission control, queues, shedding, and dispatch
+policy — under WFQ the tenant weights arbitrate ingest against reads —
+and are applied through a service-owned
+:class:`~repro.ingest.stream.IngestStream` (one flushed epoch per
+write), *before* the same window's queries run.  See docs/ingest.md.
+
 **Passthrough bit-identity.**  Under a passthrough config
 (:meth:`ServiceConfig.is_passthrough`: one tenant, FIFO, no limits) the
 service performs *zero* clock charges and forms exactly the windows
@@ -43,6 +51,7 @@ from typing import Deque, Dict, List, Optional, Union
 import numpy as np
 
 from ..errors import PDCError
+from ..ingest import IngestConfig, IngestStream, WriteResult, WriteSpec
 from ..pdc.system import PDCSystem
 from ..query.ast import QueryNode
 from ..query.executor import BatchResult, QueryEngine, QueryResult, QuerySpec
@@ -68,7 +77,9 @@ class ServiceRequest:
     #: Global admission sequence number (total submission order).
     seq: int
     tenant: Tenant
-    spec: QuerySpec
+    #: A :class:`QuerySpec` (query tenants) or :class:`WriteSpec`
+    #: (write tenants) — both classes queue, shed, and dispatch alike.
+    spec: Union[QuerySpec, WriteSpec]
     #: Effective priority (per-request override, else the tenant's base).
     priority: int
     #: Simulated instant the request arrived at the service.
@@ -82,7 +93,9 @@ class ServiceRequest:
     status: str = "queued"
     #: Admission-rejection reason ("rate_limited" / "queue_full").
     reject_reason: str = ""
-    result: Optional[QueryResult] = field(default=None, repr=False)
+    result: Optional[Union[QueryResult, WriteResult]] = field(
+        default=None, repr=False
+    )
     error: Optional[Exception] = field(default=None, repr=False)
     #: Simulated instant the request entered a dispatch window.
     dispatch_s: Optional[float] = None
@@ -179,7 +192,22 @@ class QueryService:
         }
         self._seq = 0
         self._closed = False
+        self._ingest: Optional[IngestStream] = None
         self._declare_metrics()
+
+    @property
+    def ingest(self) -> IngestStream:
+        """The service-owned ingest stream write tenants feed (lazily
+        created from :attr:`ServiceConfig.ingest`)."""
+        if self._ingest is None:
+            cfg = self.config.ingest
+            if cfg is not None and not isinstance(cfg, IngestConfig):
+                raise PDCError(
+                    "ServiceConfig.ingest must be an IngestConfig, got "
+                    f"{type(cfg).__name__}"
+                )
+            self._ingest = IngestStream(self.system, cfg)
+        return self._ingest
 
     # --------------------------------------------------------------- metrics
     def _declare_metrics(self) -> None:
@@ -273,6 +301,10 @@ class QueryService:
         if self._closed:
             raise PDCError("service is closed")
         ten = self.config.tenant(tenant)
+        if ten.kind != "query":
+            raise PDCError(
+                f"tenant {tenant!r} is a write tenant; use submit_write()"
+            )
         arrival = self._now() if arrival_s is None else float(arrival_s)
         eff_priority = ten.priority if priority is None else int(priority)
         eff_timeout = timeout_s
@@ -305,6 +337,60 @@ class QueryService:
                 else None
             ),
         )
+        return self._enqueue(req)
+
+    def submit_write(
+        self,
+        tenant: str,
+        object_name: str,
+        values: np.ndarray,
+        *,
+        offset: Optional[int] = None,
+        priority: Optional[int] = None,
+        arrival_s: Optional[float] = None,
+    ) -> ServiceRequest:
+        """Submit one ingest write under a ``kind="write"`` tenant.
+
+        ``offset=None`` appends at the object's tail; an int overwrites
+        in place.  The write rides the same admission control, queues,
+        and dispatch policy as queries — under WFQ, the tenant's weight
+        is what arbitrates ingest against reads.  Within a dispatch
+        window, writes apply *before* queries, so a window's queries see
+        its writes (and the scheduler's semantic cache repairs itself
+        through the ordinary invalidation hooks).
+        """
+        if self._closed:
+            raise PDCError("service is closed")
+        ten = self.config.tenant(tenant)
+        if ten.kind != "write":
+            raise PDCError(
+                f"tenant {tenant!r} is a query tenant; use submit()"
+            )
+        arrival = self._now() if arrival_s is None else float(arrival_s)
+        spec = WriteSpec(
+            object_name=object_name,
+            values=np.asarray(values),
+            offset=None if offset is None else int(offset),
+        )
+        req = ServiceRequest(
+            seq=self._seq,
+            tenant=ten,
+            spec=spec,
+            priority=ten.priority if priority is None else int(priority),
+            arrival_s=arrival,
+            deadline_s=(
+                arrival + ten.queue_deadline_s
+                if ten.queue_deadline_s is not None
+                else None
+            ),
+        )
+        return self._enqueue(req)
+
+    def _enqueue(self, req: ServiceRequest) -> ServiceRequest:
+        """Common admission tail: run admission control at the arrival
+        instant and either queue the request or terminalize it rejected."""
+        ten = req.tenant
+        arrival = req.arrival_s
         self._seq += 1
         st = self.stats[ten.name]
         st.submitted += 1
@@ -500,20 +586,90 @@ class QueryService:
                 handle.span.start_s = r.arrival_s
                 handle.__exit__(None, None, None)
 
-        if tracer.enabled:
-            with tracer.span(
-                "service.dispatch",
-                self.system.client_clock,
-                category="service",
-                width=len(window),
-                tenants=sorted({r.tenant.name for r in window}),
-            ):
+        writes = [r for r in window if isinstance(r.spec, WriteSpec)]
+        if not writes:
+            # Query-only window: exactly the legacy path (the passthrough
+            # bit-identity guarantee lives here — zero extra clock work).
+            if tracer.enabled:
+                with tracer.span(
+                    "service.dispatch",
+                    self.system.client_clock,
+                    category="service",
+                    width=len(window),
+                    tenants=sorted({r.tenant.name for r in window}),
+                ):
+                    batch = self.scheduler.execute_window(
+                        [r.spec for r in window]
+                    )
+            else:
                 batch = self.scheduler.execute_window([r.spec for r in window])
-        else:
-            batch = self.scheduler.execute_window([r.spec for r in window])
+            self._m_windows.inc()
+            self._account_window(window, batch)
+            return window
+
+        # Mixed/write window: apply writes first (in window order), then
+        # run the remaining queries as one shared-scan batch, so the
+        # window's queries read their tenants' admitted writes.
+        reads = [r for r in window if not isinstance(r.spec, WriteSpec)]
+        wbatch = self._apply_writes(writes)
+        if reads:
+            if tracer.enabled:
+                with tracer.span(
+                    "service.dispatch",
+                    self.system.client_clock,
+                    category="service",
+                    width=len(reads),
+                    tenants=sorted({r.tenant.name for r in reads}),
+                ):
+                    batch = self.scheduler.execute_window(
+                        [r.spec for r in reads]
+                    )
+            else:
+                batch = self.scheduler.execute_window([r.spec for r in reads])
         self._m_windows.inc()
-        self._account_window(window, batch)
+        self._account_window(writes, wbatch)
+        if reads:
+            self._account_window(reads, batch)
         return window
+
+    def _apply_writes(self, writes: List[ServiceRequest]) -> BatchResult:
+        """Apply a window's writes through the service's ingest stream,
+        one flushed epoch per write so each is individually timed
+        (barrier to barrier) and individually error-isolated.  Returns a
+        :class:`BatchResult` shim so :meth:`_account_window` treats
+        :class:`WriteResult`\\ s exactly like query results."""
+        stream = self.ingest
+        sysm = self.system
+        results: List[Optional[WriteResult]] = []
+        errors: Dict[int, Exception] = {}
+        for j, r in enumerate(writes):
+            spec = r.spec
+            try:
+                t0 = sysm.sync_clocks()
+                if spec.offset is None:
+                    stream.append(spec.object_name, spec.values, t_s=t0)
+                else:
+                    stream.update(
+                        spec.object_name, spec.offset, spec.values, t_s=t0
+                    )
+                epoch = stream.flush()
+                t1 = sysm.sync_clocks()
+                assert epoch is not None  # one op was buffered
+                results.append(
+                    WriteResult(
+                        object_name=spec.object_name,
+                        n_elements=int(spec.values.size),
+                        regions=list(epoch.regions.get(spec.object_name, [])),
+                        epoch=epoch.epoch,
+                        elapsed_s=t1 - t0,
+                    )
+                )
+            except Exception as exc:  # per-write isolation, like queries
+                errors[j] = exc
+                results.append(None)
+        return BatchResult(
+            results=results, width=len(writes), errors=errors
+        )
 
     def _account_window(
         self, window: List[ServiceRequest], batch: BatchResult

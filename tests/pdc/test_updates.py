@@ -129,3 +129,63 @@ class TestDerivedStateMaintenance:
         sysm.drop_sorted_replica("obj")
         sysm.drop_sorted_replica("obj")  # no error
         assert "obj" not in sysm.replicas
+
+
+class TestAtomicCommit:
+    def test_mid_write_failure_rolls_back_and_charges_nothing(
+        self, env, monkeypatch
+    ):
+        """A failure while refreshing the *second* affected region must
+        leave the system exactly as before the write: payload restored,
+        derived state untouched, and no simulated time charged."""
+        from repro.histogram.mergeable import MergeableHistogram
+
+        sysm, _ = env
+        sysm.build_index("obj")
+        obj = sysm.get_object("obj")
+        before_data = obj.data.copy()
+        before_rmin = obj.rmin.copy()
+        before_rmax = obj.rmax.copy()
+        before_hists = [r.histogram for r in obj.meta.regions]
+        before_clocks = {
+            c.name: (c.now, dict(c.breakdown())) for c in sysm.all_clocks()
+        }
+
+        real = MergeableHistogram.from_data.__func__
+        calls = {"n": 0}
+
+        def boom(cls, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("simulated maintenance failure")
+            return real(cls, *args, **kwargs)
+
+        monkeypatch.setattr(
+            MergeableHistogram, "from_data", classmethod(boom)
+        )
+        # Spans the 512-element region boundary: regions 0 and 1.
+        with pytest.raises(RuntimeError, match="simulated maintenance"):
+            sysm.update_object_region(
+                "obj", 500, np.full(100, 123.0, dtype=np.float32)
+            )
+        assert calls["n"] == 2  # region 0 refreshed, region 1 blew up
+
+        assert np.array_equal(obj.data, before_data)
+        assert np.array_equal(obj.rmin, before_rmin)
+        assert np.array_equal(obj.rmax, before_rmax)
+        for r, h in zip(obj.meta.regions, before_hists):
+            assert r.histogram is h  # not even region 0 was committed
+        after_clocks = {
+            c.name: (c.now, dict(c.breakdown())) for c in sysm.all_clocks()
+        }
+        assert after_clocks == before_clocks
+
+        # The system is fully usable afterwards: the same write succeeds
+        # once the fault clears, and queries see it.
+        monkeypatch.undo()
+        affected = sysm.update_object_region(
+            "obj", 500, np.full(100, 123.0, dtype=np.float32)
+        )
+        assert affected == [0, 1]
+        res = QueryEngine(sysm).execute(cond("obj", ">", 100.0))
+        assert res.nhits == 100

@@ -309,21 +309,58 @@ class TestSelectionCache:
 
 
 class TestInvalidation:
-    def test_object_rewrite_invalidates_cached_selections(self):
+    def test_object_rewrite_repairs_cached_selections(self):
         sysm = fresh_deployment()
         sched = QueryScheduler(sysm, max_width=4)
         q = cond("energy", ">", 2.0)
         first = sched.run([q])[0]
         assert first.semantic_cache == ""
-        # Rewrite part of the object so the answer changes.
+        # Rewrite part of the object so the answer changes.  The cached
+        # selection is kept, marked dirty for the written region, and
+        # healed at fetch time by re-evaluating just that span — the
+        # served answer must be bit-identical to a cold evaluation.
         obj = sysm.get_object("energy")
         sysm.update_object_region(
             "energy", 0, np.full(256, 100.0, dtype=np.float32)
         )
         again = sched.run([q])[0]
-        assert again.semantic_cache == ""  # served by evaluation, not cache
+        assert again.semantic_cache == "repaired"
         assert again.nhits == int((obj.data > np.float32(2.0)).sum())
         assert again.nhits != first.nhits
+        assert sched.selection_cache.stats.repaired == 1
+        # A repaired entry is clean again: the next repeat is a pure hit.
+        third = sched.run([q])[0]
+        assert third.semantic_cache == "hit"
+        assert third.nhits == again.nhits
+
+    def test_region_scoped_write_keeps_unrelated_entry(self):
+        # Satellite regression: a write to region 0 must not evict a
+        # cached selection whose hits all live in the last region.  The
+        # entry survives, is healed by rescanning only region 0's span
+        # (not the whole object), and serves a bit-exact answer.
+        sysm = fresh_deployment()
+        obj = sysm.get_object("energy")
+        sched = QueryScheduler(sysm, max_width=4)
+        cache = sched.selection_cache
+        from repro.query.scheduler import _interval_key
+
+        iv = Interval(lo=1.0, lo_closed=False)
+        coords = np.flatnonzero(iv.mask(obj.data)).astype(np.int64)
+        cache._put_locked("energy", iv, coords, obj.n_elements)
+        entry = cache._entries["energy"][_interval_key(iv)]
+        sysm.update_object_region(
+            "energy", 0, np.zeros(16, dtype=np.float32)
+        )
+        assert _interval_key(iv) in cache._entries["energy"]
+        assert entry.dirty == [(0, int(obj.counts[0]))]
+        served = cache.fetch(sysm, "energy", iv)
+        assert served is not None
+        sel, kind, scanned = served
+        assert kind == "repaired"
+        assert scanned == int(obj.counts[0])  # one region, not the object
+        np.testing.assert_array_equal(
+            sel.coords, np.flatnonzero(iv.mask(obj.data)).astype(np.int64)
+        )
 
     def test_server_failure_clears_cache(self):
         sysm = fresh_deployment()

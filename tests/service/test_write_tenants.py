@@ -1,0 +1,153 @@
+"""Write tenants at the service frontend: ingest rides the same
+admission control and dispatch policy as queries, writes apply before a
+window's reads, and per-request failure isolation covers writes too."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PDCError
+from repro.ingest import IngestConfig, WriteResult
+from repro.query.ast import Condition
+from repro.service import QueryService, ServiceConfig, Tenant
+from repro.types import PDCType, QueryOp
+
+from tests.conftest import make_system
+
+
+def gt(name, v):
+    return Condition(name, QueryOp.GT, PDCType.FLOAT, v)
+
+
+def fresh_deployment():
+    rng = np.random.default_rng(12345)
+    sysm = make_system(region_size_bytes=1 << 11)
+    sysm.create_object("energy", rng.gamma(2.0, 0.7, 1 << 12).astype(np.float32))
+    sysm.build_index("energy")
+    return sysm
+
+
+def mixed_config(**kwargs):
+    return ServiceConfig(
+        tenants=(
+            Tenant("analyst", weight=2.0),
+            Tenant("ingest", weight=1.0, kind="write"),
+        ),
+        policy="wfq",
+        batch_window=4,
+        **kwargs,
+    )
+
+
+class TestKindGuards:
+    def test_submit_rejects_write_tenant(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, mixed_config()) as svc:
+            with pytest.raises(PDCError, match="write tenant"):
+                svc.submit("ingest", gt("energy", 1.0))
+
+    def test_submit_write_rejects_query_tenant(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, mixed_config()) as svc:
+            with pytest.raises(PDCError, match="query tenant"):
+                svc.submit_write(
+                    "analyst", "energy", np.ones(8, dtype=np.float32)
+                )
+
+    def test_bad_ingest_config_rejected(self):
+        sysm = fresh_deployment()
+        with QueryService(
+            sysm, mixed_config(ingest={"epoch_interval_s": 0.1})
+        ) as svc:
+            with pytest.raises(PDCError, match="IngestConfig"):
+                svc.submit_write(
+                    "ingest", "energy", np.ones(8, dtype=np.float32)
+                )
+                svc.drain()
+
+
+class TestMixedWindows:
+    def test_writes_apply_before_window_reads(self):
+        """A window's queries observe its writes: the read dispatched
+        alongside the overwrite counts the new values."""
+        sysm = fresh_deployment()
+        with QueryService(sysm, mixed_config()) as svc:
+            w = svc.submit_write(
+                "ingest", "energy", np.full(64, 99.0, dtype=np.float32),
+                offset=100,
+            )
+            q = svc.submit("analyst", gt("energy", 50.0))
+            svc.drain()
+        assert w.status == "done" and q.status == "done"
+        assert isinstance(w.result, WriteResult)
+        assert w.result.n_elements == 64
+        assert w.result.regions == [0]
+        assert q.result.nhits == 64
+        truth = np.flatnonzero(sysm.objects["energy"].data > np.float32(50.0))
+        assert np.array_equal(q.result.selection.coords, truth)
+
+    def test_append_write_grows_object(self):
+        sysm = fresh_deployment()
+        n0 = sysm.objects["energy"].n_elements
+        with QueryService(
+            sysm, mixed_config(ingest=IngestConfig(maintenance="delta"))
+        ) as svc:
+            w = svc.submit_write(
+                "ingest", "energy", np.full(40, 7.0, dtype=np.float32)
+            )
+            svc.drain()
+        assert w.status == "done"
+        assert sysm.objects["energy"].n_elements == n0 + 40
+        # The append landed in the (grown) tail region.
+        assert w.result.regions == [sysm.objects["energy"].n_regions - 1]
+
+    def test_failed_write_isolated_from_window(self):
+        """One out-of-bounds write fails its own ticket; the window's
+        other write and its queries still complete."""
+        sysm = fresh_deployment()
+        with QueryService(sysm, mixed_config()) as svc:
+            bad = svc.submit_write(
+                "ingest", "energy", np.ones(8, dtype=np.float32),
+                offset=10_000_000,
+            )
+            good = svc.submit_write(
+                "ingest", "energy", np.full(8, 55.0, dtype=np.float32),
+                offset=0,
+            )
+            q = svc.submit("analyst", gt("energy", 50.0))
+            svc.drain()
+        assert bad.status == "failed" and isinstance(bad.error, PDCError)
+        assert good.status == "done"
+        assert q.status == "done" and q.result.nhits == 8
+        assert svc.stats["ingest"].failed == 1
+
+    def test_write_only_windows_terminalize(self):
+        sysm = fresh_deployment()
+        with QueryService(sysm, mixed_config()) as svc:
+            tickets = [
+                svc.submit_write(
+                    "ingest", "energy",
+                    np.full(16, float(i), dtype=np.float32), offset=32 * i,
+                )
+                for i in range(6)
+            ]
+            done = svc.drain()
+        assert all(t.status == "done" for t in tickets)
+        assert len(done) == 6
+        # Epochs are deterministic arrival-ordered batches.
+        assert [t.result.epoch for t in tickets] == sorted(
+            t.result.epoch for t in tickets
+        )
+
+
+class TestPassthroughUnaffected:
+    def test_query_only_service_never_builds_ingest(self):
+        """A query-only config keeps the frontend's write path dormant:
+        no IngestStream is constructed, preserving the passthrough
+        bit-identity guarantee."""
+        sysm = fresh_deployment()
+        with QueryService(sysm, ServiceConfig(batch_window=4)) as svc:
+            (res,) = svc.run("default", [gt("energy", 1.0)])
+            assert res.nhits > 0
+            assert svc._ingest is None
