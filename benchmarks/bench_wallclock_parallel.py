@@ -1,0 +1,98 @@
+"""Wall-clock speedup of the real-parallel query runtime.
+
+Every other bench in this repo measures *simulated* time, which is
+deterministic and therefore tolerance-gated.  This one measures the one
+thing the simulator cannot pin: real wall-clock time of the numpy hot
+kernels, serial vs the forked process pool
+(:mod:`repro.query.parallel`).
+
+Gating policy (deliberate, per the parallel-execution design):
+
+* the **correctness fingerprint is hard-gated** — the serial and pooled
+  runs must produce byte-identical answers, simulated clocks, and
+  metrics, on every machine, every time;
+* the **speedup is recorded, never gated** — wall time depends on core
+  count and machine load (a single-core CI runner will legitimately show
+  <1x), so timings go into the JSON artifact where the trajectory can be
+  tracked across commits without a flaky threshold.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_parallel.py [--smoke]
+
+``--smoke`` shrinks the workload for CI; the exit code is non-zero only
+on a fingerprint mismatch.  Results are written as JSON under
+``benchmarks/results/`` (or ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.obs.regress import render_wallclock, run_wallclock_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI; gates only the correctness fingerprint",
+    )
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size (default: min(8, cpu_count))")
+    parser.add_argument("--elements", type=int, default=None,
+                        help="elements per object (default: 2^22; smoke: 2^19)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="distinct conjunct queries (default: 8; smoke: 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="passes over the query list (default: 2; smoke: 1)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    elements = args.elements or ((1 << 19) if args.smoke else (1 << 22))
+    queries = args.queries or (4 if args.smoke else 8)
+    repeats = args.repeats or (1 if args.smoke else 2)
+
+    wc = run_wallclock_suite(
+        workers=args.workers, elements=elements, queries=queries,
+        repeats=repeats,
+    )
+    print(render_wallclock(wc))
+    print(f"  cpu_count={os.cpu_count()} (speedup is informational: "
+          "single-core runners legitimately show <1x)")
+
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results"
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "wallclock_parallel.json")
+    doc = dict(wc)
+    doc["cpu_count"] = os.cpu_count()
+    doc["smoke"] = bool(args.smoke)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {out}")
+
+    if not wc["fingerprint_match"]:
+        print("  ERROR: pooled execution diverged from serial "
+              "(fingerprint mismatch)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ Gives the open-source release a zero-code entry point:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -448,16 +449,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
         Condition("energy", QueryOp.GT, PDCType.FLOAT, t) for t in thresholds
     ]
 
+    workers = getattr(args, "workers", 0) or 0
     isolated_bytes = 0.0
     isolated_s = 0.0
     for q in queries:
         system, _, _ = _demo_deployment()
-        res = QueryEngine(system).execute(q)
+        with QueryEngine(system, workers=workers) as engine:
+            res = engine.execute(q)
         isolated_bytes += res.bytes_read_virtual
         isolated_s += res.elapsed_s
 
     system, _, _ = _demo_deployment()
-    sched = QueryScheduler(system, max_width=args.width)
+    sched = QueryScheduler(system, max_width=args.width, workers=workers)
     results = sched.run(queries)
     batched_bytes = sum(b.total_bytes_read_virtual for b in sched.batches)
     sched.close()
@@ -485,7 +488,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     if trace_path:
         system.set_tracer(Tracer())
-    engine = QueryEngine(system)
+    engine = QueryEngine(system, workers=getattr(args, "workers", 0) or 0)
     failures = 0
     for strategy in Strategy:
         res = engine.execute(node, strategy=strategy)
@@ -496,6 +499,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
             f"  {strategy.paper_label:<9} -> {used:<8} {res.nhits:>6} hits "
             f"({res.elapsed_s * 1e3:7.2f} simulated ms)  {status}"
         )
+    engine.close()
     # Distributed transport cross-check.
     from .pdc.transport import run_distributed_query
 
@@ -650,11 +654,35 @@ def cmd_benchcheck(args: argparse.Namespace) -> int:
         baseline_path=args.baseline,
         update=args.update,
         report_path=args.report,
+        wallclock_workers=(
+            args.workers if getattr(args, "wallclock", False) else None
+        ),
     )
     print(text)
     if args.report:
         print(f"report -> {args.report}")
     return code
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    """Serial-vs-pool wall-clock comparison with a hard identity check."""
+    from .obs.regress import render_wallclock, run_wallclock_suite
+
+    wc = run_wallclock_suite(
+        workers=args.workers,
+        elements=args.elements,
+        queries=args.queries,
+        repeats=args.repeats,
+    )
+    print("real-parallel hot-path execution "
+          "(simulated results are bit-identical by construction)")
+    print(f"  {render_wallclock(wc)}")
+    print(f"  cpu_count={os.cpu_count()}; wall speedup is informational — "
+          "the gated property is the fingerprint")
+    if not wc["fingerprint_match"]:
+        print("  ERROR: pooled execution diverged from serial")
+        return 1
+    return 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -832,6 +860,11 @@ def main(argv=None) -> int:
         help="also run the continuous-telemetry leg (SLO burn-rate alert "
              "determinism, zero-cost when disabled)",
     )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="evaluate hot kernels in a process pool of this size "
+             "(results are bit-identical to serial; default: serial)",
+    )
     p.set_defaults(func=cmd_selftest)
 
     p = sub.add_parser(
@@ -920,7 +953,39 @@ def main(argv=None) -> int:
         "--report", metavar="FILE",
         help="also write a JSON report (metrics + per-metric verdicts)",
     )
+    p.add_argument(
+        "--wallclock", action="store_true",
+        help="also run the serial-vs-pool wall-clock section (recorded in "
+             "the report; only a fingerprint mismatch fails)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="pool size for --wallclock (default: min(8, cpu_count))",
+    )
     p.set_defaults(func=cmd_benchcheck)
+
+    p = sub.add_parser(
+        "parallel",
+        help="real-parallel hot-path demo: serial-vs-pool wall clock with "
+             "a bit-identity check",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="pool size (default: min(8, cpu_count))",
+    )
+    p.add_argument(
+        "--elements", type=int, default=1 << 21,
+        help="elements per object (default: 2^21)",
+    )
+    p.add_argument(
+        "--queries", type=int, default=6,
+        help="distinct conjunct queries (default: 6)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=1,
+        help="passes over the query list (default: 1)",
+    )
+    p.set_defaults(func=cmd_parallel)
 
     p = sub.add_parser(
         "metrics", help="run a demo workload and print the metrics registry"
@@ -973,6 +1038,11 @@ def main(argv=None) -> int:
     p.add_argument(
         "--width", type=int, default=8,
         help="batch window width (default: 8)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="evaluate hot kernels in a process pool of this size "
+             "(results are bit-identical to serial; default: serial)",
     )
     p.set_defaults(func=cmd_batch)
 

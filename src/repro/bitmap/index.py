@@ -180,21 +180,25 @@ class RegionBitmapIndex:
             words_scanned=words_scanned,
         )
 
+    def _count_bins(self, bins: np.ndarray) -> int:
+        """Total set bits across a set of bins, in one vectorized popcount
+        pass: :func:`wah.count_set_bits` is word-local, so the count over
+        the concatenated streams equals the sum of per-bin counts without
+        a Python-level loop per bin."""
+        streams = [
+            self.bitmaps[int(b)] for b in bins if int(b) in self.bitmaps
+        ]
+        if not streams:
+            return 0
+        if len(streams) == 1:
+            return wah.count_set_bits(streams[0])
+        return wah.count_set_bits(np.concatenate(streams))
+
     def count_range(self, interval: Interval) -> Tuple[int, int]:
         """(sure_hits, candidates) counts without materializing positions —
         the get-nhits fast path when no candidate check is needed."""
         full_bins, partial_bins = self._classify_occupied(interval)
-        sure = sum(
-            wah.count_set_bits(self.bitmaps[int(b)])
-            for b in full_bins
-            if int(b) in self.bitmaps
-        )
-        cand = sum(
-            wah.count_set_bits(self.bitmaps[int(b)])
-            for b in partial_bins
-            if int(b) in self.bitmaps
-        )
-        return sure, cand
+        return self._count_bins(full_bins), self._count_bins(partial_bins)
 
     def query_cost(self, interval: Interval) -> "IndexProbeCost":
         """What a FastBit-style probe of this index touches for an interval.
@@ -206,9 +210,7 @@ class RegionBitmapIndex:
         full_bins, partial_bins = self._classify_occupied(interval)
         touched = np.concatenate([full_bins, partial_bins])
         words = int(sum(self.bitmaps[int(b)].size for b in touched))
-        candidates = sum(
-            wah.count_set_bits(self.bitmaps[int(b)]) for b in partial_bins
-        )
+        candidates = self._count_bins(partial_bins)
         # Directory: edges + per-bin (id, offset, minmax) records.
         header_bytes = self.edges.size * 8 + self.n_occupied_bins * 32
         return IndexProbeCost(

@@ -97,7 +97,8 @@ class NoopMonitor:
         return None
 
     def on_region_read(
-        self, t_s: float, server_id: int, nbytes: float, category: str
+        self, t_s: float, server_id: int, nbytes: float, category: str,
+        result: str = "read",
     ) -> None:
         return None
 
@@ -252,11 +253,15 @@ class ServiceMonitor:
 
     # -------------------------------------------------------- server hooks
     def on_region_read(
-        self, t_s: float, server_id: int, nbytes: float, category: str
+        self, t_s: float, server_id: int, nbytes: float, category: str,
+        result: str = "read",
     ) -> None:
+        # ``result="hit"`` samples are warm-cache region accesses (served
+        # from memory, no PFS read); "read" samples actually paid storage
+        # time.  Both matter for the utilization view.
         self.recorder.observe(
             "pdc_server_read_bytes", t_s, float(nbytes),
-            server=f"server{server_id}",
+            server=f"server{server_id}", result=result,
         )
 
     # -------------------------------------------------------- ingest hooks

@@ -30,6 +30,8 @@ __all__ = [
     "MetricCheck",
     "demo_deployment",
     "run_micro_suite",
+    "run_wallclock_suite",
+    "render_wallclock",
     "load_baseline",
     "write_baseline",
     "compare",
@@ -81,11 +83,18 @@ def demo_deployment(metrics=None):
     return system, node, truth
 
 
-def run_micro_suite() -> Dict[str, float]:
+def run_micro_suite(workers: int = 0) -> Dict[str, float]:
     """Run the deterministic micro-suite; returns metric name → value.
 
     Each strategy runs on a fresh deployment (cold caches) so the
     per-strategy numbers are independent of suite ordering.
+
+    ``workers > 1`` runs the query/batch/get_data/ingest legs through the
+    real-parallel runtime (:mod:`repro.query.parallel`); every metric is
+    guaranteed bit-identical to the serial suite — the determinism tests
+    pin ``run_micro_suite() == run_micro_suite(workers=N)`` exactly.
+    (The service/monitor legs build their engines internally and always
+    run serially here.)
     """
     from ..query.ast import Condition
     from ..query.executor import QueryEngine
@@ -97,8 +106,8 @@ def run_micro_suite() -> Dict[str, float]:
 
     for strategy in Strategy:
         system, node, truth = demo_deployment()
-        engine = QueryEngine(system)
-        res = engine.execute(node, strategy=strategy)
+        with QueryEngine(system, workers=workers) as engine:
+            res = engine.execute(node, strategy=strategy)
         tag = strategy.name.lower()
         out[f"query.{tag}.sim_seconds"] = res.elapsed_s
         out[f"query.{tag}.nhits"] = float(res.nhits)
@@ -111,7 +120,7 @@ def run_micro_suite() -> Dict[str, float]:
         Condition("energy", QueryOp.GT, PDCType.FLOAT, t)
         for t in (0.5, 1.0, 1.5, 2.0)
     ]
-    sched = QueryScheduler(system, max_width=len(queries))
+    sched = QueryScheduler(system, max_width=len(queries), workers=workers)
     sched.run(queries)
     batch = sched.batches[0]
     sched.close()
@@ -122,13 +131,13 @@ def run_micro_suite() -> Dict[str, float]:
 
     # Value materialization on both get_data paths.
     system, node, truth = demo_deployment()
-    engine = QueryEngine(system)
-    res = engine.execute(node, strategy=Strategy.SORT_HIST)
-    gd = engine.get_data(res.selection, "x", strategy=Strategy.SORT_HIST)
-    out["get_data.replica.sim_seconds"] = gd.elapsed_s
-    gd = engine.get_data(res.selection, "x", strategy=Strategy.HISTOGRAM)
-    out["get_data.original.sim_seconds"] = gd.elapsed_s
-    out["get_data.original.bytes_virtual"] = gd.bytes_read_virtual
+    with QueryEngine(system, workers=workers) as engine:
+        res = engine.execute(node, strategy=Strategy.SORT_HIST)
+        gd = engine.get_data(res.selection, "x", strategy=Strategy.SORT_HIST)
+        out["get_data.replica.sim_seconds"] = gd.elapsed_s
+        gd = engine.get_data(res.selection, "x", strategy=Strategy.HISTOGRAM)
+        out["get_data.original.sim_seconds"] = gd.elapsed_s
+        out["get_data.original.bytes_virtual"] = gd.bytes_read_virtual
 
     # Multi-tenant service queueing under a fixed open-loop arrival
     # pattern: WFQ dispatch shares, queue waits, sheds, and rejections
@@ -235,7 +244,8 @@ def run_micro_suite() -> Dict[str, float]:
     out["ingest.sim_seconds"] = (
         max(c.now for c in system.all_clocks()) - ingest_start
     )
-    res = QueryEngine(system).execute(node)
+    with QueryEngine(system, workers=workers) as engine:
+        res = engine.execute(node)
     out["ingest.post_query.nhits"] = float(res.nhits)
     out["ingest.post_query.sim_seconds"] = res.elapsed_s
 
@@ -264,6 +274,110 @@ def run_micro_suite() -> Dict[str, float]:
     )
 
     return out
+
+
+# ---------------------------------------------------------------- wall clock
+def run_wallclock_suite(
+    workers: int = 0,
+    elements: int = 1 << 22,
+    queries: int = 8,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Serial-vs-pool *wall-clock* comparison on a scaled-up workload.
+
+    Unlike every other number in this module, wall time is machine- and
+    load-dependent, so it is **recorded, never tolerance-gated** — the
+    speedup trajectory lives in CI artifacts.  What *is* hard-gated (by
+    ``benchmarks/bench_wallclock_parallel.py --smoke`` and the identity
+    tests) is the correctness fingerprint: both runs must produce
+    byte-identical answers, simulated clocks, and metrics.
+
+    Returns a dict with ``serial_s``, ``parallel_s``, ``speedup``,
+    ``workers``, both fingerprints, and ``fingerprint_match``.
+    """
+    import hashlib
+    import time
+
+    import numpy as np
+
+    from ..obs.metrics import MetricsRegistry
+    from ..pdc import PDCConfig, PDCSystem
+    from ..query.ast import Condition, combine_and
+    from ..query.executor import QueryEngine
+    from ..types import PDCType, QueryOp
+
+    if workers <= 0:
+        workers = min(8, os.cpu_count() or 1)
+
+    def build():
+        rng = np.random.default_rng(42)
+        # A private registry per run: the process-global default would
+        # accumulate across the serial and pooled runs and poison the
+        # metrics half of the fingerprint.
+        system = PDCSystem(
+            PDCConfig(n_servers=4, region_size_bytes=1 << 20),
+            metrics=MetricsRegistry(),
+        )
+        e = rng.gamma(2.0, 0.7, elements).astype(np.float32)
+        x = (rng.random(elements) * 300.0).astype(np.float32)
+        system.create_object("energy", e)
+        system.create_object("x", x)
+        # Selective conjuncts: the first condition's mask dominates, the
+        # second exercises the parallel candidate re-check.
+        nodes = [
+            combine_and(
+                Condition("energy", QueryOp.GT, PDCType.FLOAT,
+                          4.0 + 0.25 * (i % 4)),
+                Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
+            )
+            for i in range(queries)
+        ]
+        return system, nodes
+
+    def run(n_workers: int):
+        system, nodes = build()
+        digest = hashlib.sha256()
+        wall = 0.0
+        with QueryEngine(system, workers=n_workers) as engine:
+            for _ in range(max(1, repeats)):
+                for node in nodes:
+                    t0 = time.perf_counter()
+                    res = engine.execute(node)
+                    wall += time.perf_counter() - t0
+                    digest.update(np.int64(res.nhits).tobytes())
+                    digest.update(res.selection.coords.tobytes())
+                    digest.update(repr(res.elapsed_s).encode())
+            digest.update(
+                repr([c.now for c in system.all_clocks()]).encode()
+            )
+            digest.update(system.metrics.render().encode())
+        return wall, digest.hexdigest()
+
+    serial_s, fp_serial = run(1)
+    parallel_s, fp_parallel = run(workers)
+    return {
+        "workers": workers,
+        "elements": elements,
+        "queries": queries,
+        "repeats": repeats,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "fingerprint_serial": fp_serial,
+        "fingerprint_parallel": fp_parallel,
+        "fingerprint_match": fp_serial == fp_parallel,
+    }
+
+
+def render_wallclock(wc: Dict[str, object]) -> str:
+    return (
+        f"wallclock: serial {wc['serial_s']:.3f}s vs "
+        f"{wc['workers']}-worker pool {wc['parallel_s']:.3f}s "
+        f"(speedup {wc['speedup']:.2f}x, "
+        f"{wc['elements']} elements x {wc['queries']} queries x "
+        f"{wc['repeats']} repeats) — "
+        f"fingerprints {'MATCH' if wc['fingerprint_match'] else 'MISMATCH'}"
+    )
 
 
 # ---------------------------------------------------------------- baselines
@@ -384,6 +498,7 @@ def benchcheck(
     baseline_path: str = DEFAULT_BASELINE,
     update: bool = False,
     report_path: Optional[str] = None,
+    wallclock_workers: Optional[int] = None,
 ) -> Tuple[int, str]:
     """Run the micro-suite and gate against the committed baseline.
 
@@ -392,32 +507,50 @@ def benchcheck(
     ``update=True`` the current numbers become the new baseline.
     ``report_path`` additionally dumps a JSON report (current metrics +
     per-metric verdicts) for CI artifacts.
+
+    ``wallclock_workers`` (0 = auto) appends the serial-vs-pool wall-clock
+    section to the report.  Wall time is machine-dependent, so it never
+    participates in the tolerance gate; only a correctness-fingerprint
+    mismatch between the serial and pooled runs fails the check.
     """
     current = run_micro_suite()
+    wallclock: Optional[Dict[str, object]] = None
+    if wallclock_workers is not None:
+        wallclock = run_wallclock_suite(workers=wallclock_workers)
 
     if update or not os.path.exists(baseline_path):
         action = "updated" if os.path.exists(baseline_path) else "created"
         write_baseline(baseline_path, current)
         if report_path:
-            _write_report(report_path, current, [])
-        return 0, (
-            f"baseline {action}: {baseline_path} ({len(current)} metrics)"
-        )
+            _write_report(report_path, current, [], wallclock)
+        text = f"baseline {action}: {baseline_path} ({len(current)} metrics)"
+        if wallclock is not None:
+            text += "\n" + render_wallclock(wallclock)
+        return (0 if wallclock is None or wallclock["fingerprint_match"]
+                else 1), text
 
     baseline = load_baseline(baseline_path)
     checks = compare(baseline, current)
     if report_path:
-        _write_report(report_path, current, checks)
+        _write_report(report_path, current, checks, wallclock)
     text = f"comparing against {baseline_path}\n" + render_comparison(checks)
-    return (1 if any(c.failed for c in checks) else 0), text
+    failed = any(c.failed for c in checks)
+    if wallclock is not None:
+        text += "\n" + render_wallclock(wallclock)
+        failed = failed or not wallclock["fingerprint_match"]
+    return (1 if failed else 0), text
 
 
 def _write_report(
-    path: str, current: Dict[str, float], checks: List[MetricCheck]
+    path: str,
+    current: Dict[str, float],
+    checks: List[MetricCheck],
+    wallclock: Optional[Dict[str, object]] = None,
 ) -> None:
     doc = {
         "suite": "microsuite",
         "metrics": current,
+        "wallclock": wallclock,
         "checks": [
             {
                 "name": c.name,

@@ -87,13 +87,17 @@ class PDCServer:
         if plan is None:
             self.clock.charge(seconds, category=category)
             return
-        slow = plan.pfs_slow_factor(key)
-        if slow != 1.0:
-            seconds = seconds * slow
-            self._count_fault("pfs_slow")
         attempt = 0
         while True:
-            self.clock.charge(seconds, category=category)
+            # Latency spikes are per *attempt*: a retry is a fresh PFS
+            # request, so its slow factor is re-drawn rather than reusing
+            # the first attempt's draw for every retry.  Zero-rate plans
+            # never draw (``pfs_slow_factor`` short-circuits), so this
+            # stays bit-identical to the no-fault path.
+            slow = plan.pfs_slow_factor(key)
+            if slow != 1.0:
+                self._count_fault("pfs_slow")
+            self.clock.charge(seconds * slow, category=category)
             if not plan.pfs_read_fails(key):
                 return
             attempt += 1
@@ -156,6 +160,14 @@ class PDCServer:
                 self.clock.charge(
                     self.cost.mem_copy_time(nbytes, scaled=scaled), category="mem_copy"
                 )
+            if self.monitor.enabled:
+                # Warm-cache traffic must stay visible to the time-series
+                # utilization view; ``result="hit"`` keeps it separable
+                # from actual PFS reads.
+                self.monitor.on_region_read(
+                    self.clock.now, self.server_id, float(nbytes), category,
+                    result="hit",
+                )
             return True
         read_time = self.cost.tier_read_time(
             nbytes, n_accesses, tier, stripe_count, concurrent_readers,
@@ -173,7 +185,8 @@ class PDCServer:
         self.cache.put(key, nbytes=nbytes if scaled else 0)
         if self.monitor.enabled:
             self.monitor.on_region_read(
-                self.clock.now, self.server_id, float(nbytes), category
+                self.clock.now, self.server_id, float(nbytes), category,
+                result="read",
             )
         return False
 

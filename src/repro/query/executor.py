@@ -266,6 +266,15 @@ class QueryEngine:
     ``enable_ordering`` evaluates multi-object conditions in user order
     (no selectivity planning); disabling ``enable_pruning`` reads every
     region regardless of histogram min/max.
+
+    ``workers > 1`` evaluates the numpy hot kernels (interval masks,
+    candidate re-checks, hit counts) in a forked process pool with a
+    deterministic region-order merge — answers, simulated clocks,
+    metrics, and bench fingerprints are bit-identical to serial
+    execution (see :mod:`repro.query.parallel` and
+    ``docs/parallelism.md``); only wall-clock time changes.  Call
+    :meth:`close` (or use the engine as a context manager) to reap the
+    pool.
     """
 
     def __init__(
@@ -273,12 +282,43 @@ class QueryEngine:
         system: PDCSystem,
         enable_ordering: bool = True,
         enable_pruning: bool = True,
+        workers: int = 0,
+        parallel: Optional["ParallelRuntime"] = None,
     ) -> None:
         self.system = system
         self.enable_ordering = enable_ordering
         self.enable_pruning = enable_pruning
         #: Simulated-time deadline of the query in flight (None = no limit).
         self._deadline: Optional[float] = None
+        #: Real-parallel runtime (None = serial wall-clock execution).
+        self.parallel: Optional["ParallelRuntime"] = None
+        self._owns_runtime = False
+        if parallel is not None:
+            self.parallel = parallel
+        elif workers and int(workers) > 1:
+            from .parallel import ParallelRuntime
+
+            self.parallel = ParallelRuntime(int(workers))
+            self._owns_runtime = True
+        if self.parallel is not None:
+            self.parallel.bind(system)
+
+    @property
+    def workers(self) -> int:
+        """Wall-clock worker count (1 = serial execution)."""
+        return self.parallel.workers if self.parallel is not None else 1
+
+    def close(self) -> None:
+        """Release the parallel runtime (no-op for serial engines)."""
+        if self.parallel is not None and self._owns_runtime:
+            self.parallel.close()
+            self.parallel = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _check_deadline(self) -> None:
         """Raise :class:`QueryTimeoutError` once simulated time passes the
@@ -920,10 +960,17 @@ class QueryEngine:
             obj = sysm.get_object(name)
             server = alive[hash_name(name) % len(alive)]
             use_index = strat is Strategy.HIST_INDEX and obj.indexes is not None
-            for rid in range(obj.n_regions):
-                rmin, rmax = float(obj.rmin[rid]), float(obj.rmax[rid])
-                if strat.uses_histogram and not interval.overlaps_range(rmin, rmax):
-                    continue
+            if strat.uses_histogram:
+                # Vectorized region elimination: one min/max overlap test
+                # over all regions, then iterate only the survivors (same
+                # ascending region order, so every charge is identical to
+                # the per-region scalar test this replaces).
+                surviving = np.flatnonzero(
+                    interval.overlaps_range_arrays(obj.rmin, obj.rmax)
+                )
+            else:
+                surviving = range(obj.n_regions)
+            for rid in surviving:
                 nbytes = int(obj.counts[rid]) * obj.itemsize
                 if use_index:
                     server.ensure_region(
@@ -961,7 +1008,7 @@ class QueryEngine:
                     server.clock.charge(
                         sysm.cost.scan_time(int(obj.counts[rid])), "scan"
                     )
-            hits = int(interval.mask(obj.data).sum())
+            hits = self._count_hits(obj, interval)
             per_object[name] = hits
             total_hits += hits
 
@@ -1154,7 +1201,7 @@ class QueryEngine:
                     path = "recheck"
                 if lost.size:
                     coords = coords[~np.isin(obj.region_of_coords(coords), lost)]
-                coords = coords[iv.mask(obj.data[coords])]
+                coords = self._filter_coords(obj, iv, coords)
             else:
                 path = "recheck"
             step = self._make_step(
@@ -1703,8 +1750,24 @@ class QueryEngine:
     ) -> np.ndarray:
         """Exact hit coordinates of one condition within the constraint."""
         cstart, cstop = constraint
+        if self.parallel is not None:
+            return self.parallel.mask_coords(obj, interval, cstart, cstop)
         window = obj.data[cstart:cstop]
         return np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+
+    def _filter_coords(
+        self, obj: StoredObject, interval: Interval, coords: np.ndarray
+    ) -> np.ndarray:
+        """Candidate re-check: keep the coords whose value matches."""
+        if self.parallel is not None:
+            return self.parallel.filter_coords(obj, interval, coords)
+        return coords[interval.mask(obj.data[coords])]
+
+    def _count_hits(self, obj: StoredObject, interval: Interval) -> int:
+        """Whole-object hit count (metadata+data queries)."""
+        if self.parallel is not None:
+            return self.parallel.count_hits(obj, interval)
+        return int(interval.mask(obj.data).sum())
 
     # -------------------------------------------------------------- get_data
     def _charge_get_data_original(

@@ -1,0 +1,355 @@
+"""Real-parallel evaluation of the query hot path.
+
+The simulator's cost model is *simulated* — per-server clocks advance by
+analytic charges — but the answers themselves are computed on real numpy
+arrays, and until now that computation ran serially on the wall clock.
+This module adds a process-pool runtime that evaluates the numpy hot
+kernels (interval masks over region windows, candidate re-checks, and
+per-object hit counts) in true parallel, while every simulated charge
+stays on the main process exactly where the serial path makes it.
+
+Determinism is the contract:
+
+* work is partitioned along region boundaries, in region-index order —
+  the same deterministic unit :meth:`QueryEngine._regions_by_server`
+  assigns to simulated servers;
+* each partition's kernel is pure (element-wise masks, ``flatnonzero``,
+  integer counts — no float reductions whose order could drift);
+* partial results are merged strictly in ascending partition order.
+
+Concatenating per-partition coordinates in partition order reproduces
+the serial ``flatnonzero`` output byte for byte, so answers, simulated
+clocks, metrics, and bench fingerprints are bit-identical to serial
+execution for any worker count (pinned by ``tests/query/test_parallel``).
+
+Workers are forked (zero-copy: object arrays reach children via
+copy-on-write memory, never pickling), so only tiny task descriptors and
+the selective result coordinates cross the IPC boundary, and one task
+covers a whole run of regions to amortize the round-trip.  Writes
+invalidate the forked snapshot through the system's invalidation hooks;
+the next parallel call re-forks against current data.  Whenever the pool
+cannot be used (``workers <= 1``, payload below ``min_elements``, fork
+unavailable, or a worker died) the same partitioned kernels run
+in-process — results are identical either way, only wall time differs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..interval import Interval
+
+__all__ = ["ParallelRuntime", "DEFAULT_MIN_ELEMENTS"]
+
+#: Below this many elements a kernel runs in-process: the fork/IPC
+#: round-trip costs more than the numpy work it would parallelize.
+DEFAULT_MIN_ELEMENTS = 1 << 16
+
+
+# ------------------------------------------------------------- worker side
+#
+# Forked workers inherit these module globals as they were in the parent
+# at fork time.  The generation token guards against a worker forked from
+# an older snapshot (another runtime re-set the globals between pool
+# creation and the fork): a mismatch is reported back and the caller
+# re-forks or falls back in-process — never silently computes on stale
+# arrays.
+
+_WORKER_ARRAYS: Dict[str, np.ndarray] = {}
+_WORKER_GEN: int = 0
+_GEN_COUNTER: int = 0
+
+
+class _StaleWorker(Exception):
+    """A pool worker was forked from a different data snapshot."""
+
+
+def _worker_array(gen: int, name: str) -> np.ndarray:
+    if gen != _WORKER_GEN or name not in _WORKER_ARRAYS:
+        raise _StaleWorker(f"worker snapshot gen={_WORKER_GEN}, task wants "
+                           f"gen={gen} name={name!r}")
+    return _WORKER_ARRAYS[name]
+
+
+def _mask_span(gen: int, name: str, start: int, stop: int,
+               interval: Interval) -> np.ndarray:
+    """Hit coordinates of ``interval`` within ``[start, stop)`` — the
+    per-partition form of :meth:`QueryEngine._mask_coords`."""
+    data = _worker_array(gen, name)
+    window = data[start:stop]
+    return np.flatnonzero(interval.mask(window)).astype(np.int64) + start
+
+
+def _filter_span(gen: int, name: str, coords: np.ndarray,
+                 interval: Interval) -> np.ndarray:
+    """Candidate re-check over one slice of already-selected coords."""
+    data = _worker_array(gen, name)
+    return coords[interval.mask(data[coords])]
+
+
+def _count_span(gen: int, name: str, start: int, stop: int,
+                interval: Interval) -> int:
+    """Hit count of ``interval`` within ``[start, stop)`` (exact: a sum
+    of booleans is an integer, so chunk totals add without drift)."""
+    data = _worker_array(gen, name)
+    return int(interval.mask(data[start:stop]).sum())
+
+
+# ------------------------------------------------------------- partitioning
+def region_spans(obj, cstart: int, cstop: int,
+                 n_parts: int) -> List[Tuple[int, int]]:
+    """Split ``[cstart, cstop)`` into at most ``n_parts`` contiguous
+    element spans along region boundaries, in region-index order.
+
+    Each span is a run of whole regions (clipped to the window at the
+    ends) — the same unit of work the simulated servers are assigned —
+    so one task batches a region run per worker.  Spans are disjoint,
+    ascending, and cover the window exactly.
+    """
+    if cstop <= cstart:
+        return []
+    offsets = obj.offsets
+    first = int(np.searchsorted(offsets, cstart, side="right")) - 1
+    last = int(np.searchsorted(offsets, cstop - 1, side="right")) - 1
+    runs = np.array_split(np.arange(first, last + 1, dtype=np.int64),
+                          max(1, n_parts))
+    spans: List[Tuple[int, int]] = []
+    for run in runs:
+        if run.size == 0:
+            continue
+        a = max(cstart, int(offsets[run[0]]))
+        b = min(cstop, int(offsets[run[-1]] + obj.counts[run[-1]]))
+        if b > a:
+            spans.append((a, b))
+    return spans
+
+
+class ParallelRuntime:
+    """Owns the worker pool and the deterministic partition/merge logic.
+
+    One runtime binds to one :class:`~repro.pdc.system.PDCSystem`; a
+    :class:`~repro.query.executor.QueryEngine` constructed with
+    ``workers=N`` creates (and owns) one.  ``min_elements=0`` forces
+    every kernel through the pool — the determinism tests use it so the
+    parallel path is actually exercised on small fixtures.
+    """
+
+    def __init__(self, workers: int = 0,
+                 min_elements: int = DEFAULT_MIN_ELEMENTS) -> None:
+        self.workers = int(workers)
+        self.min_elements = int(min_elements)
+        self._system = None
+        self._pool = None
+        self._snapshot: Dict[str, np.ndarray] = {}
+        self._gen = 0
+        self._stale = True
+        self._broken = False
+        #: Wall-clock observability: how many kernels ran where.
+        self.pool_tasks = 0
+        self.inline_tasks = 0
+        self.refork_count = 0
+        _LIVE_RUNTIMES.add(self)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def active(self) -> bool:
+        """True when this runtime may dispatch to a real pool."""
+        return self.workers > 1 and not self._broken
+
+    def bind(self, system) -> None:
+        """Attach to one system: snapshot invalidation follows its
+        write/failure hooks.  Re-binding to a different system raises."""
+        if self._system is system:
+            return
+        if self._system is not None:
+            raise ValueError("ParallelRuntime is already bound to a system")
+        self._system = system
+        system.register_invalidation_hook(self._on_invalidate)
+
+    def _on_invalidate(self, object_name, regions=None) -> None:
+        # Any write, append, or server failure may have changed object
+        # data; the forked children hold copy-on-write pages from fork
+        # time, so the snapshot must be re-forked before the next use.
+        self._stale = True
+
+    def invalidate(self) -> None:
+        """Mark the forked snapshot stale (next parallel call re-forks)."""
+        self._stale = True
+
+    def close(self) -> None:
+        """Shut down the pool and unregister from the bound system."""
+        self._shutdown_pool()
+        if self._system is not None:
+            self._system.unregister_invalidation_hook(self._on_invalidate)
+            self._system = None
+        _LIVE_RUNTIMES.discard(self)
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _shutdown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # Wait for the (idle) workers: a fire-and-forget shutdown
+            # leaves the executor's management thread racing interpreter
+            # exit on closed pipes.
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._snapshot = {}
+        self._stale = True
+
+    # ------------------------------------------------------------ pool mgmt
+    def _ensure_pool(self) -> bool:
+        """Fork (or re-fork) the worker pool against current data.
+
+        Returns False when a pool cannot be used; callers then run the
+        identical kernels in-process.
+        """
+        global _WORKER_ARRAYS, _WORKER_GEN, _GEN_COUNTER
+        if not self.active or self._system is None:
+            return False
+        if self._pool is not None and not self._stale:
+            return True
+        self._shutdown_pool()
+        import concurrent.futures as cf
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            self._broken = True
+            return False
+        self._snapshot = {
+            name: obj.data for name, obj in self._system.objects.items()
+        }
+        _GEN_COUNTER += 1
+        self._gen = _GEN_COUNTER
+        # Publish the snapshot for children forked from this process.
+        _WORKER_ARRAYS = self._snapshot
+        _WORKER_GEN = self._gen
+        try:
+            self._pool = cf.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp.get_context("fork")
+            )
+        except OSError:
+            self._pool = None
+            self._broken = True
+            return False
+        self._stale = False
+        self.refork_count += 1
+        return True
+
+    def _fresh(self, obj) -> bool:
+        """True when the snapshot still mirrors ``obj`` (appends replace
+        the array object; in-place writes are caught by the hooks)."""
+        return self._snapshot.get(obj.name) is obj.data
+
+    def _run_tasks(self, fn, tasks: Sequence[tuple]) -> Optional[list]:
+        """Dispatch tasks to the pool; results in submission order.
+
+        Returns None when the pool is unusable or a worker turned out to
+        be forked from a stale snapshot (one re-fork is attempted first)
+        — the caller then computes in-process.
+        """
+        for _retry in range(2):
+            if not self._ensure_pool():
+                return None
+            assert self._pool is not None
+            futures = [self._pool.submit(fn, self._gen, *t) for t in tasks]
+            try:
+                out = [f.result() for f in futures]
+            except _StaleWorker:
+                self._stale = True
+                continue
+            except BaseException:
+                # A dead worker (OOM kill, broken pipe) must never change
+                # answers: drop the pool and compute in-process.
+                self._shutdown_pool()
+                self._broken = True
+                return None
+            self.pool_tasks += len(tasks)
+            return out
+        return None
+
+    # ------------------------------------------------------------- kernels
+    def mask_coords(self, obj, interval: Interval, cstart: int,
+                    cstop: int) -> np.ndarray:
+        """Parallel :meth:`QueryEngine._mask_coords`: hit coordinates of
+        one condition within the constraint window, bit-identical to the
+        serial kernel for any worker count."""
+        n = cstop - cstart
+        if self.active and n >= self.min_elements and self._fresh_or_refork(obj):
+            spans = region_spans(obj, cstart, cstop, self.workers)
+            tasks = [(obj.name, a, b, interval) for a, b in spans]
+            parts = self._run_tasks(_mask_span, tasks) if tasks else []
+            if parts is not None:
+                return self._concat_coords(parts)
+        self.inline_tasks += 1
+        window = obj.data[cstart:cstop]
+        return np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+
+    def filter_coords(self, obj, interval: Interval,
+                      coords: np.ndarray) -> np.ndarray:
+        """Parallel candidate re-check: ``coords[interval.mask(data[coords])]``
+        over contiguous coordinate slices, merged in slice order."""
+        if (
+            self.active
+            and coords.size >= self.min_elements
+            and self._fresh_or_refork(obj)
+        ):
+            slices = [
+                s for s in np.array_split(coords, self.workers) if s.size
+            ]
+            tasks = [(obj.name, s, interval) for s in slices]
+            parts = self._run_tasks(_filter_span, tasks) if tasks else []
+            if parts is not None:
+                return self._concat_coords(parts)
+        self.inline_tasks += 1
+        return coords[interval.mask(obj.data[coords])]
+
+    def count_hits(self, obj, interval: Interval) -> int:
+        """Parallel whole-object hit count (metadata+data queries)."""
+        n = int(obj.n_elements)
+        if self.active and n >= self.min_elements and self._fresh_or_refork(obj):
+            spans = region_spans(obj, 0, n, self.workers)
+            tasks = [(obj.name, a, b, interval) for a, b in spans]
+            parts = self._run_tasks(_count_span, tasks) if tasks else []
+            if parts is not None:
+                return int(sum(parts))
+        self.inline_tasks += 1
+        return int(interval.mask(obj.data).sum())
+
+    # ------------------------------------------------------------- plumbing
+    def _fresh_or_refork(self, obj) -> bool:
+        """Ensure the snapshot covers ``obj``'s current array; marks the
+        pool stale (re-forked by ``_ensure_pool``) when it does not."""
+        if self._pool is None or self._stale:
+            return True  # _ensure_pool snapshots current data anyway
+        if not self._fresh(obj):
+            self._stale = True
+        return True
+
+    @staticmethod
+    def _concat_coords(parts: List[np.ndarray]) -> np.ndarray:
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0].astype(np.int64, copy=False)
+        return np.concatenate(parts).astype(np.int64, copy=False)
+
+
+#: Best-effort interpreter-exit cleanup for runtimes nobody closed.
+_LIVE_RUNTIMES: "weakref.WeakSet[ParallelRuntime]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_runtimes() -> None:  # pragma: no cover - exit path
+    for rt in list(_LIVE_RUNTIMES):
+        try:
+            rt.close()
+        except Exception:
+            pass

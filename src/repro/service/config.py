@@ -116,6 +116,10 @@ class ServiceConfig:
     #: defaults.  Kept untyped here to avoid importing the ingest stack
     #: for query-only services.
     ingest: Optional[object] = None
+    #: Wall-clock worker processes for the service-owned engine's hot
+    #: kernels (``> 1`` enables the real-parallel runtime; simulated
+    #: results stay bit-identical — see docs/parallelism.md).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if not self.tenants:

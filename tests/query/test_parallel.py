@@ -1,0 +1,300 @@
+"""Real-parallel runtime determinism: pooled execution is bit-identical.
+
+The acceptance criterion of the parallel hot path: for any worker count,
+answers, coordinates, simulated elapsed times, per-server clocks, and
+rendered metrics are *equal* — not close — to the serial run.  Every
+test here compares with ``==`` across ``workers in {1, 2, 8}``, with
+``min_elements=0`` so the pool is genuinely exercised on the small test
+fixtures (the production default would route them in-process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan
+from repro.interval import Interval
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.regress import run_micro_suite
+from repro.query.ast import Condition, combine_and, combine_or
+from repro.query.executor import QueryEngine
+from repro.query.parallel import ParallelRuntime, region_spans
+from repro.query.scheduler import QueryScheduler
+from repro.strategies import Strategy
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+WORKER_COUNTS = [1, 2, 8]
+
+
+def build_system(seed=99, n=1 << 13, region_bytes=1 << 11):
+    # Private registry: fingerprints compare rendered metrics across runs,
+    # which the process-global default registry would accumulate.
+    sysm = make_system(
+        n_servers=4, region_size_bytes=region_bytes, metrics=MetricsRegistry()
+    )
+    rng = np.random.default_rng(seed)
+    e = rng.gamma(2.0, 0.7, n).astype(np.float32)
+    x = (rng.random(n) * 300.0).astype(np.float32)
+    sysm.create_object("energy", e)
+    sysm.create_object("x", x)
+    sysm.build_index("energy")
+    sysm.build_index("x")
+    sysm.build_sorted_replica("energy", ["x"])
+    return sysm
+
+
+def make_engine(sysm, workers):
+    """Engine whose runtime (if any) routes *every* kernel to the pool."""
+    engine = QueryEngine(sysm, workers=workers)
+    if engine.parallel is not None:
+        engine.parallel.min_elements = 0
+    return engine
+
+
+def cond(name, op, value):
+    return Condition(
+        object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value
+    )
+
+
+NODE = combine_and(cond("energy", ">", 2.0), cond("x", "<", 150.0))
+
+
+def fingerprint(sysm, res):
+    """Everything that must be bit-identical after one execution."""
+    coords = (
+        res.selection.coords.tobytes() if res.selection is not None else b""
+    )
+    return (
+        res.nhits,
+        coords,
+        repr(res.elapsed_s),
+        tuple(repr(c.now) for c in sysm.all_clocks()),
+        sysm.metrics.render(),
+    )
+
+
+class TestRegionSpans:
+    """The deterministic partitioner: disjoint, ascending, exact cover."""
+
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 8, 64])
+    @pytest.mark.parametrize("window", [(0, 1 << 13), (100, 7000), (5, 6)])
+    def test_cover_and_order(self, n_parts, window):
+        sysm = build_system()
+        obj = sysm.objects["energy"]
+        cstart, cstop = window
+        spans = region_spans(obj, cstart, cstop, n_parts)
+        assert len(spans) <= max(1, n_parts)
+        assert spans[0][0] == cstart and spans[-1][1] == cstop
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert a < b and b == c and c < d
+
+    def test_empty_window(self):
+        sysm = build_system()
+        assert region_spans(sysm.objects["energy"], 10, 10, 4) == []
+
+    def test_concat_equals_serial_flatnonzero(self):
+        sysm = build_system()
+        obj = sysm.objects["energy"]
+        iv = Interval(lo=2.0, hi=4.0, lo_closed=False, hi_closed=False)
+        serial = np.flatnonzero(iv.mask(obj.data)).astype(np.int64)
+        for n_parts in (1, 3, 8):
+            parts = [
+                np.flatnonzero(iv.mask(obj.data[a:b])).astype(np.int64) + a
+                for a, b in region_spans(obj, 0, obj.n_elements, n_parts)
+            ]
+            assert np.array_equal(np.concatenate(parts), serial)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestBitIdentity:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_execute_identical_across_workers(self, strategy):
+        baseline = None
+        for workers in [0] + WORKER_COUNTS:
+            sysm = build_system()
+            with make_engine(sysm, workers) as engine:
+                res = engine.execute(
+                    NODE, want_selection=True, strategy=strategy
+                )
+                fp = fingerprint(sysm, res)
+                if workers == 8 and strategy in (
+                    Strategy.FULL_SCAN, Strategy.HISTOGRAM, Strategy.HIST_INDEX
+                ):
+                    # The pool really ran (not a silent inline fallback).
+                    # Sorted-replica plans (SORT_HIST, and AUTO picking it)
+                    # answer via searchsorted, never the mask kernels.
+                    assert engine.parallel.pool_tasks > 0
+            if baseline is None:
+                baseline = fp
+            else:
+                assert fp == baseline, (strategy, workers)
+
+    def test_or_query_and_region_constraint(self):
+        node = combine_or(cond("energy", ">", 3.0), cond("x", ">", 290.0))
+        baseline = None
+        for workers in [0, 2, 8]:
+            sysm = build_system()
+            with make_engine(sysm, workers) as engine:
+                res = engine.execute(
+                    node, want_selection=True, region_constraint=(100, 6000)
+                )
+                fp = fingerprint(sysm, res)
+            baseline = baseline or fp
+            assert fp == baseline, workers
+
+    def test_metadata_data_query_identical(self):
+        def run(workers):
+            sysm = make_system(
+                region_size_bytes=1 << 16, metrics=MetricsRegistry()
+            )
+            rng = np.random.default_rng(7)
+            for i in range(20):
+                sysm.create_object(
+                    f"fiber{i:03d}",
+                    (rng.random(256) * 30.0).astype(np.float32),
+                    tags={"PLATE": float(i // 10)},
+                )
+            with make_engine(sysm, workers) as engine:
+                res = engine.metadata_data_query(
+                    {"PLATE": 0.0},
+                    Interval(lo=5.0, hi=20.0, lo_closed=False, hi_closed=False),
+                )
+                return (
+                    res.object_names,
+                    dict(res.per_object_hits),
+                    res.total_hits,
+                    repr(res.elapsed_s),
+                    tuple(repr(c.now) for c in sysm.all_clocks()),
+                )
+
+        serial = run(0)
+        for workers in WORKER_COUNTS:
+            assert run(workers) == serial, workers
+
+    def test_batch_windows_identical(self):
+        thresholds = [0.5 + 0.25 * i for i in range(12)]
+
+        def run(workers):
+            sysm = build_system()
+            sched = QueryScheduler(sysm, max_width=4, workers=workers)
+            if sched.engine.parallel is not None:
+                sched.engine.parallel.min_elements = 0
+            results = sched.run(
+                [
+                    combine_and(cond("energy", ">", t), cond("x", "<", 200.0))
+                    for t in thresholds
+                ],
+                want_selection=True,
+            )
+            fps = [fingerprint(sysm, r)[:3] for r in results]
+            clocks = tuple(repr(c.now) for c in sysm.all_clocks())
+            metrics = sysm.metrics.render()
+            sched.close()
+            return fps, clocks, metrics
+
+        serial = run(0)
+        for workers in WORKER_COUNTS:
+            assert run(workers) == serial, workers
+
+    def test_degraded_faultplan_runs_identical(self):
+        """Crash-failover runs (the paper's degraded mode) stay identical:
+        the fault draws happen on the main process, never in workers."""
+
+        def run(workers):
+            sysm = build_system()
+            sysm.set_fault_plan(
+                FaultPlan(seed=2, config=FaultConfig(server_crash_rate=1.0))
+            )
+            with make_engine(sysm, workers) as engine:
+                res = engine.execute(
+                    NODE, want_selection=True, strategy=Strategy.FULL_SCAN
+                )
+                return (
+                    fingerprint(sysm, res),
+                    res.complete,
+                    res.failovers,
+                    sorted(res.server_errors),
+                )
+
+        serial = run(0)
+        for workers in WORKER_COUNTS:
+            assert run(workers) == serial, workers
+
+    def test_micro_suite_identical(self):
+        assert run_micro_suite() == run_micro_suite(workers=2)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestInvalidation:
+    def test_write_invalidates_forked_snapshot(self):
+        sysm = build_system()
+        with make_engine(sysm, 2) as engine:
+            before = engine.execute(NODE, want_selection=True)
+            assert engine.parallel.pool_tasks > 0
+            # Overwrite a slab with values that flip their hit status.
+            new = np.full(1024, 100.0, dtype=np.float32)
+            sysm.update_object_region("energy", 2048, new)
+            after = engine.execute(NODE, want_selection=True)
+            e = sysm.objects["energy"].data
+            x = sysm.objects["x"].data
+            truth = np.flatnonzero((e > 2.0) & (x < 150.0))
+            assert np.array_equal(after.selection.coords, truth)
+            assert not np.array_equal(
+                after.selection.coords, before.selection.coords
+            )
+
+    def test_append_invalidates_snapshot(self):
+        sysm = build_system()
+        with make_engine(sysm, 2) as engine:
+            engine.execute(NODE, want_selection=True)
+            extra = np.full(512, 3.0, dtype=np.float32)
+            sysm.append_to_object("energy", extra)
+            sysm.append_to_object(
+                "x", np.full(512, 1.0, dtype=np.float32)
+            )
+            res = engine.execute(NODE, want_selection=True)
+            e = sysm.objects["energy"].data
+            x = sysm.objects["x"].data
+            truth = np.flatnonzero((e > 2.0) & (x < 150.0))
+            assert np.array_equal(res.selection.coords, truth)
+
+
+class TestLifecycle:
+    def test_workers_zero_has_no_runtime(self):
+        engine = QueryEngine(build_system(), workers=0)
+        assert engine.parallel is None and engine.workers == 1
+
+    def test_close_falls_back_to_serial(self):
+        sysm = build_system()
+        engine = make_engine(sysm, 2)
+        first = engine.execute(NODE, want_selection=True)
+        engine.close()
+        assert engine.parallel is None
+        again = engine.execute(NODE, want_selection=True)
+        assert again.nhits == first.nhits
+        assert np.array_equal(again.selection.coords, first.selection.coords)
+
+    def test_runtime_rebind_rejected(self):
+        rt = ParallelRuntime(2)
+        rt.bind(build_system())
+        with pytest.raises(ValueError):
+            rt.bind(build_system())
+        rt.close()
+
+    def test_inline_fallback_below_min_elements(self):
+        sysm = build_system()
+        with QueryEngine(sysm, workers=2) as engine:
+            # Fixture objects are far below DEFAULT_MIN_ELEMENTS.
+            res = engine.execute(NODE, want_selection=True)
+            assert engine.parallel.pool_tasks == 0
+            assert engine.parallel.inline_tasks > 0
+            e = sysm.objects["energy"].data
+            x = sysm.objects["x"].data
+            assert res.nhits == int(((e > 2.0) & (x < 150.0)).sum())
