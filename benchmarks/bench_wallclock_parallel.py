@@ -6,23 +6,29 @@ thing the simulator cannot pin: real wall-clock time of the numpy hot
 kernels, serial vs the forked process pool
 (:mod:`repro.query.parallel`).
 
-Gating policy (deliberate, per the parallel-execution design):
+Methodology (statistical, per the wall-clock observability design):
 
+* each mode runs ``--warmup`` discarded passes (pool fork, page faults,
+  cache warm-up — measured and reported separately, never averaged in)
+  followed by ``--trials`` measured passes summarized as median + MAD;
 * the **correctness fingerprint is hard-gated** — the serial and pooled
   runs must produce byte-identical answers, simulated clocks, and
   metrics, on every machine, every time;
-* the **speedup is recorded, never gated** — wall time depends on core
-  count and machine load (a single-core CI runner will legitimately show
-  <1x), so timings go into the JSON artifact where the trajectory can be
-  tracked across commits without a flaky threshold.
+* the **speedup is statistically gated, opt-in** — with ``--baseline``
+  pointing at a machine-tagged ``BENCH_wallclock.json`` the gate
+  compares medians within a tolerance band (warn-only) and enforces the
+  baseline's ``min_speedup`` floor; a baseline written on a different
+  machine is skipped with an explicit notice, never silently compared.
 
 Standalone (not pytest-benchmark): run as
 
     PYTHONPATH=src python benchmarks/bench_wallclock_parallel.py [--smoke]
 
-``--smoke`` shrinks the workload for CI; the exit code is non-zero only
-on a fingerprint mismatch.  Results are written as JSON under
-``benchmarks/results/`` (or ``--out``).
+``--smoke`` shrinks the workload for CI.  ``--profile`` attaches the
+dual-clock profiler and writes the overhead-attribution report (bucket
+decomposition, per-worker utilization) plus optional Chrome/speedscope
+traces.  Results are written as JSON under ``benchmarks/results/`` (or
+``--out``).
 """
 
 from __future__ import annotations
@@ -39,7 +45,13 @@ except ImportError:  # running from a checkout without PYTHONPATH
         0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
     )
 
-from repro.obs.regress import render_wallclock, run_wallclock_suite
+from repro.obs.regress import (
+    gate_wallclock,
+    load_wallclock_baseline,
+    render_wallclock,
+    run_wallclock_suite,
+    write_wallclock_baseline,
+)
 
 
 def main(argv=None) -> int:
@@ -56,6 +68,24 @@ def main(argv=None) -> int:
                         help="distinct conjunct queries (default: 8; smoke: 4)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="passes over the query list (default: 2; smoke: 1)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="measured trials per mode (default: 3; smoke: 2)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="discarded warm-up passes per mode (default: 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the dual-clock wall profiler "
+                             "(bucket decomposition + per-worker report)")
+    parser.add_argument("--baseline", default=None,
+                        help="statistical-gate baseline (BENCH_wallclock.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline with this machine's medians")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="hard-fail below this speedup floor "
+                             "(overrides the baseline's)")
+    parser.add_argument("--trace-out", default=None,
+                        help="with --profile: Chrome trace_event JSON path")
+    parser.add_argument("--speedscope", default=None,
+                        help="with --profile: speedscope JSON path")
     parser.add_argument("--out", default=None,
                         help="JSON output path (default: benchmarks/results/)")
     args = parser.parse_args(argv)
@@ -63,13 +93,16 @@ def main(argv=None) -> int:
     elements = args.elements or ((1 << 19) if args.smoke else (1 << 22))
     queries = args.queries or (4 if args.smoke else 8)
     repeats = args.repeats or (1 if args.smoke else 2)
+    trials = args.trials or (2 if args.smoke else 3)
 
     wc = run_wallclock_suite(
         workers=args.workers, elements=elements, queries=queries,
-        repeats=repeats,
+        repeats=repeats, trials=trials, warmup=args.warmup,
+        profile=args.profile, trace_out=args.trace_out,
+        speedscope_out=args.speedscope,
     )
     print(render_wallclock(wc))
-    print(f"  cpu_count={os.cpu_count()} (speedup is informational: "
+    print(f"  cpu_count={os.cpu_count()} (speedup is statistical: "
           "single-core runners legitimately show <1x)")
 
     out = args.out
@@ -86,12 +119,27 @@ def main(argv=None) -> int:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"  wrote {out}")
+    if args.trace_out:
+        print(f"  pool trace -> {args.trace_out}")
+    if args.speedscope:
+        print(f"  speedscope profile -> {args.speedscope}")
 
-    if not wc["fingerprint_match"]:
-        print("  ERROR: pooled execution diverged from serial "
-              "(fingerprint mismatch)")
-        return 1
-    return 0
+    if args.update_baseline:
+        if not args.baseline:
+            print("  ERROR: --update-baseline requires --baseline PATH")
+            return 2
+        write_wallclock_baseline(
+            args.baseline, wc, min_speedup=args.min_speedup or 0.0
+        )
+        print(f"  wall-clock baseline -> {args.baseline}")
+        return 0 if wc["fingerprint_match"] else 1
+
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_wallclock_baseline(args.baseline)
+    code, gate_text = gate_wallclock(wc, baseline, min_speedup=args.min_speedup)
+    print(gate_text)
+    return code
 
 
 if __name__ == "__main__":

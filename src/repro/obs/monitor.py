@@ -121,6 +121,9 @@ class NoopMonitor:
     ) -> None:
         return None
 
+    def on_parallel(self, t_s: float, wall_registry) -> None:
+        return None
+
     def on_tick(self, t_s: float) -> None:
         return None
 
@@ -315,6 +318,19 @@ class ServiceMonitor:
             "pdc_compaction_delta_elements", t_s, float(delta_elements),
             object=object_name,
         )
+
+    # ------------------------------------------------------ parallel hooks
+    def on_parallel(self, t_s: float, wall_registry) -> None:
+        """Scrape the parallel runtime's wall-side counters
+        (``pdc_parallel_*``: tasks dispatched, in-process fallbacks by
+        reason, snapshot re-forks, IPC result bytes) into the recorder.
+
+        The counters live in a runtime-owned registry — deliberately
+        outside the system's, whose rendered text is fingerprint-pinned
+        across worker counts — so this scrape is the only bridge from
+        pool bookkeeping into series and OpenMetrics export.
+        """
+        self.recorder.scrape(wall_registry, t_s)
 
     # ---------------------------------------------------------------- time
     def on_tick(self, t_s: float) -> None:

@@ -1,0 +1,565 @@
+"""Wall-clock observability for the real-parallel runtime.
+
+Everything else in ``repro.obs`` observes *simulated* time, which is
+deterministic and therefore pinnable to 1e-9.  This module observes the
+one thing the simulator cannot pin: where the **wall clock** goes when
+the numpy hot kernels run in the forked process pool
+(:mod:`repro.query.parallel`) — or inline, on the serial hot path.
+
+Three layers, all built on one :class:`WallProfiler`:
+
+* **Dual-clock pool tracing.**  The main process stamps per-dispatch
+  spans (fork, submit, result wait, merge); each pooled task additionally
+  carries a lightweight stamp buffer home with its result (worker pid,
+  the fork-generation wall instant inherited at fork time, kernel
+  start/end, result-preparation end, result payload bytes).  Both sides
+  stamp the *same* clock — ``time.perf_counter`` is CLOCK_MONOTONIC on
+  Linux, which is system-wide, so parent and forked-child timestamps are
+  directly comparable and :func:`build_report` can join them into
+  per-worker timelines.
+* **Overhead attribution.**  :meth:`PoolTraceReport.buckets` decomposes
+  the measured main-thread wall time into five named buckets — kernel,
+  fork+warmup, IPC, merge-wait, serial-residue — plus per-worker
+  utilization and per-partition skew.  The decomposition is built from
+  *disjoint* main-thread intervals (the wait interval is split using the
+  busy-union of worker kernel stamps), so the buckets can never
+  double-count: they sum to at most the measured total, and the residue
+  is the remainder by construction.
+* **Export.**  :func:`report_tracer` rebuilds the joined timelines as a
+  :class:`~repro.obs.tracer.Tracer` (track ``main`` plus one track per
+  worker pid), so the existing Chrome/speedscope/collapsed writers in
+  :mod:`repro.obs.profiler` work unchanged on wall-clock pool traces.
+
+The zero-cost invariant of every obs layer holds here too: the runtime
+and engine hold ``profiler = None`` by default and every instrumentation
+site is a single attribute test — with profiling off, answers, simulated
+clocks, metrics, and bench fingerprints are bit-identical to a build
+without this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "WallProfiler",
+    "TaskTrace",
+    "DispatchTrace",
+    "PoolTraceReport",
+    "BUCKET_NAMES",
+    "build_report",
+    "report_to_dict",
+    "render_report",
+    "report_tracer",
+    "efficiency_table",
+    "render_efficiency",
+    "merge_intervals",
+    "clip_intervals",
+    "subtract_intervals",
+    "interval_length",
+]
+
+#: The five attribution buckets, in render order.  ``serial_residue`` is
+#: main-thread time no other bucket claims (planning, simulated-cost
+#: charges, metric bookkeeping, python overhead).
+BUCKET_NAMES = ("kernel", "fork", "ipc", "merge_wait", "serial_residue")
+
+
+# ------------------------------------------------------------- interval math
+def merge_intervals(
+    intervals: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Sorted, disjoint union of the intervals (degenerate ones dropped)."""
+    ivs = sorted((lo, hi) for lo, hi in intervals if hi > lo)
+    out: List[Tuple[float, float]] = []
+    for lo, hi in ivs:
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def clip_intervals(
+    intervals: Sequence[Tuple[float, float]], lo: float, hi: float
+) -> List[Tuple[float, float]]:
+    """Intersect every interval with ``[lo, hi]``."""
+    return [
+        (max(a, lo), min(b, hi))
+        for a, b in intervals
+        if min(b, hi) > max(a, lo)
+    ]
+
+
+def subtract_intervals(
+    base: Sequence[Tuple[float, float]],
+    covered: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """``base`` minus ``covered``; both may overlap internally."""
+    out: List[Tuple[float, float]] = []
+    covered = merge_intervals(covered)
+    for lo, hi in merge_intervals(base):
+        cur = lo
+        for clo, chi in covered:
+            if chi <= cur:
+                continue
+            if clo >= hi:
+                break
+            if clo > cur:
+                out.append((cur, clo))
+            cur = max(cur, chi)
+            if cur >= hi:
+                break
+        if cur < hi:
+            out.append((cur, hi))
+    return out
+
+
+def interval_length(intervals: Sequence[Tuple[float, float]]) -> float:
+    return sum(hi - lo for lo, hi in merge_intervals(intervals))
+
+
+# ------------------------------------------------------------------ records
+@dataclass
+class TaskTrace:
+    """One pooled kernel task, stamped on both sides of the fork.
+
+    Main-side stamps (``t_submit``/``t_recv``) and worker-side stamps
+    (``t_start``/``t_kernel_end``/``t_ret``) share one monotonic clock,
+    so ``t_start - t_submit`` is real queue/fork latency and
+    ``t_recv - t_ret`` is real result serialize+pipe+deserialize time.
+    """
+
+    kernel: str
+    part: int
+    n_elements: int
+    #: Main side: just before / after this task's submit + result.
+    t_submit: float = 0.0
+    t_recv: float = 0.0
+    #: Worker side (shipped home with the result).
+    pid: int = 0
+    gen: int = 0
+    #: Parent's wall instant when it initiated the (lazy) fork — the
+    #: module global the child inherited at fork time.
+    fork_wall_s: float = 0.0
+    t_start: float = 0.0
+    t_kernel_end: float = 0.0
+    t_ret: float = 0.0
+    result_bytes: int = 0
+
+    @property
+    def kernel_s(self) -> float:
+        return max(0.0, self.t_kernel_end - self.t_start)
+
+
+@dataclass
+class DispatchTrace:
+    """One pooled kernel call: a fan-out of tasks plus the main-thread
+    phase boundaries around them (submit / wait / merge)."""
+
+    kernel: str
+    t0: float
+    t_submit_end: float = 0.0
+    t_wait_end: float = 0.0
+    t_merge_end: float = 0.0
+    tasks: List[TaskTrace] = field(default_factory=list)
+
+    @property
+    def skew(self) -> float:
+        """Max/mean per-partition kernel time (1.0 = perfectly even;
+        0.0 when no worker stamps came home)."""
+        durs = [t.kernel_s for t in self.tasks if t.t_kernel_end > 0.0]
+        if not durs:
+            return 0.0
+        mean = sum(durs) / len(durs)
+        return (max(durs) / mean) if mean > 0 else 0.0
+
+
+class WallProfiler:
+    """Collects wall-clock stamps from the runtime, the engine's serial
+    hot path, and the pooled workers.
+
+    ``timer`` is injectable (tests drive the whole layer with a fake
+    deterministic clock); the default is :func:`time.perf_counter`,
+    whose Linux backing clock (CLOCK_MONOTONIC) is shared between the
+    main process and its forked children.
+    """
+
+    def __init__(
+        self, timer: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.timer = timer
+        #: Parent-side pool (re-)fork work: ``_ensure_pool`` intervals.
+        self.fork_spans: List[Tuple[float, float]] = []
+        #: Pooled kernel calls.
+        self.dispatches: List[DispatchTrace] = []
+        #: Inline kernel runs: ``(kernel, t0, t1, n_elements)`` — the
+        #: serial hot path, or a pool fallback computing in-process.
+        self.inline_spans: List[Tuple[str, float, float, int]] = []
+        #: Measured windows: ``(label, t0, t1)``.  Buckets are attributed
+        #: within these; anything outside is ignored.
+        self.run_spans: List[Tuple[str, float, float]] = []
+
+    # ------------------------------------------------------------- recording
+    def record_fork(self, t0: float, t1: float) -> None:
+        self.fork_spans.append((t0, t1))
+
+    def record_inline(
+        self, kernel: str, t0: float, t1: float, n_elements: int
+    ) -> None:
+        self.inline_spans.append((kernel, t0, t1, int(n_elements)))
+
+    def dispatch(self, kernel: str) -> DispatchTrace:
+        """Open a dispatch record at the current instant; the runtime
+        fills the phase boundaries as the call progresses."""
+        d = DispatchTrace(kernel=kernel, t0=self.timer())
+        self.dispatches.append(d)
+        return d
+
+    class _RunHandle:
+        __slots__ = ("_prof", "_label", "_t0")
+
+        def __init__(self, prof: "WallProfiler", label: str) -> None:
+            self._prof = prof
+            self._label = label
+
+        def __enter__(self) -> "WallProfiler._RunHandle":
+            self._t0 = self._prof.timer()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self._prof.run_spans.append(
+                (self._label, self._t0, self._prof.timer())
+            )
+
+    def run(self, label: str = "run") -> "WallProfiler._RunHandle":
+        """Context manager marking one measured window (one trial)."""
+        return self._RunHandle(self, label)
+
+
+# ------------------------------------------------------------------- report
+@dataclass
+class PoolTraceReport:
+    """The joined dual-clock view of one profiled run."""
+
+    #: Wall window covered by the recorded stamps (absolute clock).
+    t0: float
+    t1: float
+    #: Total measured main-thread wall seconds (union of run spans when
+    #: the caller marked any, else the whole window).
+    total_s: float
+    #: Named bucket -> seconds; the five keys of :data:`BUCKET_NAMES`.
+    buckets: Dict[str, float]
+    #: Fraction of ``total_s`` the five buckets account for (the residue
+    #: bucket absorbs the remainder, so this is 1.0 unless stamps
+    #: overlapped inconsistently).
+    coverage: float
+    #: pid -> {"tasks", "busy_s", "utilization", "first_latency_s"}.
+    workers: Dict[int, Dict[str, float]]
+    #: Max and mean of per-dispatch partition skew (max/mean kernel time).
+    skew_max: float
+    skew_mean: float
+    dispatches: int
+    pool_tasks: int
+    inline_tasks: int
+    ipc_result_bytes: int
+
+
+def _decompose_wait(
+    wait_lo: float,
+    wait_hi: float,
+    kernel_ivs: Sequence[Tuple[float, float]],
+    fork_ivs: Sequence[Tuple[float, float]],
+) -> Tuple[float, float, float, float]:
+    """Split one blocking-wait interval into (kernel, fork, ipc,
+    merge_wait) using the workers' kernel stamps.
+
+    Priority: time covered by a worker kernel is ``kernel``; remaining
+    time covered by a first-task fork gap is ``fork``; uncovered time
+    before the last kernel finished is ``ipc`` (dispatch, serialize,
+    pipe); uncovered time after every kernel finished is ``merge_wait``
+    (draining stragglers' results).
+    """
+    if wait_hi <= wait_lo:
+        return 0.0, 0.0, 0.0, 0.0
+    k_cov = merge_intervals(clip_intervals(kernel_ivs, wait_lo, wait_hi))
+    f_cov = subtract_intervals(
+        clip_intervals(fork_ivs, wait_lo, wait_hi), k_cov
+    )
+    kernel_s = interval_length(k_cov)
+    fork_s = interval_length(f_cov)
+    covered = merge_intervals(list(k_cov) + list(f_cov))
+    last_k = max((hi for _, hi in k_cov), default=wait_lo)
+    ipc_s = merge_s = 0.0
+    for lo, hi in subtract_intervals([(wait_lo, wait_hi)], covered):
+        ipc_s += max(0.0, min(hi, last_k) - lo)
+        merge_s += max(0.0, hi - max(lo, last_k))
+    return kernel_s, fork_s, ipc_s, merge_s
+
+
+def build_report(prof: WallProfiler) -> PoolTraceReport:
+    """Join main-side and worker-side stamps into the attribution report."""
+    stamps: List[float] = []
+    for t0, t1 in prof.fork_spans:
+        stamps += [t0, t1]
+    for _, t0, t1, _ in prof.inline_spans:
+        stamps += [t0, t1]
+    for _, t0, t1 in prof.run_spans:
+        stamps += [t0, t1]
+    for d in prof.dispatches:
+        stamps += [d.t0, d.t_merge_end or d.t_wait_end or d.t_submit_end]
+    if not stamps:
+        return PoolTraceReport(
+            t0=0.0, t1=0.0, total_s=0.0,
+            buckets={name: 0.0 for name in BUCKET_NAMES},
+            coverage=1.0, workers={}, skew_max=0.0, skew_mean=0.0,
+            dispatches=0, pool_tasks=0, inline_tasks=0, ipc_result_bytes=0,
+        )
+    t0, t1 = min(stamps), max(stamps)
+    if prof.run_spans:
+        windows = merge_intervals([(a, b) for _, a, b in prof.run_spans])
+    else:
+        windows = [(t0, t1)]
+    total_s = interval_length(windows)
+
+    # Attribution only counts main-thread time inside the measured
+    # windows; clip every main-side interval accordingly.
+    def clip_to_windows(
+        ivs: Sequence[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        out: List[Tuple[float, float]] = []
+        for wlo, whi in windows:
+            out += clip_intervals(ivs, wlo, whi)
+        return out
+
+    buckets = {name: 0.0 for name in BUCKET_NAMES}
+    buckets["fork"] += interval_length(clip_to_windows(prof.fork_spans))
+    buckets["kernel"] += interval_length(
+        clip_to_windows([(a, b) for _, a, b, _ in prof.inline_spans])
+    )
+
+    first_by_pid: Dict[int, TaskTrace] = {}
+    for d in prof.dispatches:
+        for t in d.tasks:
+            if t.t_start <= 0.0:
+                continue
+            prev = first_by_pid.get(t.pid)
+            if prev is None or t.t_start < prev.t_start:
+                first_by_pid[t.pid] = t
+
+    pool_tasks = 0
+    ipc_bytes = 0
+    skews: List[float] = []
+    for d in prof.dispatches:
+        pool_tasks += len(d.tasks)
+        ipc_bytes += sum(t.result_bytes for t in d.tasks)
+        if len(d.tasks) > 1 and d.skew > 0.0:
+            skews.append(d.skew)
+        submit_ivs = clip_to_windows([(d.t0, d.t_submit_end)])
+        buckets["ipc"] += interval_length(submit_ivs)
+        if d.t_wait_end > d.t_submit_end:
+            kernel_ivs = [
+                (t.t_start, t.t_kernel_end)
+                for t in d.tasks
+                if t.t_kernel_end > t.t_start
+            ]
+            fork_ivs = [
+                (t.t_submit, t.t_start)
+                for t in d.tasks
+                if first_by_pid.get(t.pid) is t and t.t_start > t.t_submit
+            ]
+            for wlo, whi in clip_to_windows(
+                [(d.t_submit_end, d.t_wait_end)]
+            ):
+                k, f, i, m = _decompose_wait(wlo, whi, kernel_ivs, fork_ivs)
+                buckets["kernel"] += k
+                buckets["fork"] += f
+                buckets["ipc"] += i
+                buckets["merge_wait"] += m
+        if d.t_merge_end > d.t_wait_end:
+            buckets["merge_wait"] += interval_length(
+                clip_to_windows([(d.t_wait_end, d.t_merge_end)])
+            )
+
+    accounted = sum(buckets.values())
+    buckets["serial_residue"] = max(0.0, total_s - accounted)
+    covered = min(total_s, accounted + buckets["serial_residue"])
+    coverage = (covered / total_s) if total_s > 0 else 1.0
+
+    workers: Dict[int, Dict[str, float]] = {}
+    for pid in sorted(first_by_pid):
+        kernel_ivs = [
+            (t.t_start, t.t_kernel_end)
+            for d in prof.dispatches
+            for t in d.tasks
+            if t.pid == pid and t.t_kernel_end > t.t_start
+        ]
+        busy = interval_length(kernel_ivs)
+        first = first_by_pid[pid]
+        workers[pid] = {
+            "tasks": float(sum(
+                1 for d in prof.dispatches for t in d.tasks if t.pid == pid
+            )),
+            "busy_s": busy,
+            "utilization": (busy / total_s) if total_s > 0 else 0.0,
+            "first_latency_s": max(0.0, first.t_start - first.t_submit),
+        }
+
+    return PoolTraceReport(
+        t0=t0, t1=t1, total_s=total_s, buckets=buckets, coverage=coverage,
+        workers=workers,
+        skew_max=max(skews, default=0.0),
+        skew_mean=(sum(skews) / len(skews)) if skews else 0.0,
+        dispatches=len(prof.dispatches),
+        pool_tasks=pool_tasks,
+        inline_tasks=len(prof.inline_spans),
+        ipc_result_bytes=ipc_bytes,
+    )
+
+
+def report_to_dict(report: PoolTraceReport) -> Dict[str, object]:
+    """JSON-safe form for bench artifacts and reports."""
+    return {
+        "total_s": report.total_s,
+        "buckets": dict(report.buckets),
+        "coverage": report.coverage,
+        "workers": {
+            str(pid): dict(stats) for pid, stats in report.workers.items()
+        },
+        "skew_max": report.skew_max,
+        "skew_mean": report.skew_mean,
+        "dispatches": report.dispatches,
+        "pool_tasks": report.pool_tasks,
+        "inline_tasks": report.inline_tasks,
+        "ipc_result_bytes": report.ipc_result_bytes,
+    }
+
+
+def render_report(report: PoolTraceReport) -> str:
+    """Human-readable attribution table."""
+    lines = [
+        f"wall-clock attribution over {report.total_s * 1e3:.1f} ms "
+        f"measured ({report.dispatches} pool dispatches, "
+        f"{report.pool_tasks} tasks, {report.inline_tasks} inline kernels)"
+    ]
+    for name in BUCKET_NAMES:
+        v = report.buckets.get(name, 0.0)
+        pct = (v / report.total_s * 100.0) if report.total_s > 0 else 0.0
+        bar = "#" * int(round(pct / 4))
+        lines.append(f"  {name:<15} {v * 1e3:>9.2f} ms  {pct:>5.1f}%  |{bar}")
+    lines.append(
+        f"  coverage: {report.coverage * 100.0:.1f}% of measured wall time "
+        "in named buckets"
+    )
+    if report.workers:
+        lines.append("per-worker kernel utilization:")
+        for pid, s in report.workers.items():
+            lines.append(
+                f"  pid {pid:<8} {int(s['tasks'])} tasks  "
+                f"{s['busy_s'] * 1e3:8.2f} ms busy "
+                f"({s['utilization'] * 100.0:5.1f}%)  "
+                f"first-task latency {s['first_latency_s'] * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"partition skew (max/mean kernel time per dispatch): "
+            f"worst {report.skew_max:.2f}, mean {report.skew_mean:.2f}"
+        )
+    if report.ipc_result_bytes:
+        lines.append(
+            f"IPC result payload: {report.ipc_result_bytes} bytes"
+        )
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ tracer export
+def report_tracer(prof: WallProfiler):
+    """Rebuild the joined timelines as a recording
+    :class:`~repro.obs.tracer.Tracer` (times rebased to the window start,
+    in seconds), so ``Tracer.write_chrome`` and the
+    :mod:`repro.obs.profiler` speedscope/collapsed writers export
+    wall-clock pool traces exactly like simulated ones.
+
+    Tracks: ``main`` (run/fork/submit/wait/merge/inline spans) and one
+    ``worker-<pid>`` per pool process (kernel + result-serialize spans).
+    """
+    from .tracer import Span, Tracer
+
+    report = build_report(prof)
+    base = report.t0
+    tracer = Tracer()
+    next_id = [1]
+
+    def add(name, category, track, lo, hi, parent=None, **attrs):
+        if hi <= lo:
+            return None
+        span = Span(
+            span_id=next_id[0], parent_id=parent, name=name,
+            category=category, track=track,
+            start_s=lo - base, end_s=hi - base, attrs=attrs,
+        )
+        next_id[0] += 1
+        tracer.spans.append(span)
+        return span
+
+    for label, t0, t1 in prof.run_spans:
+        add(label, "run", "main", t0, t1)
+    for t0, t1 in prof.fork_spans:
+        add("pool_fork", "fork", "main", t0, t1)
+    for kernel, t0, t1, n in prof.inline_spans:
+        add(f"{kernel}_inline", "kernel", "main", t0, t1, n_elements=n)
+    for d in prof.dispatches:
+        root = add(
+            f"{d.kernel}_dispatch", "dispatch", "main", d.t0,
+            d.t_merge_end or d.t_wait_end or d.t_submit_end,
+            tasks=len(d.tasks),
+        )
+        parent = root.span_id if root is not None else None
+        add("submit", "ipc", "main", d.t0, d.t_submit_end, parent)
+        add("result_wait", "wait", "main", d.t_submit_end, d.t_wait_end,
+            parent)
+        add("merge", "merge", "main", d.t_wait_end, d.t_merge_end, parent)
+        for t in d.tasks:
+            if t.t_kernel_end <= t.t_start:
+                continue
+            track = f"worker-{t.pid}"
+            add(
+                d.kernel, "kernel", track, t.t_start, t.t_kernel_end,
+                part=t.part, n_elements=t.n_elements, gen=t.gen,
+            )
+            add("serialize", "ipc", track, t.t_kernel_end, t.t_ret)
+    return tracer
+
+
+# --------------------------------------------------------------- efficiency
+def efficiency_table(
+    serial_median_s: float, rows: Sequence[Tuple[int, float]]
+) -> List[Dict[str, float]]:
+    """Speedup/efficiency per worker count against a serial median."""
+    out: List[Dict[str, float]] = []
+    for workers, median_s in rows:
+        speedup = (serial_median_s / median_s) if median_s > 0 else 0.0
+        out.append({
+            "workers": float(workers),
+            "median_s": median_s,
+            "speedup": speedup,
+            "efficiency": (speedup / workers) if workers > 0 else 0.0,
+        })
+    return out
+
+
+def render_efficiency(
+    serial_median_s: float, table: Sequence[Dict[str, float]]
+) -> str:
+    lines = [
+        f"{'workers':>8} {'median':>10} {'speedup':>9} {'efficiency':>11}",
+        f"{'serial':>8} {serial_median_s * 1e3:>8.1f}ms {'1.00x':>9} "
+        f"{'':>11}",
+    ]
+    for row in table:
+        lines.append(
+            f"{int(row['workers']):>8} {row['median_s'] * 1e3:>8.1f}ms "
+            f"{row['speedup']:>8.2f}x {row['efficiency'] * 100:>10.1f}%"
+        )
+    return "\n".join(lines)

@@ -302,11 +302,23 @@ class QueryEngine:
             self._owns_runtime = True
         if self.parallel is not None:
             self.parallel.bind(system)
+        #: Optional :class:`~repro.obs.walltime.WallProfiler` timing the
+        #: *serial* hot-path kernels (the pooled ones are stamped by the
+        #: runtime itself).  None by default: one attribute read per
+        #: kernel call, zero effect on simulated results.
+        self.wall_profiler = None
 
     @property
     def workers(self) -> int:
         """Wall-clock worker count (1 = serial execution)."""
         return self.parallel.workers if self.parallel is not None else 1
+
+    def set_wall_profiler(self, profiler) -> None:
+        """Install (or remove, with None) a wall-clock profiler on this
+        engine and its parallel runtime, if any."""
+        self.wall_profiler = profiler
+        if self.parallel is not None:
+            self.parallel.profiler = profiler
 
     def close(self) -> None:
         """Release the parallel runtime (no-op for serial engines)."""
@@ -1752,8 +1764,13 @@ class QueryEngine:
         cstart, cstop = constraint
         if self.parallel is not None:
             return self.parallel.mask_coords(obj, interval, cstart, cstop)
+        prof = self.wall_profiler
+        t0 = prof.timer() if prof is not None else 0.0
         window = obj.data[cstart:cstop]
-        return np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+        out = np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+        if prof is not None:
+            prof.record_inline("mask", t0, prof.timer(), cstop - cstart)
+        return out
 
     def _filter_coords(
         self, obj: StoredObject, interval: Interval, coords: np.ndarray
@@ -1761,13 +1778,24 @@ class QueryEngine:
         """Candidate re-check: keep the coords whose value matches."""
         if self.parallel is not None:
             return self.parallel.filter_coords(obj, interval, coords)
-        return coords[interval.mask(obj.data[coords])]
+        prof = self.wall_profiler
+        t0 = prof.timer() if prof is not None else 0.0
+        out = coords[interval.mask(obj.data[coords])]
+        if prof is not None:
+            prof.record_inline("filter", t0, prof.timer(), int(coords.size))
+        return out
 
     def _count_hits(self, obj: StoredObject, interval: Interval) -> int:
         """Whole-object hit count (metadata+data queries)."""
         if self.parallel is not None:
             return self.parallel.count_hits(obj, interval)
-        return int(interval.mask(obj.data).sum())
+        prof = self.wall_profiler
+        t0 = prof.timer() if prof is not None else 0.0
+        out = int(interval.mask(obj.data).sum())
+        if prof is not None:
+            prof.record_inline("count", t0, prof.timer(),
+                               int(obj.n_elements))
+        return out
 
     # -------------------------------------------------------------- get_data
     def _charge_get_data_original(

@@ -36,6 +36,8 @@ in-process — results are identical either way, only wall time differs.
 from __future__ import annotations
 
 import atexit
+import os
+import time
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +45,21 @@ import numpy as np
 
 from ..interval import Interval
 
-__all__ = ["ParallelRuntime", "DEFAULT_MIN_ELEMENTS"]
+__all__ = ["ParallelRuntime", "DEFAULT_MIN_ELEMENTS", "FALLBACK_REASONS"]
+
+#: Every reason a kernel can take the in-process path instead of the
+#: pool (the ``reason`` label of ``pdc_parallel_fallbacks_total``).
+FALLBACK_REASONS = (
+    "serial",          # workers <= 1: no pool was ever requested
+    "closed",          # runtime explicitly closed
+    "broken",          # an earlier failure disabled the pool for good
+    "min_elements",    # payload too small to amortize fork/IPC
+    "unbound",         # no system bound (nothing to snapshot)
+    "no_fork",         # platform has no fork start method
+    "fork_failed",     # OS refused the fork (e.g. EAGAIN)
+    "stale",           # retry after a stale-snapshot re-fork still failed
+    "worker_death",    # a pool worker died mid-task
+)
 
 #: Below this many elements a kernel runs in-process: the fork/IPC
 #: round-trip costs more than the numpy work it would parallelize.
@@ -62,6 +78,10 @@ DEFAULT_MIN_ELEMENTS = 1 << 16
 _WORKER_ARRAYS: Dict[str, np.ndarray] = {}
 _WORKER_GEN: int = 0
 _GEN_COUNTER: int = 0
+#: Parent wall instant of the most recent snapshot publish: forked
+#: children inherit it, dating their own fork generation for the
+#: dual-clock pool trace (:mod:`repro.obs.walltime`).
+_WORKER_FORK_WALL: float = 0.0
 
 
 class _StaleWorker(Exception):
@@ -97,6 +117,29 @@ def _count_span(gen: int, name: str, start: int, stop: int,
     of booleans is an integer, so chunk totals add without drift)."""
     data = _worker_array(gen, name)
     return int(interval.mask(data[start:stop]).sum())
+
+
+def _result_bytes(out) -> int:
+    return int(out.nbytes) if isinstance(out, np.ndarray) else 8
+
+
+def _profiled_call(fn, gen: int, args: tuple):
+    """Worker-side stamp wrapper for profiled dispatches.
+
+    Returns ``(result, stamps)`` where the stamp buffer carries the
+    worker pid, the inherited fork-generation wall instant, kernel
+    start/end, result-preparation end, and the result payload size.
+    All stamps use ``time.perf_counter`` — CLOCK_MONOTONIC on Linux is
+    system-wide, so they are directly comparable with the parent's.
+    """
+    t_start = time.perf_counter()
+    out = fn(gen, *args)
+    t_kernel_end = time.perf_counter()
+    nbytes = _result_bytes(out)
+    t_ret = time.perf_counter()
+    return out, (
+        os.getpid(), _WORKER_FORK_WALL, t_start, t_kernel_end, t_ret, nbytes
+    )
 
 
 # ------------------------------------------------------------- partitioning
@@ -148,17 +191,76 @@ class ParallelRuntime:
         self._gen = 0
         self._stale = True
         self._broken = False
+        self._closed = False
         #: Wall-clock observability: how many kernels ran where.
         self.pool_tasks = 0
         self.inline_tasks = 0
         self.refork_count = 0
+        self.stale_retries = 0
+        #: In-process fallbacks by reason (see :data:`FALLBACK_REASONS`).
+        self.fallbacks: Dict[str, int] = {}
+        self._last_fallback_reason = "serial"
+        #: Optional :class:`~repro.obs.walltime.WallProfiler`.  None by
+        #: default — every profiling site is one attribute test, keeping
+        #: the disabled path bit-identical and effectively free.
+        self.profiler = None
+        self._open_dispatch = None
+        # Wall-side counters live in a runtime-owned registry, *never*
+        # in the system's: identity tests and the wall-clock fingerprint
+        # hash ``system.metrics.render()``, which must stay bit-identical
+        # across worker counts — pool bookkeeping would diverge it.
+        from ..obs.metrics import MetricsRegistry
+
+        self.wall_metrics = MetricsRegistry()
+        self._m_tasks = self.wall_metrics.counter(
+            "pdc_parallel_tasks_total",
+            "kernel tasks dispatched to the worker pool",
+        )
+        self._m_fallbacks = self.wall_metrics.counter(
+            "pdc_parallel_fallbacks_total",
+            "kernels computed in-process instead of in the pool",
+            labels=("reason",),
+        )
+        self._m_reforks = self.wall_metrics.counter(
+            "pdc_parallel_reforks_total",
+            "pool (re-)forks against a fresh data snapshot",
+        )
+        self._m_stale = self.wall_metrics.counter(
+            "pdc_parallel_stale_reforks_total",
+            "re-forks forced by a stale generation token",
+        )
+        self._m_ipc_bytes = self.wall_metrics.counter(
+            "pdc_parallel_ipc_result_bytes_total",
+            "result payload bytes shipped back across the pool IPC pipe",
+        )
         _LIVE_RUNTIMES.add(self)
 
     # ------------------------------------------------------------ lifecycle
     @property
     def active(self) -> bool:
         """True when this runtime may dispatch to a real pool."""
-        return self.workers > 1 and not self._broken
+        return self.workers > 1 and not self._broken and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _fallback(self, reason: str) -> None:
+        self.inline_tasks += 1
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        self._m_fallbacks.labels(reason=reason).inc()
+
+    def _pool_gate(self, n: int) -> Optional[str]:
+        """Why ``n`` elements would *not* go to the pool (None = pooled)."""
+        if self._closed:
+            return "closed"
+        if self.workers <= 1:
+            return "serial"
+        if self._broken:
+            return "broken"
+        if n < self.min_elements:
+            return "min_elements"
+        return None
 
     def bind(self, system) -> None:
         """Attach to one system: snapshot invalidation follows its
@@ -181,7 +283,14 @@ class ParallelRuntime:
         self._stale = True
 
     def close(self) -> None:
-        """Shut down the pool and unregister from the bound system."""
+        """Shut down the pool and unregister from the bound system.
+
+        Idempotent, and never fatal to callers: a closed runtime keeps
+        answering kernel calls by computing in-process (counted under the
+        ``closed`` fallback reason) — correctness does not depend on the
+        pool's lifecycle.
+        """
+        self._closed = True
         self._shutdown_pool()
         if self._system is not None:
             self._system.unregister_invalidation_hook(self._on_invalidate)
@@ -211,17 +320,23 @@ class ParallelRuntime:
         Returns False when a pool cannot be used; callers then run the
         identical kernels in-process.
         """
-        global _WORKER_ARRAYS, _WORKER_GEN, _GEN_COUNTER
+        global _WORKER_ARRAYS, _WORKER_GEN, _GEN_COUNTER, _WORKER_FORK_WALL
         if not self.active or self._system is None:
+            self._last_fallback_reason = (
+                "unbound" if self._system is None else "broken"
+            )
             return False
         if self._pool is not None and not self._stale:
             return True
+        prof = self.profiler
+        t_fork0 = prof.timer() if prof is not None else 0.0
         self._shutdown_pool()
         import concurrent.futures as cf
         import multiprocessing as mp
 
         if "fork" not in mp.get_all_start_methods():
             self._broken = True
+            self._last_fallback_reason = "no_fork"
             return False
         self._snapshot = {
             name: obj.data for name, obj in self._system.objects.items()
@@ -229,8 +344,12 @@ class ParallelRuntime:
         _GEN_COUNTER += 1
         self._gen = _GEN_COUNTER
         # Publish the snapshot for children forked from this process.
+        # (The executor forks lazily on first submit, so the wall stamp
+        # below dates the snapshot publish; a child's actual fork happens
+        # at or after it, which is what the trace's fork bucket wants.)
         _WORKER_ARRAYS = self._snapshot
         _WORKER_GEN = self._gen
+        _WORKER_FORK_WALL = time.perf_counter()
         try:
             self._pool = cf.ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=mp.get_context("fork")
@@ -238,9 +357,13 @@ class ParallelRuntime:
         except OSError:
             self._pool = None
             self._broken = True
+            self._last_fallback_reason = "fork_failed"
             return False
         self._stale = False
         self.refork_count += 1
+        self._m_reforks.inc()
+        if prof is not None:
+            prof.record_fork(t_fork0, prof.timer())
         return True
 
     def _fresh(self, obj) -> bool:
@@ -248,32 +371,107 @@ class ParallelRuntime:
         the array object; in-place writes are caught by the hooks)."""
         return self._snapshot.get(obj.name) is obj.data
 
-    def _run_tasks(self, fn, tasks: Sequence[tuple]) -> Optional[list]:
+    def _run_tasks(self, fn, tasks: Sequence[tuple],
+                   kernel: str = "task",
+                   sizes: Optional[Sequence[int]] = None) -> Optional[list]:
         """Dispatch tasks to the pool; results in submission order.
 
         Returns None when the pool is unusable or a worker turned out to
         be forked from a stale snapshot (one re-fork is attempted first)
-        — the caller then computes in-process.
+        — the caller then computes in-process, and
+        ``_last_fallback_reason`` says why.
         """
+        prof = self.profiler
         for _retry in range(2):
             if not self._ensure_pool():
                 return None
             assert self._pool is not None
-            futures = [self._pool.submit(fn, self._gen, *t) for t in tasks]
-            try:
-                out = [f.result() for f in futures]
-            except _StaleWorker:
-                self._stale = True
-                continue
-            except BaseException:
-                # A dead worker (OOM kill, broken pipe) must never change
-                # answers: drop the pool and compute in-process.
-                self._shutdown_pool()
-                self._broken = True
-                return None
+            if prof is not None:
+                out = self._run_profiled(fn, tasks, kernel, sizes, prof)
+            else:
+                out = self._run_plain(fn, tasks)
+            if out is None:
+                if self._broken:
+                    return None
+                continue  # stale snapshot: loop re-forks once
             self.pool_tasks += len(tasks)
+            self._m_tasks.inc(len(tasks))
+            self._m_ipc_bytes.inc(sum(_result_bytes(o) for o in out))
             return out
+        self._last_fallback_reason = "stale"
         return None
+
+    def _run_plain(self, fn, tasks: Sequence[tuple]) -> Optional[list]:
+        futures = [self._pool.submit(fn, self._gen, *t) for t in tasks]
+        try:
+            return [f.result() for f in futures]
+        except _StaleWorker:
+            self._stale = True
+            self.stale_retries += 1
+            self._m_stale.inc()
+            return None
+        except BaseException:
+            # A dead worker (OOM kill, broken pipe) must never change
+            # answers: drop the pool and compute in-process.
+            self._shutdown_pool()
+            self._broken = True
+            self._last_fallback_reason = "worker_death"
+            return None
+
+    def _run_profiled(self, fn, tasks: Sequence[tuple], kernel: str,
+                      sizes: Optional[Sequence[int]],
+                      prof) -> Optional[list]:
+        """The pooled dispatch with dual-clock stamping: identical task
+        flow, plus per-task submit/receive stamps on the main side and
+        the worker stamp buffer shipped home with each result."""
+        from ..obs.walltime import TaskTrace
+
+        disp = prof.dispatch(kernel)
+        self._open_dispatch = disp
+        futures = []
+        for i, t in enumerate(tasks):
+            t_submit = prof.timer()
+            fut = self._pool.submit(_profiled_call, fn, self._gen, t)
+            futures.append((fut, t_submit, i))
+        disp.t_submit_end = prof.timer()
+        out: list = []
+        try:
+            for fut, t_submit, i in futures:
+                val, stamps = fut.result()
+                t_recv = prof.timer()
+                pid, fork_wall, t_start, t_kernel_end, t_ret, nbytes = stamps
+                n = int(sizes[i]) if sizes is not None else 0
+                disp.tasks.append(TaskTrace(
+                    kernel=kernel, part=i, n_elements=n,
+                    t_submit=t_submit, t_recv=t_recv, pid=pid,
+                    gen=self._gen, fork_wall_s=fork_wall, t_start=t_start,
+                    t_kernel_end=t_kernel_end, t_ret=t_ret,
+                    result_bytes=nbytes,
+                ))
+                out.append(val)
+        except _StaleWorker:
+            disp.t_wait_end = disp.t_merge_end = prof.timer()
+            self._open_dispatch = None
+            self._stale = True
+            self.stale_retries += 1
+            self._m_stale.inc()
+            return None
+        except BaseException:
+            disp.t_wait_end = disp.t_merge_end = prof.timer()
+            self._open_dispatch = None
+            self._shutdown_pool()
+            self._broken = True
+            self._last_fallback_reason = "worker_death"
+            return None
+        disp.t_wait_end = disp.t_merge_end = prof.timer()
+        return out
+
+    def _finish_merge(self) -> None:
+        """Close the merge interval of the dispatch just returned (the
+        caller concatenates partial results between wait end and here)."""
+        disp, self._open_dispatch = self._open_dispatch, None
+        if disp is not None and self.profiler is not None:
+            disp.t_merge_end = self.profiler.timer()
 
     # ------------------------------------------------------------- kernels
     def mask_coords(self, obj, interval: Interval, cstart: int,
@@ -282,46 +480,83 @@ class ParallelRuntime:
         one condition within the constraint window, bit-identical to the
         serial kernel for any worker count."""
         n = cstop - cstart
-        if self.active and n >= self.min_elements and self._fresh_or_refork(obj):
+        reason = self._pool_gate(n)
+        if reason is None and self._fresh_or_refork(obj):
             spans = region_spans(obj, cstart, cstop, self.workers)
             tasks = [(obj.name, a, b, interval) for a, b in spans]
-            parts = self._run_tasks(_mask_span, tasks) if tasks else []
+            sizes = [b - a for a, b in spans]
+            parts = (
+                self._run_tasks(_mask_span, tasks, "mask", sizes)
+                if tasks else []
+            )
             if parts is not None:
-                return self._concat_coords(parts)
-        self.inline_tasks += 1
+                out = self._concat_coords(parts)
+                self._finish_merge()
+                return out
+            reason = self._last_fallback_reason
+        self._fallback(reason)
+        prof = self.profiler
+        t0 = prof.timer() if prof is not None else 0.0
         window = obj.data[cstart:cstop]
-        return np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+        out = (
+            np.flatnonzero(interval.mask(window)).astype(np.int64) + cstart
+        )
+        if prof is not None:
+            prof.record_inline("mask", t0, prof.timer(), n)
+        return out
 
     def filter_coords(self, obj, interval: Interval,
                       coords: np.ndarray) -> np.ndarray:
         """Parallel candidate re-check: ``coords[interval.mask(data[coords])]``
         over contiguous coordinate slices, merged in slice order."""
-        if (
-            self.active
-            and coords.size >= self.min_elements
-            and self._fresh_or_refork(obj)
-        ):
+        reason = self._pool_gate(int(coords.size))
+        if reason is None and self._fresh_or_refork(obj):
             slices = [
                 s for s in np.array_split(coords, self.workers) if s.size
             ]
             tasks = [(obj.name, s, interval) for s in slices]
-            parts = self._run_tasks(_filter_span, tasks) if tasks else []
+            sizes = [int(s.size) for s in slices]
+            parts = (
+                self._run_tasks(_filter_span, tasks, "filter", sizes)
+                if tasks else []
+            )
             if parts is not None:
-                return self._concat_coords(parts)
-        self.inline_tasks += 1
-        return coords[interval.mask(obj.data[coords])]
+                out = self._concat_coords(parts)
+                self._finish_merge()
+                return out
+            reason = self._last_fallback_reason
+        self._fallback(reason)
+        prof = self.profiler
+        t0 = prof.timer() if prof is not None else 0.0
+        out = coords[interval.mask(obj.data[coords])]
+        if prof is not None:
+            prof.record_inline("filter", t0, prof.timer(), int(coords.size))
+        return out
 
     def count_hits(self, obj, interval: Interval) -> int:
         """Parallel whole-object hit count (metadata+data queries)."""
         n = int(obj.n_elements)
-        if self.active and n >= self.min_elements and self._fresh_or_refork(obj):
+        reason = self._pool_gate(n)
+        if reason is None and self._fresh_or_refork(obj):
             spans = region_spans(obj, 0, n, self.workers)
             tasks = [(obj.name, a, b, interval) for a, b in spans]
-            parts = self._run_tasks(_count_span, tasks) if tasks else []
+            sizes = [b - a for a, b in spans]
+            parts = (
+                self._run_tasks(_count_span, tasks, "count", sizes)
+                if tasks else []
+            )
             if parts is not None:
-                return int(sum(parts))
-        self.inline_tasks += 1
-        return int(interval.mask(obj.data).sum())
+                out = int(sum(parts))
+                self._finish_merge()
+                return out
+            reason = self._last_fallback_reason
+        self._fallback(reason)
+        prof = self.profiler
+        t0 = prof.timer() if prof is not None else 0.0
+        out = int(interval.mask(obj.data).sum())
+        if prof is not None:
+            prof.record_inline("count", t0, prof.timer(), n)
+        return out
 
     # ------------------------------------------------------------- plumbing
     def _fresh_or_refork(self, obj) -> bool:

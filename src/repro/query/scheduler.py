@@ -354,13 +354,16 @@ class QueryScheduler:
         self.batches.append(batch)
         monitor = self.system.monitor
         if monitor.enabled:
+            t_s = max(c.now for c in self.system.all_clocks())
             monitor.on_window(
-                max(c.now for c in self.system.all_clocks()),
+                t_s,
                 len(specs),
                 batch.elapsed_s,
                 batch.shared_reads,
                 batch.saved_bytes_virtual,
             )
+            if self.engine.parallel is not None:
+                monitor.on_parallel(t_s, self.engine.parallel.wall_metrics)
         return batch
 
     def analyze_window(self, specs: Sequence[Union[QueryNode, QuerySpec]]):

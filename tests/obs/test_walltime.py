@@ -1,0 +1,339 @@
+"""Wall-clock observability: dual-clock joins, bucket attribution, and
+the zero-cost invariant.
+
+Two kinds of tests.  Synthetic ones drive :mod:`repro.obs.walltime` with
+hand-built stamps (no pool, no real clock) and assert the bucket
+decomposition *exactly*.  Integration ones run a real forked pool with a
+profiler attached and assert the properties that must hold on any
+machine: near-total bucket coverage, per-worker timelines, exportable
+traces, and — the invariant every obs layer carries — bit-identical
+results with profiling on vs off.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.obs.walltime import (
+    BUCKET_NAMES,
+    DispatchTrace,
+    TaskTrace,
+    WallProfiler,
+    build_report,
+    clip_intervals,
+    efficiency_table,
+    interval_length,
+    merge_intervals,
+    render_report,
+    report_to_dict,
+    report_tracer,
+    subtract_intervals,
+)
+from repro.query.ast import Condition, combine_and
+from repro.query.executor import QueryEngine
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+
+def build_system(n=1 << 13):
+    sysm = make_system(
+        n_servers=4, region_size_bytes=1 << 11, metrics=MetricsRegistry()
+    )
+    rng = np.random.default_rng(99)
+    sysm.create_object("energy", rng.gamma(2.0, 0.7, n).astype(np.float32))
+    sysm.create_object(
+        "x", (rng.random(n) * 300.0).astype(np.float32)
+    )
+    sysm.build_index("energy")
+    return sysm
+
+
+NODE = combine_and(
+    Condition("energy", QueryOp.GT, PDCType.FLOAT, 2.0),
+    Condition("x", QueryOp.LT, PDCType.FLOAT, 150.0),
+)
+
+
+class TestIntervalMath:
+    def test_merge(self):
+        assert merge_intervals([(3, 4), (1, 2), (1.5, 3.5)]) == [(1, 4)]
+        assert merge_intervals([(1, 1), (2, 1)]) == []  # degenerate dropped
+
+    def test_clip(self):
+        assert clip_intervals([(0, 10)], 2, 5) == [(2, 5)]
+        assert clip_intervals([(0, 1), (6, 9)], 2, 5) == []
+
+    def test_subtract(self):
+        assert subtract_intervals([(0, 10)], [(2, 3), (5, 7)]) == [
+            (0, 2), (3, 5), (7, 10)
+        ]
+        assert subtract_intervals([(0, 4)], [(0, 10)]) == []
+
+    def test_length_counts_overlap_once(self):
+        assert interval_length([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+
+class TestSyntheticAttribution:
+    """Hand-built stamps with known geometry -> exact bucket values."""
+
+    def _profiler(self):
+        prof = WallProfiler(timer=lambda: 0.0)
+        # One measured window [0, 10].
+        prof.run_spans.append(("trial", 0.0, 10.0))
+        # Pool fork work [0, 1].
+        prof.record_fork(0.0, 1.0)
+        # One inline kernel [1, 2].
+        prof.record_inline("mask", 1.0, 2.0, 100)
+        # One dispatch: submit [2, 3], wait [3, 8], merge [8, 9].
+        d = DispatchTrace(
+            kernel="mask", t0=2.0, t_submit_end=3.0,
+            t_wait_end=8.0, t_merge_end=9.0,
+        )
+        # Its single task: first on pid 7, submitted at 2.5, kernel
+        # [5, 7] -> the wait decomposes into fork-gap [3, 5], kernel
+        # [5, 7], straggler-drain [7, 8].
+        d.tasks.append(TaskTrace(
+            kernel="mask", part=0, n_elements=4096,
+            t_submit=2.5, t_recv=8.0, pid=7, gen=1,
+            t_start=5.0, t_kernel_end=7.0, t_ret=7.5, result_bytes=64,
+        ))
+        prof.dispatches.append(d)
+        return prof
+
+    def test_exact_buckets(self):
+        rep = build_report(self._profiler())
+        assert rep.total_s == pytest.approx(10.0)
+        assert rep.buckets["kernel"] == pytest.approx(3.0)  # inline + pooled
+        assert rep.buckets["fork"] == pytest.approx(3.0)    # pool + 1st-task
+        assert rep.buckets["ipc"] == pytest.approx(1.0)     # submit [2, 3]
+        assert rep.buckets["merge_wait"] == pytest.approx(2.0)
+        assert rep.buckets["serial_residue"] == pytest.approx(1.0)
+        assert sum(rep.buckets.values()) == pytest.approx(rep.total_s)
+        assert rep.coverage == pytest.approx(1.0)
+        assert set(rep.buckets) == set(BUCKET_NAMES)
+
+    def test_worker_stats(self):
+        rep = build_report(self._profiler())
+        assert list(rep.workers) == [7]
+        w = rep.workers[7]
+        assert w["tasks"] == 1.0
+        assert w["busy_s"] == pytest.approx(2.0)
+        assert w["utilization"] == pytest.approx(0.2)
+        assert w["first_latency_s"] == pytest.approx(2.5)  # 5.0 - 2.5
+        assert rep.dispatches == 1
+        assert rep.pool_tasks == 1
+        assert rep.inline_tasks == 1
+        assert rep.ipc_result_bytes == 64
+
+    def test_buckets_clipped_to_run_windows(self):
+        """Stamps outside the measured window never count."""
+        prof = self._profiler()
+        prof.run_spans = [("trial", 4.0, 10.0)]  # excludes fork + inline
+        rep = build_report(prof)
+        assert rep.total_s == pytest.approx(6.0)
+        assert rep.buckets["fork"] == pytest.approx(1.0)  # only [4, 5]
+        assert rep.buckets["ipc"] == pytest.approx(0.0)   # submit was [2, 3]
+        assert sum(rep.buckets.values()) == pytest.approx(6.0)
+
+    def test_render_and_dict(self):
+        rep = build_report(self._profiler())
+        text = render_report(rep)
+        for name in BUCKET_NAMES:
+            assert name in text
+        assert "coverage: 100.0%" in text
+        assert "pid 7" in text
+        doc = json.loads(json.dumps(report_to_dict(rep)))
+        assert doc["buckets"]["kernel"] == pytest.approx(3.0)
+        assert doc["workers"]["7"]["tasks"] == 1.0
+
+    def test_tracer_export_tracks(self, tmp_path):
+        tracer = report_tracer(self._profiler())
+        tracks = {s.track for s in tracer.spans}
+        assert tracks == {"main", "worker-7"}
+        names = {s.name for s in tracer.spans}
+        assert {"trial", "pool_fork", "mask_inline", "mask_dispatch",
+                "submit", "result_wait", "merge", "mask",
+                "serialize"} <= names
+        # Sub-spans of the dispatch are parented under it.
+        by_name = {s.name: s for s in tracer.spans}
+        assert (
+            by_name["submit"].parent_id == by_name["mask_dispatch"].span_id
+        )
+        out = tmp_path / "pool_trace.json"
+        tracer.write_chrome(str(out))
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        assert events
+
+    def test_empty_profiler(self):
+        rep = build_report(WallProfiler(timer=lambda: 0.0))
+        assert rep.total_s == 0.0 and rep.coverage == 1.0
+        assert report_tracer(WallProfiler(timer=lambda: 0.0)).spans == []
+
+    def test_efficiency_table(self):
+        rows = efficiency_table(8.0, [(2, 5.0), (8, 2.0)])
+        assert rows[0]["speedup"] == pytest.approx(1.6)
+        assert rows[0]["efficiency"] == pytest.approx(0.8)
+        assert rows[1]["speedup"] == pytest.approx(4.0)
+        assert rows[1]["efficiency"] == pytest.approx(0.5)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestRealPool:
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_coverage_and_worker_timelines(self, workers, tmp_path):
+        sysm = build_system()
+        with QueryEngine(sysm, workers=workers) as engine:
+            engine.parallel.min_elements = 0
+            prof = WallProfiler()
+            engine.set_wall_profiler(prof)
+            with prof.run("trial"):
+                for _ in range(3):
+                    engine.execute(NODE, want_selection=True)
+            rep = build_report(prof)
+        assert rep.pool_tasks > 0
+        assert rep.buckets["kernel"] > 0.0
+        # >= 95% of measured wall time lands in named buckets (the
+        # acceptance bar; exhaustive by construction since the residue
+        # bucket absorbs the remainder of disjoint intervals).
+        assert rep.coverage >= 0.95
+        assert sum(rep.buckets.values()) <= rep.total_s * (1 + 1e-9)
+        assert rep.workers, "no worker stamps came home"
+        for stats in rep.workers.values():
+            assert stats["busy_s"] > 0.0
+        tracer = report_tracer(prof)
+        worker_tracks = {
+            s.track for s in tracer.spans if s.track.startswith("worker-")
+        }
+        assert len(worker_tracks) >= 1
+        out = tmp_path / "pool.json"
+        tracer.write_chrome(str(out))
+        assert json.loads(out.read_text())
+
+    def test_zero_cost_invariant_pooled(self):
+        """Profiler attached vs not: identical answers, clocks, metrics."""
+
+        def run(with_profiler):
+            sysm = build_system()
+            with QueryEngine(sysm, workers=2) as engine:
+                engine.parallel.min_elements = 0
+                if with_profiler:
+                    engine.set_wall_profiler(WallProfiler())
+                res = engine.execute(NODE, want_selection=True)
+                return (
+                    res.nhits,
+                    res.selection.coords.tobytes(),
+                    repr(res.elapsed_s),
+                    tuple(repr(c.now) for c in sysm.all_clocks()),
+                    sysm.metrics.render(),
+                )
+
+        assert run(True) == run(False)
+
+    def test_zero_cost_invariant_serial(self):
+        def run(with_profiler):
+            sysm = build_system()
+            engine = QueryEngine(sysm)
+            if with_profiler:
+                engine.set_wall_profiler(WallProfiler())
+            res = engine.execute(NODE, want_selection=True)
+            return (
+                res.nhits,
+                res.selection.coords.tobytes(),
+                repr(res.elapsed_s),
+                tuple(repr(c.now) for c in sysm.all_clocks()),
+                sysm.metrics.render(),
+            )
+
+        assert run(True) == run(False)
+
+    def test_serial_hot_path_records_inline_kernels(self):
+        sysm = build_system()
+        engine = QueryEngine(sysm)  # no pool at all
+        prof = WallProfiler()
+        engine.set_wall_profiler(prof)
+        engine.execute(NODE, want_selection=True)
+        assert prof.inline_spans, "serial kernels not stamped"
+        kernels = {k for k, _, _, _ in prof.inline_spans}
+        assert kernels <= {"mask", "filter", "count"}
+
+
+class TestWallMetricsScrape:
+    """pdc_parallel_* counters: registry separation, monitor bridge,
+    OpenMetrics export."""
+
+    def _runtime_with_counts(self):
+        sysm = build_system()
+        engine = QueryEngine(sysm, workers=2)
+        # Fixture objects sit far below min_elements: every kernel is an
+        # accounted in-process fallback.
+        engine.execute(NODE, want_selection=True)
+        return sysm, engine
+
+    def test_counters_live_outside_system_registry(self):
+        sysm, engine = self._runtime_with_counts()
+        try:
+            wall = engine.parallel.wall_metrics.render()
+            assert "pdc_parallel_fallbacks_total" in wall
+            assert 'reason="min_elements"' in wall
+            assert "pdc_parallel" not in sysm.metrics.render()
+        finally:
+            engine.close()
+
+    def test_monitor_scrape_and_openmetrics(self):
+        from repro.obs.export import render_openmetrics
+        from repro.obs.monitor import NOOP_MONITOR, ServiceMonitor
+
+        sysm, engine = self._runtime_with_counts()
+        try:
+            mon = ServiceMonitor()
+            mon.on_parallel(1.0, engine.parallel.wall_metrics)
+            names = {s.name for s in mon.recorder.all_series()}
+            assert "pdc_parallel_fallbacks_total" in names
+            text = render_openmetrics(
+                registry=sysm.metrics,
+                recorder=mon.recorder,
+                t_end=1.0,
+                wall_registry=engine.parallel.wall_metrics,
+            )
+            assert "pdc_parallel_fallbacks_total" in text
+            assert text.rstrip().endswith("# EOF")
+            # The disabled monitor accepts the hook and does nothing.
+            assert NOOP_MONITOR.on_parallel(
+                1.0, engine.parallel.wall_metrics
+            ) is None
+        finally:
+            engine.close()
+
+    def test_scheduler_bridges_wall_counters(self):
+        from repro.obs.monitor import ServiceMonitor
+        from repro.query.scheduler import QueryScheduler
+
+        sysm = build_system()
+        sysm.set_monitor(ServiceMonitor())
+        sched = QueryScheduler(sysm, max_width=4, workers=2)
+        try:
+            sched.run([NODE])
+            names = {
+                s.name for s in sysm.monitor.recorder.all_series()
+            }
+            assert "pdc_parallel_fallbacks_total" in names
+        finally:
+            sched.close()
+
+    def test_recorder_scrape_direct(self):
+        sysm, engine = self._runtime_with_counts()
+        try:
+            rec = TimeSeriesRecorder()
+            n = rec.scrape(engine.parallel.wall_metrics, 2.0)
+            assert n > 0
+        finally:
+            engine.close()

@@ -11,6 +11,7 @@ fixtures (the production default would route them in-process).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 
 import numpy as np
 import pytest
@@ -264,6 +265,98 @@ class TestInvalidation:
             x = sysm.objects["x"].data
             truth = np.flatnonzero((e > 2.0) & (x < 150.0))
             assert np.array_equal(res.selection.coords, truth)
+
+
+def _exit_kernel(gen, name, start, stop, interval):  # pragma: no cover
+    """Pool-side kernel stand-in that kills its worker process outright
+    (simulates an OOM kill / hard crash mid-task)."""
+    os._exit(17)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestDegradedPaths:
+    """Pool failure modes: every one degrades to in-process execution
+    with the reason counted and the answers bit-identical."""
+
+    def _truth(self, sysm):
+        e = sysm.objects["energy"].data
+        x = sysm.objects["x"].data
+        return np.flatnonzero((e > 2.0) & (x < 150.0))
+
+    def test_stale_generation_token_reforks(self):
+        """A worker forked from another runtime's snapshot (lazy forking
+        races the globals) reports stale; one re-fork recovers."""
+        sysm_a, sysm_b = build_system(), build_system(seed=5)
+        with make_engine(sysm_a, 2) as ea, make_engine(sysm_b, 2) as eb:
+            rt = ea.parallel
+            # Publish A's snapshot; the executor forks lazily, so no
+            # worker holds it yet...
+            assert rt._ensure_pool()
+            assert rt.refork_count == 1
+            # ...then B overwrites the module globals before A's first
+            # submit: A's workers will fork from B's snapshot.
+            eb.execute(NODE, want_selection=True)
+            res = ea.execute(NODE, want_selection=True)
+            assert rt.stale_retries == 1
+            assert rt.refork_count == 2  # initial fork + stale re-fork
+            wall = rt.wall_metrics.render()
+            assert "pdc_parallel_stale_reforks_total 1" in wall
+            assert rt.pool_tasks > 0  # the retry went through the pool
+            assert np.array_equal(
+                res.selection.coords, self._truth(sysm_a)
+            )
+
+    def test_worker_death_falls_back_in_process(self, monkeypatch):
+        from repro.query import parallel as par_mod
+
+        sysm = build_system()
+        truth = self._truth(sysm)
+        with make_engine(sysm, 2) as engine:
+            rt = engine.parallel
+            monkeypatch.setattr(par_mod, "_mask_span", _exit_kernel)
+            res = engine.execute(NODE, want_selection=True)
+            assert rt.fallbacks.get("worker_death", 0) >= 1
+            assert 'reason="worker_death"' in rt.wall_metrics.render()
+            assert not rt.active  # pool permanently retired
+            assert np.array_equal(res.selection.coords, truth)
+            # Still answering (inline) after the pool broke.
+            again = engine.execute(NODE, want_selection=True)
+            assert np.array_equal(again.selection.coords, truth)
+
+    def test_min_elements_boundary(self):
+        from repro.interval import Interval
+
+        sysm = build_system()
+        with QueryEngine(sysm, workers=2) as engine:
+            rt = engine.parallel
+            obj = sysm.objects["energy"]
+            iv = Interval(lo=2.0, hi=4.0, lo_closed=False, hi_closed=False)
+            expected = int(iv.mask(obj.data).sum())
+            # At the boundary (n == min_elements) the pool is used...
+            rt.min_elements = obj.n_elements
+            assert rt.count_hits(obj, iv) == expected
+            assert rt.pool_tasks > 0
+            assert rt.fallbacks.get("min_elements") is None
+            # ...one element higher, it is an accounted inline fallback.
+            rt.min_elements = obj.n_elements + 1
+            assert rt.count_hits(obj, iv) == expected
+            assert rt.fallbacks.get("min_elements") == 1
+            assert 'reason="min_elements"' in rt.wall_metrics.render()
+
+    def test_closed_runtime_answers_inline(self):
+        from repro.interval import Interval
+
+        sysm = build_system()
+        rt = ParallelRuntime(2, min_elements=0)
+        rt.bind(sysm)
+        rt.close()
+        rt.close()  # idempotent
+        obj = sysm.objects["energy"]
+        iv = Interval(lo=2.0, hi=4.0, lo_closed=False, hi_closed=False)
+        assert rt.count_hits(obj, iv) == int(iv.mask(obj.data).sum())
+        assert rt.closed and rt.pool_tasks == 0
+        assert rt.fallbacks.get("closed") == 1
+        assert 'reason="closed"' in rt.wall_metrics.render()
 
 
 class TestLifecycle:
