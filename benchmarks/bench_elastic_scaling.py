@@ -1,0 +1,155 @@
+"""Elastic scaling: pin the load-doubling recovery claim.
+
+Runs the deterministic elastic scenario (open-loop arrivals that double
+mid-run over a small fleet) and gates the three claims the cluster
+subsystem makes:
+
+* the autoscaler reacts — at least one scale-out fires during the surge,
+  driven purely by the monitor's ``pdc_service_*`` queue-wait series;
+* the tail recovers — the p99 queue wait of surge arrivals dispatched
+  after the last scale-out sits within 2x the pre-surge p99;
+* the whole elastic run replays — a same-seed repeat produces a
+  bit-identical fingerprint over membership events, scaling decisions,
+  alerts, and every ticket's terminal state.
+
+Also reported: migration volume (copy-then-commit moves charged in
+simulated seconds), fleet trajectory, and per-phase tails.
+
+Standalone (not pytest-benchmark): run as
+
+    PYTHONPATH=src python benchmarks/bench_elastic_scaling.py [--smoke]
+
+``--smoke`` shrinks the workload for CI; exit status is non-zero when
+any gate fails.  Results are appended as JSON under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.cluster.demo import demo_cluster_run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI (same gates, fewer requests)",
+    )
+    parser.add_argument("--requests", type=int, default=None,
+                        help="workload size (default: 320; smoke: 160)")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="arrival RNG seed")
+    parser.add_argument("--servers", type=int, default=2,
+                        help="initial (and minimum) fleet size")
+    parser.add_argument("--max-servers", type=int, default=8,
+                        help="autoscaler fleet ceiling")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: benchmarks/results/)")
+    args = parser.parse_args(argv)
+
+    n_requests = args.requests or (160 if args.smoke else 320)
+
+    wall0 = time.perf_counter()
+    run = demo_cluster_run(
+        seed=args.seed,
+        requests=n_requests,
+        n_servers=args.servers,
+        max_servers=args.max_servers,
+    )
+    wall_s = time.perf_counter() - wall0
+    print(run.render())
+
+    failures = 0
+
+    # --- the autoscaler must react to the doubled load ----------------
+    if run.n_scale_out < 1:
+        print("  ERROR: load doubled but no scale-out fired")
+        failures += 1
+    else:
+        print(f"  reaction: {run.n_scale_out} scale-out decisions, fleet "
+              f"{run.servers_before} -> peak "
+              f"{max(d.n_servers_after for d in run.decisions)}  ok")
+
+    # --- the tail must recover once the fleet grew --------------------
+    if not run.recovered:
+        print(f"  ERROR: p99 queue wait did not recover "
+              f"(pre-surge {run.p99_pre_s * 1e3:.3f} ms, post-scale "
+              f"{run.p99_recovered_s * 1e3:.3f} ms, gate 2x)")
+        failures += 1
+    else:
+        print(f"  recovery: post-scale p99 {run.p99_recovered_s * 1e3:.3f} ms "
+              f"<= 2x pre-surge {run.p99_pre_s * 1e3:.3f} ms  ok")
+
+    # --- same-seed replay must be bit-identical -----------------------
+    rerun = demo_cluster_run(
+        seed=args.seed,
+        requests=n_requests,
+        n_servers=args.servers,
+        max_servers=args.max_servers,
+    )
+    if rerun.fingerprint() != run.fingerprint():
+        print("  ERROR: same-seed elastic run diverged (nondeterminism)")
+        failures += 1
+    else:
+        print("  determinism: same-seed run fingerprint identical  ok")
+
+    moved_vbytes = sum(r["moved_vbytes"] for r in run.manager.to_records())
+    print(f"elastic scaling: {n_requests} requests, seed {args.seed}, "
+          f"wall {wall_s * 1e3:.1f} ms")
+    print(f"  migrations: {len(run.manager.to_records())}, "
+          f"{moved_vbytes:.0f} virtual bytes moved, "
+          f"{len(run.system.membership.events)} membership events")
+
+    out = args.out
+    if out is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "results"
+        )
+        os.makedirs(results_dir, exist_ok=True)
+        out = os.path.join(results_dir, "elastic_scaling.json")
+
+    def _num(v):
+        return None if isinstance(v, float) and math.isnan(v) else v
+
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "requests": n_requests,
+                "seed": args.seed,
+                "servers_before": run.servers_before,
+                "servers_after": run.servers_after,
+                "n_scale_out": run.n_scale_out,
+                "decisions": run.autoscaler.to_records(),
+                "p99_pre_s": _num(run.p99_pre_s),
+                "p99_peak_s": _num(run.p99_peak_s),
+                "p99_recovered_s": _num(run.p99_recovered_s),
+                "recovered": run.recovered,
+                "migrations": run.manager.to_records(),
+                "membership_events": len(run.system.membership.events),
+                "fingerprint": run.fingerprint(),
+                "wall_s": wall_s,
+                "passed": failures == 0,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"results -> {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Elastic cluster membership, rebalancing, and autoscaling.
+
+Three layers, each usable alone:
+
+* :mod:`repro.cluster.membership` — the deterministic membership
+  registry (join/activate/drain/leave/crash/recover on simulated
+  clocks, heartbeat leases, generation-numbered views, fingerprintable
+  event stream).  :class:`~repro.pdc.system.PDCSystem` always owns one;
+  ``fail_server`` is just its ``crash`` transition.
+* :mod:`repro.cluster.rebalance` — placement maps (slot tables whose
+  canonical form *is* the static modulo routing) and copy-then-commit
+  migrations with transfer time charged in simulated seconds, driven by
+  :class:`~repro.cluster.rebalance.ClusterManager`.
+* :mod:`repro.cluster.autoscale` — the hysteresis controller that turns
+  the service monitor's ``pdc_service_*`` series into replayable
+  scale-out/scale-in decisions.
+
+``membership`` and ``rebalance`` are imported eagerly (the PDC system
+depends on them); ``autoscale`` and ``demo`` load lazily because they
+pull in the observability and service stacks.
+"""
+
+from .membership import (
+    CRASHED,
+    DRAINING,
+    GONE,
+    JOINING,
+    LIVE,
+    SERVING_STATES,
+    STATES,
+    MembershipEvent,
+    MembershipRegistry,
+    MembershipView,
+)
+from .rebalance import ClusterManager, Migration, PlacementMap, RegionMove
+
+__all__ = [
+    "JOINING",
+    "LIVE",
+    "DRAINING",
+    "CRASHED",
+    "GONE",
+    "STATES",
+    "SERVING_STATES",
+    "MembershipEvent",
+    "MembershipView",
+    "MembershipRegistry",
+    "PlacementMap",
+    "RegionMove",
+    "Migration",
+    "ClusterManager",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScalingDecision",
+    "demo_cluster_run",
+]
+
+_LAZY = {
+    "Autoscaler": ("autoscale", "Autoscaler"),
+    "AutoscalerConfig": ("autoscale", "AutoscalerConfig"),
+    "ScalingDecision": ("autoscale", "ScalingDecision"),
+    "demo_cluster_run": ("demo", "demo_cluster_run"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -294,9 +295,15 @@ class MergeableHistogram:
         # fine-bin offset can exceed int64 when the widths differ by a huge
         # power of two (e.g. 2^-56 vs 2^8), so fall back to Python-int
         # arithmetic outside the safe range; the *coarse* indexes are
-        # always small because offset_bins < ratio.
+        # always small because offset_bins < ratio.  The offset itself is
+        # computed in exact rationals: at extreme width ratios (e.g. a
+        # subnormal-width grid coarsened onto a 2^-20 grid) the float
+        # subtraction ``self.start - new_start`` absorbs the fine start
+        # entirely and would shift every fine bin by the lost amount.
         ratio_i = int(ratio)
-        offset_bins = round((self.start - new_start) / self.bin_width)
+        offset_bins = int(
+            (Fraction(self.start) - Fraction(new_start)) / Fraction(self.bin_width)
+        )
         if ratio_i < (1 << 62) and offset_bins + self.n_bins < (1 << 62):
             fine_idx = offset_bins + np.arange(self.n_bins, dtype=np.int64)
             coarse_idx = fine_idx // ratio_i

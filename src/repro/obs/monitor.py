@@ -121,6 +121,32 @@ class NoopMonitor:
     ) -> None:
         return None
 
+    def on_membership(
+        self,
+        t_s: float,
+        server_id: int,
+        kind: str,
+        state: str,
+        generation: int,
+        n_serving: int,
+    ) -> None:
+        return None
+
+    def on_migration(
+        self,
+        t_s: float,
+        n_moves: int,
+        moved_vbytes: float,
+        duration_s: float,
+        status: str,
+    ) -> None:
+        return None
+
+    def on_scale_decision(
+        self, t_s: float, action: str, amount: int, n_servers: int, reason: str
+    ) -> None:
+        return None
+
     def on_parallel(self, t_s: float, wall_registry) -> None:
         return None
 
@@ -318,6 +344,71 @@ class ServiceMonitor:
             "pdc_compaction_delta_elements", t_s, float(delta_elements),
             object=object_name,
         )
+
+    # ------------------------------------------------------- cluster hooks
+    #
+    # Cluster hooks stamp clock-frontier instants (a migration commits at
+    # the post-transfer barrier), which can run *ahead* of the drain
+    # loop's dispatch frontier.  Like the submission-side hooks above,
+    # they therefore only touch series fed exclusively from the cluster
+    # path and never drive the scrape cadence — otherwise a scrape at the
+    # migration frontier would poison drain-fed series (queue depth is
+    # both a registry gauge and a dispatch-hook series) with a timestamp
+    # the next dispatch sample would then precede.
+    def on_membership(
+        self,
+        t_s: float,
+        server_id: int,
+        kind: str,
+        state: str,
+        generation: int,
+        n_serving: int,
+    ) -> None:
+        """One membership transition (join/activate/drain/leave/crash/
+        lease_expire/recover) plus the fleet gauges it implies."""
+        self.recorder.record(
+            "pdc_cluster_membership_events", t_s, 1.0, kind="event",
+            # The transition kind is a label legitimately named like the
+            # series kind parameter, hence the dict form (renamed "event"
+            # to keep exports unambiguous).
+            labels={"server": f"server{server_id}", "event": kind},
+        )
+        self.recorder.record("pdc_cluster_generation", t_s, float(generation))
+        self.recorder.record(
+            "pdc_cluster_serving_servers", t_s, float(n_serving)
+        )
+
+    def on_migration(
+        self,
+        t_s: float,
+        n_moves: int,
+        moved_vbytes: float,
+        duration_s: float,
+        status: str,
+    ) -> None:
+        """One finished (committed or aborted) region migration: volume
+        series plus the migration-duration SLI."""
+        self.recorder.observe(
+            "pdc_cluster_migration_moves", t_s, float(n_moves), status=status
+        )
+        self.recorder.observe(
+            "pdc_cluster_migration_bytes_virtual", t_s, float(moved_vbytes),
+            status=status,
+        )
+        self.recorder.observe(
+            "pdc_cluster_migration_sim_seconds", t_s, float(duration_s),
+            status=status,
+        )
+        self.slo.observe(t_s, "cluster", "migration", queue_wait_s=duration_s)
+
+    def on_scale_decision(
+        self, t_s: float, action: str, amount: int, n_servers: int, reason: str
+    ) -> None:
+        """One autoscaler action and the resulting fleet size."""
+        self.recorder.observe(
+            "pdc_cluster_scale_decisions", t_s, float(amount), action=action
+        )
+        self.recorder.record("pdc_cluster_servers", t_s, float(n_servers))
 
     # ------------------------------------------------------ parallel hooks
     def on_parallel(self, t_s: float, wall_registry) -> None:

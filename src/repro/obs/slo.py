@@ -53,8 +53,10 @@ __all__ = ["SLI_NAMES", "SLO", "Alert", "SLOState", "SLOMonitor"]
 #: * ``timeout``   — bad when the completed request hit its simulated
 #:   execution deadline;
 #: * ``ingest_lag`` — judges ``ingest_epoch`` observations only: bad
-#:   when the epoch's apply lag exceeded ``threshold_s``.
-SLI_NAMES = ("queue_wait", "shed", "error", "timeout", "ingest_lag")
+#:   when the epoch's apply lag exceeded ``threshold_s``;
+#: * ``migration`` — judges cluster ``migration`` observations only: bad
+#:   when the migration's simulated duration exceeded ``threshold_s``.
+SLI_NAMES = ("queue_wait", "shed", "error", "timeout", "ingest_lag", "migration")
 
 
 @dataclass(frozen=True)
@@ -86,7 +88,7 @@ class SLO:
                 f"SLO {self.name!r}: objective must be in (0, 1), "
                 f"got {self.objective}"
             )
-        if self.sli in ("queue_wait", "ingest_lag") and (
+        if self.sli in ("queue_wait", "ingest_lag", "migration") and (
             self.threshold_s is None or self.threshold_s < 0.0
         ):
             raise PDCError(
@@ -128,8 +130,14 @@ class SLO:
             if outcome != "ingest_epoch" or queue_wait_s is None:
                 return None
             return queue_wait_s > self.threshold_s
-        if outcome == "ingest_epoch":
-            # Ingest epochs are outside every request-oriented SLI.
+        if self.sli == "migration":
+            # Judges migrations only; queue_wait_s carries the duration.
+            if outcome != "migration" or queue_wait_s is None:
+                return None
+            return queue_wait_s > self.threshold_s
+        if outcome in ("ingest_epoch", "migration"):
+            # Ingest epochs and migrations are outside every
+            # request-oriented SLI.
             return None
         if self.sli == "queue_wait":
             if outcome == "shed":

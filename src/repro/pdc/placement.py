@@ -10,14 +10,21 @@ common case).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import PDCError
 from .region import RegionMeta
 
-__all__ = ["round_robin", "block", "least_loaded", "POLICIES", "assign_region_ids"]
+__all__ = [
+    "round_robin",
+    "block",
+    "least_loaded",
+    "POLICIES",
+    "assign_region_ids",
+    "incremental_assign",
+]
 
 Assignment = Dict[int, List[RegionMeta]]
 
@@ -80,6 +87,7 @@ def assign_region_ids(
     n_targets: int,
     policy: str = "round_robin",
     weights: Sequence[float] = (),
+    current: Optional[Sequence[Sequence[int]]] = None,
 ) -> List[np.ndarray]:
     """Split bare region ids across ``n_targets`` servers by policy name.
 
@@ -89,9 +97,15 @@ def assign_region_ids(
     ``weights`` optionally seeds ``least_loaded`` with each target's
     existing load so failover work goes to the idlest survivors first.
     Ids within each share keep ascending order (deterministic).
+
+    ``policy="incremental"`` dispatches to :func:`incremental_assign`,
+    which keeps regions where ``current`` already placed them and moves
+    only what balance requires (stable assignment under view change).
     """
     if n_targets < 1:
         raise PDCError("need at least one target server")
+    if policy == "incremental":
+        return incremental_assign(region_ids, n_targets, current=current)
     if policy not in POLICIES:
         raise PDCError(f"unknown placement policy {policy!r}")
     ids = np.asarray(region_ids, dtype=np.int64)
@@ -117,3 +131,67 @@ def assign_region_ids(
             out[s].append(int(rid))
             heapq.heappush(heap, (load + 1.0, s))
     return [np.asarray(sorted(share), dtype=np.int64) for share in out]
+
+
+def incremental_assign(
+    region_ids: np.ndarray,
+    n_targets: int,
+    current: Optional[Sequence[Sequence[int]]] = None,
+) -> List[np.ndarray]:
+    """Stable re-assignment: keep regions where they are, move the minimum.
+
+    ``current`` gives each target's existing share (position ``s`` holds
+    the ids target ``s`` owns now; targets beyond ``len(current)`` are
+    new and start empty).  The result covers exactly ``region_ids``,
+    every share stays within one region of the even split, and a region
+    only moves when its current owner is over quota or no longer exists.
+    A no-op view change (``current`` already covering ``region_ids``
+    with balanced shares over the same target count) moves **zero**
+    regions — the property consistent hashing is built for, done here by
+    explicit quota trimming so the result is exact, not probabilistic.
+
+    Determinism: overfull owners surrender their *largest* ids first and
+    orphans are placed ascending onto the least-loaded target (ties to
+    the lowest target index), so the outcome is a pure function of the
+    inputs.
+    """
+    if n_targets < 1:
+        raise PDCError("need at least one target server")
+    ids = np.asarray(region_ids, dtype=np.int64)
+    wanted = {int(r) for r in ids}
+    base, extra = divmod(ids.size, n_targets)
+    ceil_quota = base + (1 if extra else 0)
+
+    kept: List[List[int]] = [[] for _ in range(n_targets)]
+    seen: set = set()
+    if current is not None:
+        for s in range(min(len(current), n_targets)):
+            for rid in sorted(int(r) for r in current[s]):
+                if rid in wanted and rid not in seen:
+                    kept[s].append(rid)
+                    seen.add(rid)
+    # Trim overfull owners: surrender largest ids (any choice is one
+    # move each; largest-first is stable).  At most `extra` targets may
+    # keep ceil_quota — if more do, the highest-index ones give one up,
+    # so an already-balanced layout (in any permutation) trims nothing.
+    orphans: List[int] = sorted(wanted - seen)
+    for s in range(n_targets):
+        while len(kept[s]) > ceil_quota:
+            orphans.append(kept[s].pop())
+    at_ceil = [s for s in range(n_targets) if len(kept[s]) == ceil_quota]
+    if ceil_quota > base:
+        for s in reversed(at_ceil[extra:]):
+            orphans.append(kept[s].pop())
+    orphans.sort()
+    heap = [(len(kept[s]), s) for s in range(n_targets)]
+    heapq.heapify(heap)
+    for rid in orphans:
+        while True:
+            load, s = heapq.heappop(heap)
+            if load != len(kept[s]):  # stale heap entry
+                heapq.heappush(heap, (len(kept[s]), s))
+                continue
+            break
+        kept[s].append(rid)
+        heapq.heappush(heap, (len(kept[s]), s))
+    return [np.asarray(sorted(share), dtype=np.int64) for share in kept]

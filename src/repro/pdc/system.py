@@ -17,6 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..bitmap.index import RegionBitmapIndex
+from ..cluster.membership import (
+    CRASHED,
+    GONE,
+    SERVING_STATES,
+    MembershipRegistry,
+)
 from ..errors import ObjectNotFoundError, PDCError, QueryError
 from ..histogram.global_hist import GlobalHistogram
 from ..histogram.mergeable import MergeableHistogram
@@ -287,6 +293,20 @@ class PDCSystem:
             s.monitor = self.monitor
         self.client_clock = SimClock("client")
         self._failed_servers: set = set()
+        #: Servers not receiving region routing: joining ∪ crashed ∪ gone
+        #: (``_failed_servers`` stays the crashed subset — the executor's
+        #: failover path reads it directly).
+        self._inactive_servers: set = set()
+        self._gone_servers: set = set()
+        #: Committed non-canonical placement (:class:`PlacementMap`), or
+        #: ``None`` for the canonical modulo-over-alive routing — the fast
+        #: path every pre-cluster deployment stays on.
+        self._placement = None
+        #: Membership registry: every server lifecycle change (including
+        #: :meth:`fail_server`) is one of its transitions.
+        self.membership = MembershipRegistry(range(self.config.n_servers))
+        self.membership.subscribe(self._on_membership_event)
+        self._cluster_events_metric = None
         #: Deterministic fault plan (:mod:`repro.faults`); None = no faults.
         self.fault_plan = None
         self.containers: Dict[str, Container] = {"default": Container("default")}
@@ -309,7 +329,11 @@ class PDCSystem:
     # ----------------------------------------------------------------- config
     @property
     def n_servers(self) -> int:
-        return self.config.n_servers
+        """Provisioned (non-retired) server count.  Crashed servers still
+        count — the pre-cluster fleet size semantics — while servers that
+        completed a drain-and-leave are excluded, so after a scale-in the
+        count matches a static cluster of the final view."""
+        return len(self.servers) - len(self._gone_servers)
 
     @property
     def strategy(self) -> Strategy:
@@ -331,31 +355,159 @@ class PDCSystem:
     def server_of_region(self, region_id: int) -> int:
         """Stable region→server mapping (load-balanced for equal-size
         regions, and cache-friendly across a query sequence).  Routes
-        around failed servers."""
+        around failed servers; honours a committed rebalanced placement
+        when one exists."""
+        if self._placement is not None:
+            return self._placement.owner_of(region_id)
         alive = self.alive_servers
         return alive[region_id % len(alive)].server_id
 
-    # ------------------------------------------------------------- failures
+    def region_owner_positions(self, region_ids: np.ndarray) -> np.ndarray:
+        """Vectorized routing: each region's owner as a *position* into
+        :attr:`alive_servers` (the shape the executor's assignment and
+        charge sites consume).  On the canonical placement this is
+        exactly ``region_ids % len(alive_servers)`` — bit-identical to
+        the pre-cluster modulo routing."""
+        ids = np.asarray(region_ids, dtype=np.int64)
+        alive = self.alive_servers
+        if self._placement is None:
+            return ids % len(alive)
+        return self._placement.positions(ids, [s.server_id for s in alive])
+
+    def placement_map(self):
+        """The committed placement as an explicit map (the canonical map
+        of the current serving set when the fast path is active)."""
+        from ..cluster.rebalance import PlacementMap
+
+        if self._placement is not None:
+            return self._placement
+        return PlacementMap.canonical([s.server_id for s in self.alive_servers])
+
+    def set_placement(self, placement) -> None:
+        """Commit a placement map.  A canonical map (or ``None``) drops
+        back to the modulo fast path.  Selection caches are invalidated
+        conservatively — routing changed, so cached per-server cost state
+        is stale even though answers are placement-independent."""
+        alive_ids = [s.server_id for s in self.alive_servers]
+        if placement is None or placement.is_canonical_for(alive_ids):
+            self._placement = None
+        else:
+            self._placement = placement
+        self._notify_invalidation(None)
+
+    # ------------------------------------------------------------- membership
     @property
     def alive_servers(self) -> List[PDCServer]:
-        """Servers currently in service, ascending by id."""
-        return [s for s in self.servers if s.server_id not in self._failed_servers]
+        """Servers currently in service, ascending by id (live and
+        draining members; joining, crashed, and retired servers are
+        excluded from routing)."""
+        return [s for s in self.servers if s.server_id not in self._inactive_servers]
 
+    def add_server(self) -> int:
+        """Provision one new server in the JOINING state: its clock runs
+        from the current frontier but it serves no regions until a
+        rebalance commit activates it.  Returns the new server id."""
+        t = max(c.now for c in self.all_clocks())
+        sid = len(self.servers)
+        server = PDCServer(
+            sid, self.cost, self.config.server_memory_bytes, metrics=self.metrics
+        )
+        server.tracer = self.tracer
+        server.monitor = self.monitor
+        server.fault_plan = self.fault_plan
+        server.clock.advance_to(t)
+        self.servers.append(server)
+        self.membership.join(t, sid)
+        return sid
+
+    def drain_server(self, server_id: int) -> None:
+        """Begin decommissioning: the server keeps serving its share
+        until a rebalance commit migrates it away and retires it."""
+        t = max(c.now for c in self.all_clocks())
+        self.membership.drain(t, server_id)
+
+    def retire_server(self, server_id: int) -> None:
+        """Retire a drained (or never-activated joining) server."""
+        t = max(c.now for c in self.all_clocks())
+        self.membership.leave(t, server_id)
+
+    def _on_membership_event(self, event) -> None:
+        """The single code path every membership change funnels through:
+        routing-set maintenance, cache drops, placement repair, and
+        observability all happen here whether the trigger was
+        ``fail_server``, a lease expiry, or a scaling migration."""
+        sid = event.server_id
+        kind = event.kind
+        if kind == "join":
+            self._inactive_servers.add(sid)
+        elif kind == "activate":
+            self._inactive_servers.discard(sid)
+        elif kind in ("crash", "lease_expire"):
+            self._failed_servers.add(sid)
+            self._inactive_servers.add(sid)
+            self.servers[sid].drop_caches()
+            if self._placement is not None:
+                alive_ids = [s.server_id for s in self.alive_servers]
+                repaired = self._placement.repair(sid, alive_ids)
+                self._placement = (
+                    None if repaired.is_canonical_for(alive_ids) else repaired
+                )
+            self._notify_invalidation(None)
+        elif kind == "recover":
+            self._failed_servers.discard(sid)
+            self._inactive_servers.discard(sid)
+            t = max(c.now for c in self.all_clocks())
+            self.servers[sid].clock.advance_to(t)
+        elif kind == "leave":
+            self._inactive_servers.add(sid)
+            self._gone_servers.add(sid)
+            self.servers[sid].drop_caches()
+        if self._cluster_events_metric is None:
+            # Lazily declared so a deployment with no membership events
+            # renders exactly the pre-cluster metric families.
+            self._cluster_events_metric = self.metrics.counter(
+                "pdc_cluster_membership_total",
+                "Cluster membership transitions by kind.",
+                labels=("kind",),
+            )
+        self._cluster_events_metric.labels(kind=kind).inc()
+        self.metadata.record_view(event.t_s, self.membership.view())
+        if self.monitor.enabled:
+            self.monitor.on_membership(
+                t_s=event.t_s,
+                server_id=sid,
+                kind=kind,
+                state=event.state,
+                generation=event.generation,
+                n_serving=len(self.membership.serving_ids),
+            )
+
+    # ------------------------------------------------------------- failures
     def fail_server(self, server_id: int) -> None:
         """Take a server out of service (crash simulation).
 
         Its cached regions are lost; region assignments reroute to the
         survivors.  Queries keep working because region payloads live on
         the PFS and metadata is re-distributed on demand.  At least one
-        server must survive.
+        server must survive.  This is the membership registry's ``crash``
+        transition — failover, cache invalidation, placement repair, and
+        monitor series all observe the one event stream.
         """
-        if not (0 <= server_id < self.n_servers):
+        if not self.membership.knows(server_id) or (
+            self.membership.state(server_id) == GONE
+        ):
             raise PDCError(f"no server {server_id}")
-        if len(self.alive_servers) <= 1 and server_id not in self._failed_servers:
+        state = self.membership.state(server_id)
+        if state == CRASHED:
+            # Idempotent re-crash (pre-membership behaviour): re-drop the
+            # caches and re-signal invalidation, no new event.
+            self.servers[server_id].drop_caches()
+            self._notify_invalidation(None)
+            return
+        if state in SERVING_STATES and len(self.alive_servers) <= 1:
             raise PDCError("cannot fail the last alive server")
-        self._failed_servers.add(server_id)
-        self.servers[server_id].drop_caches()
-        self._notify_invalidation(None)
+        t = max(c.now for c in self.all_clocks())
+        self.membership.crash(t, server_id)
 
     def register_invalidation_hook(self, hook) -> None:
         """Subscribe ``hook(object_name_or_None)`` to staleness events:
@@ -406,12 +558,14 @@ class PDCSystem:
 
     def recover_server(self, server_id: int) -> None:
         """Bring a failed server back (cold caches, clock rejoins at the
-        current simulated time)."""
-        if server_id not in self._failed_servers:
+        current simulated time) — the registry's ``recover`` transition."""
+        if (
+            not self.membership.knows(server_id)
+            or self.membership.state(server_id) != CRASHED
+        ):
             raise PDCError(f"server {server_id} is not failed")
-        self._failed_servers.discard(server_id)
         t = max(c.now for c in self.all_clocks())
-        self.servers[server_id].clock.advance_to(t)
+        self.membership.recover(t, server_id)
 
     # ------------------------------------------------------------- containers
     def create_container(self, name: str, tags: Optional[Dict[str, TagValue]] = None) -> Container:

@@ -1428,7 +1428,7 @@ class QueryEngine:
         failed servers (§ fault tolerance) receive no work."""
         alive = self.system.alive_servers
         n = len(alive)
-        idx = region_ids % n
+        idx = self.system.region_owner_positions(region_ids)
         return [(alive[i], region_ids[idx == i]) for i in range(n)]
 
     def _assignment_with_faults(self, region_ids: np.ndarray, stats: QueryResult):
@@ -1499,7 +1499,7 @@ class QueryEngine:
         512-server contention.)"""
         if region_ids.size == 0:
             return 1
-        return int(np.unique(region_ids % len(self.system.alive_servers)).size)
+        return int(np.unique(self.system.region_owner_positions(region_ids)).size)
 
     def _charge_data_reads(
         self, obj: StoredObject, region_ids: np.ndarray, stats: QueryResult
@@ -1549,7 +1549,7 @@ class QueryEngine:
         stops = np.minimum(obj.offsets[region_ids] + obj.counts[region_ids], cstop)
         elems = np.maximum(stops - starts, 0)
         alive = sysm.alive_servers
-        servers_of = region_ids % len(alive)
+        servers_of = sysm.region_owner_positions(region_ids)
         per_server = np.bincount(servers_of, weights=elems, minlength=len(alive))
         for server, n in zip(alive, per_server):
             if n:
@@ -1560,7 +1560,7 @@ class QueryEngine:
         optimization)."""
         sysm = self.system
         alive = sysm.alive_servers
-        servers_of = obj.region_of_coords(coords) % len(alive)
+        servers_of = sysm.region_owner_positions(obj.region_of_coords(coords))
         per_server = np.bincount(servers_of, minlength=len(alive))
         for server, n in zip(alive, per_server):
             if n:
@@ -1716,7 +1716,7 @@ class QueryEngine:
         self, group: ReplicaGroup, region_ids: np.ndarray
     ) -> np.ndarray:
         n_alive = len(self.system.alive_servers)
-        servers_of = region_ids % n_alive
+        servers_of = self.system.region_owner_positions(region_ids)
         return np.bincount(
             servers_of, weights=group.counts[region_ids], minlength=n_alive
         )
@@ -1728,7 +1728,7 @@ class QueryEngine:
         n_alive = len(self.system.alive_servers)
         if coords.size == 0:
             return np.zeros(n_alive)
-        servers_of = obj.region_of_coords(coords) % n_alive
+        servers_of = self.system.region_owner_positions(obj.region_of_coords(coords))
         return np.bincount(servers_of, minlength=n_alive) * itemsize
 
     def _charge_result_transfer(

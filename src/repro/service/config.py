@@ -120,6 +120,11 @@ class ServiceConfig:
     #: kernels (``> 1`` enables the real-parallel runtime; simulated
     #: results stay bit-identical — see docs/parallelism.md).
     workers: int = 0
+    #: Autoscaler driven from the drain loop
+    #: (:class:`repro.cluster.autoscale.Autoscaler`); None disables
+    #: elastic scaling.  Kept untyped here to avoid importing the
+    #: cluster stack for fixed-fleet services.
+    autoscaler: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.tenants:

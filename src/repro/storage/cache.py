@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -185,6 +185,14 @@ class RegionCache:
             self._m_clear.inc(dropped)
 
     # ------------------------------------------------------------ inspection
+    def entries(self) -> List[Tuple[Hashable, float]]:
+        """Snapshot of ``(key, virtual_bytes)`` in LRU order (oldest first).
+
+        Does not disturb LRU position or stats — used by the cluster
+        rebalancer to size migrations without perturbing cache behavior.
+        """
+        return [(k, e.vbytes) for k, e in self._entries.items()]
+
     @property
     def used_bytes(self) -> float:
         """Virtual bytes currently cached."""

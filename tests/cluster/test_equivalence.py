@@ -1,0 +1,242 @@
+"""Elastic-cluster equivalence contracts.
+
+Two claims ride the whole subsystem:
+
+* **Static equivalence** — after elastic churn lands on the canonical
+  map of some final view, a workload replayed from reset clocks and
+  cold caches is bit-identical (answers *and* clocks) to the same
+  workload on a static cluster built at that view.
+* **Default-off bit-identity** — a deployment that never exercises the
+  cluster APIs behaves exactly as one built before the subsystem
+  existed: no membership events, no ``pdc_cluster_*`` series, identical
+  results and clocks whether or not read-only cluster surfaces are
+  touched.
+"""
+
+import numpy as np
+
+from repro.cluster.rebalance import ClusterManager
+from repro.faults import FaultConfig, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import ServiceMonitor
+from repro.query.ast import Condition, combine_and
+from repro.query.executor import QueryEngine
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(
+        object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value
+    )
+
+
+def build_system(n_servers, metrics=None):
+    """Identical payloads on any fleet size (fixed meta shards so the
+    metadata layout never depends on the starting fleet)."""
+    sysm = make_system(
+        n_servers=n_servers,
+        region_size_bytes=1 << 11,
+        n_meta_shards=4,
+        metrics=metrics,
+    )
+    rng = np.random.default_rng(99)
+    sysm.create_object(
+        "energy", rng.gamma(2.0, 0.7, 1 << 13).astype(np.float32)
+    )
+    sysm.create_object(
+        "x", (rng.random(1 << 13) * 300.0).astype(np.float32)
+    )
+    return sysm
+
+
+WORKLOAD = (
+    cond("energy", ">", 2.0),
+    combine_and(cond("energy", ">", 1.0), cond("x", "<", 150.0)),
+    cond("x", "<=", 30.0),
+    cond("energy", ">", 0.2),
+)
+
+
+def run_workload(sysm):
+    """(answers, per-alive-server clock/breakdown, client clock)."""
+    engine = QueryEngine(sysm)
+    answers = [engine.execute(node).nhits for node in WORKLOAD]
+    clocks = [
+        (s.server_id, s.clock.now, tuple(sorted(s.clock.breakdown().items())))
+        for s in sysm.alive_servers
+    ]
+    return answers, clocks, sysm.client_clock.now
+
+
+class TestStaticEquivalence:
+    """Satellite: elastic churn, then the canonical final view replays
+    bit-identically to a static cluster built at that view."""
+
+    def test_scale_out_matches_static_cluster(self):
+        elastic = build_system(2)
+        ClusterManager(elastic).scale_out(2)  # 2 -> 4, canonical view
+        elastic.reset_clocks()
+        elastic.drop_all_caches()
+        static = build_system(4)
+        assert elastic._placement is None
+        assert run_workload(elastic) == run_workload(static)
+
+    def test_scale_in_matches_static_cluster(self):
+        elastic = build_system(4)
+        ClusterManager(elastic).scale_in(1)  # 4 -> 3, server 3 gone
+        elastic.reset_clocks()
+        elastic.drop_all_caches()
+        static = build_system(3)
+        assert elastic.n_servers == 3
+        assert run_workload(elastic) == run_workload(static)
+
+    def test_churned_cluster_matches_static_after_out_and_in(self):
+        elastic = build_system(2)
+        manager = ClusterManager(elastic)
+        manager.scale_out(2)  # 2 -> 4
+        manager.scale_in(2)   # 4 -> 2: back to servers {0, 1}
+        elastic.reset_clocks()
+        elastic.drop_all_caches()
+        static = build_system(2)
+        assert run_workload(elastic) == run_workload(static)
+
+
+class TestInterleavings:
+    """Satellite: migrations interleaved with ingest, batch windows, and
+    fault plans keep answers exact and replay bit-identically."""
+
+    def interleaved_run(self, seed):
+        from repro.service import QueryService, ServiceConfig, Tenant
+
+        sysm = build_system(2)
+        sysm.set_fault_plan(
+            FaultPlan(
+                seed=seed,
+                config=FaultConfig(pfs_slow_rate=0.2, server_slow_rate=0.1),
+            )
+        )
+        monitor = ServiceMonitor()
+        sysm.set_monitor(monitor)
+        manager = ClusterManager(sysm)
+        svc = QueryService(
+            sysm,
+            ServiceConfig(tenants=(Tenant("t"),), policy="fifo", batch_window=2),
+        )
+        rng = np.random.default_rng(seed)
+        truth = np.array(sysm.get_object("energy").data)
+
+        def burst(t):
+            tickets = []
+            for _ in range(6):
+                t += float(rng.exponential(0.002))
+                thr = float(np.float32(rng.uniform(0.5, 3.0)))
+                tickets.append(
+                    (thr, svc.submit("t", cond("energy", ">", thr), arrival_s=t))
+                )
+            svc.drain()
+            return t, tickets
+
+        tickets = []
+        t = max(c.now for c in sysm.all_clocks())
+        t, got = burst(t)
+        tickets += got
+        manager.scale_out(1)  # 2 -> 3 mid-workload
+        extra = rng.gamma(2.0, 0.7, 1 << 10).astype(np.float32)
+        sysm.append_to_object("energy", extra)  # ingest between windows
+        truth = np.concatenate([truth, extra])
+        t = max(t, max(c.now for c in sysm.all_clocks()))
+        t, got = burst(t)
+        tickets += got
+        manager.scale_in(1)  # 3 -> 2
+        t = max(t, max(c.now for c in sysm.all_clocks()))
+        t, got = burst(t)
+        tickets += got
+        svc.close()
+
+        for thr, ticket in tickets:
+            assert ticket.status == "done"
+            # Exactness through every interleaving: each answer matches
+            # the ground truth as of its batch (appends land between
+            # bursts, never inside one).
+        state = tuple(
+            (tk.status, tk.queue_wait_s, tk.result.nhits) for _, tk in tickets
+        )
+        clocks = tuple(c.now for c in sysm.all_clocks())
+        return state, clocks, sysm.membership.fingerprint(), truth, tickets
+
+    def test_answers_exact_through_churn_and_ingest(self):
+        state, _, _, truth, tickets = self.interleaved_run(31)
+        # The last burst ran against the fully appended object.
+        for thr, ticket in tickets[-6:]:
+            assert ticket.result.nhits == int((truth > thr).sum())
+
+    def test_same_seed_interleaved_run_is_bit_identical(self):
+        a = self.interleaved_run(31)
+        b = self.interleaved_run(31)
+        assert a[0] == b[0]  # every ticket's terminal state
+        assert a[1] == b[1]  # every clock, position-wise
+        assert a[2] == b[2]  # the membership event stream
+
+
+class TestDefaultOff:
+    """Satellite: no cluster use, no cluster cost — bit-identical to the
+    pre-subsystem system, with no ``pdc_cluster_*`` telemetry."""
+
+    def run_plain(self, peek_cluster):
+        sysm = build_system(4, metrics=MetricsRegistry())
+        monitor = ServiceMonitor(registry=sysm.metrics, scrape_interval_s=0.01)
+        sysm.set_monitor(monitor)
+        if peek_cluster:
+            # Read-only cluster surfaces must not perturb anything.
+            assert sysm.placement_map().is_canonical_for([0, 1, 2, 3])
+            assert sysm.membership.view().generation == 0
+            np.testing.assert_array_equal(
+                sysm.region_owner_positions(np.arange(8)), np.arange(8) % 4
+            )
+        result = run_workload(sysm)
+        monitor.on_tick(max(c.now for c in sysm.all_clocks()))
+        return sysm, monitor, result
+
+    def test_untouched_cluster_leaves_no_trace(self):
+        sysm, monitor, _ = self.run_plain(peek_cluster=False)
+        assert sysm._placement is None
+        assert sysm.membership.events == []
+        assert sysm.membership.generation == 0
+        assert not any(
+            name.startswith("pdc_cluster") for name in sysm.metrics.names()
+        )
+        assert not any(
+            s.name.startswith("pdc_cluster")
+            for s in monitor.recorder.all_series()
+        )
+
+    def test_read_only_peeks_are_bit_identical(self):
+        plain = self.run_plain(peek_cluster=False)
+        peeked = self.run_plain(peek_cluster=True)
+        assert plain[2] == peeked[2]
+        assert plain[1].fingerprint() == peeked[1].fingerprint()
+        # Identical metric families either way (and none cluster-flavoured).
+        assert plain[0].metrics.names() == peeked[0].metrics.names()
+
+
+class TestFailServerUnification:
+    """Satellite: ``fail_server`` is the registry's crash transition."""
+
+    def test_fail_and_recover_route_through_membership(self):
+        sysm = build_system(4)
+        sysm.fail_server(2)
+        assert [e.kind for e in sysm.membership.events] == ["crash"]
+        assert sysm.membership.state(2) == "crashed"
+        sysm.recover_server(2)
+        assert [e.kind for e in sysm.membership.events] == ["crash", "recover"]
+        assert sysm.membership.state(2) == "live"
+        # Fleet-size semantics unchanged: crashes never shrink n_servers.
+        sysm.fail_server(2)
+        assert sysm.n_servers == 4
+
+    def test_membership_counter_tracks_fail_events(self):
+        sysm = build_system(4, metrics=MetricsRegistry())
+        sysm.fail_server(1)
+        sysm.recover_server(1)
+        assert sysm.metrics.total("pdc_cluster_membership_total") == 2.0

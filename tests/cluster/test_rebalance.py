@@ -1,0 +1,325 @@
+"""Placement maps and copy-then-commit migrations.
+
+The routing contract under test: queries stay exact through scale-out,
+scale-in, hot-share splitting, and crashes that interrupt an in-flight
+migration — and a crash mid-copy neither loses nor duplicates a region.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.membership import DRAINING, GONE, JOINING, LIVE
+from repro.cluster.rebalance import ClusterManager, Migration, PlacementMap
+from repro.errors import PDCError
+from repro.query.ast import Condition
+from repro.query.executor import QueryEngine
+from repro.types import PDCType, QueryOp
+from tests.conftest import make_system
+
+
+def cond(name, op, value):
+    return Condition(
+        object_name=name, op=QueryOp(op), pdc_type=PDCType.FLOAT, value=value
+    )
+
+
+@pytest.fixture
+def env(rng):
+    """4 servers, 16 warm regions: every migration has real bytes to move."""
+    sysm = make_system(n_servers=4, region_size_bytes=1 << 11)
+    e = rng.gamma(2.0, 0.7, 1 << 13).astype(np.float32)
+    sysm.create_object("energy", e)
+    engine = QueryEngine(sysm)
+    truth = int((e > 0.5).sum())
+    assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+    return sysm, engine, e, truth
+
+
+def cached_region_keys(sysm):
+    """(server_id, cache_key) for every cached region entry."""
+    return [
+        (s.server_id, key)
+        for s in sysm.servers
+        for key, _ in s.cache.entries()
+    ]
+
+
+class TestPlacementMap:
+    def test_canonical_is_modulo_routing(self):
+        pm = PlacementMap.canonical([2, 0, 1, 0])
+        assert pm.slots == (0, 1, 2)
+        assert pm.is_canonical_for([0, 1, 2])
+        assert [pm.owner_of(r) for r in range(5)] == [0, 1, 2, 0, 1]
+        ids = np.arange(6)
+        np.testing.assert_array_equal(
+            pm.positions(ids, [0, 1, 2]), ids % 3
+        )
+
+    def test_positions_index_the_alive_list(self):
+        # Owner ids are translated to positions in the (possibly gappy)
+        # alive list — the shape the executor consumes.
+        pm = PlacementMap([0, 2, 3])
+        pos = pm.positions(np.arange(3), [0, 2, 3])
+        np.testing.assert_array_equal(pos, [0, 1, 2])
+        with pytest.raises(PDCError, match="non-serving servers"):
+            pm.positions(np.arange(3), [0, 3])  # 2 not serving
+
+    def test_doubled_preserves_routing_and_halved_undoes_it(self):
+        pm = PlacementMap([0, 1, 2])
+        ids = np.arange(12)
+        np.testing.assert_array_equal(
+            pm.doubled().owners_of(ids), pm.owners_of(ids)
+        )
+        assert pm.doubled().halved() == pm
+        # Uneven halves (a re-homed slot) refuse to merge.
+        split = pm.doubled().with_slot(3, 1)
+        assert split.halved() is split
+
+    def test_repair_rehomes_dead_slots_round_robin(self):
+        pm = PlacementMap([0, 1, 0, 1, 0])
+        repaired = pm.repair(0, [1, 2])
+        assert repaired.slots == (1, 1, 2, 1, 1)
+        with pytest.raises(PDCError, match="no replacement"):
+            pm.repair(0, [0])
+
+    def test_share_of(self):
+        pm = PlacementMap([0, 1, 0, 2])
+        assert pm.share_of(0) == 0.5
+        assert pm.share_of(3) == 0.0
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(PDCError):
+            PlacementMap([])
+        with pytest.raises(PDCError):
+            PlacementMap([0, -1])
+
+
+class TestScaleOut:
+    def test_answers_and_routing_survive_scale_out(self, env):
+        sysm, engine, e, truth = env
+        manager = ClusterManager(sysm)
+        mig = manager.scale_out(2)
+        assert mig.state == "committed"
+        # The grown view's canonical map drops back to the modulo fast
+        # path — routing is position-identical to a static 6-server
+        # cluster.
+        assert sysm._placement is None
+        assert sysm.n_servers == 6
+        assert [s.server_id for s in sysm.alive_servers] == [0, 1, 2, 3, 4, 5]
+        assert sysm.membership.state(4) == LIVE
+        assert sysm.membership.state(5) == LIVE
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+    def test_migration_moves_warm_bytes_and_charges_time(self, env):
+        sysm, _, _, _ = env
+        clocks_before = [s.clock.now for s in sysm.servers]
+        mig = ClusterManager(sysm).scale_out(1)
+        assert len(mig.moves) > 0
+        assert mig.total_vbytes > 0
+        assert 0.0 < mig.moved_share <= 1.0
+        # Transfer time is charged under "migration" on both ends.
+        charged = sum(
+            s.clock.breakdown().get("migration", 0.0) for s in sysm.servers
+        )
+        assert charged > 0.0
+        assert any(
+            s.clock.now > t0 for s, t0 in zip(sysm.servers, clocks_before)
+        )
+
+    def test_commit_transfers_each_region_exactly_once(self, env):
+        sysm, _, _, _ = env
+        before = {key for _, key in cached_region_keys(sysm)}
+        ClusterManager(sysm).scale_out(2)
+        after = cached_region_keys(sysm)
+        # No cached region entry was lost or duplicated by the transfer.
+        assert {key for _, key in after} == before
+        assert len(after) == len({key for _, key in after})
+        # Every transferred entry lives where the new map routes it.
+        pm = sysm.placement_map()
+        for sid, key in after:
+            rid = int(key.rpartition(":r")[2])
+            assert pm.owner_of(rid) == sid
+
+
+class TestScaleIn:
+    def test_drain_then_leave_keeps_answers(self, env):
+        sysm, engine, e, truth = env
+        manager = ClusterManager(sysm)
+        mig = manager.scale_in(1)
+        assert mig.state == "committed"
+        assert sysm.membership.state(3) == GONE
+        assert sysm.n_servers == 3
+        assert sysm._placement is None
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+        # The retired server's caches are dropped and it gets no work.
+        assert len(sysm.servers[3].cache) == 0
+
+    def test_scale_in_refuses_to_empty_the_fleet(self, env):
+        sysm, _, _, _ = env
+        with pytest.raises(PDCError, match="no live server"):
+            ClusterManager(sysm).scale_in(4)
+
+    def test_explicit_drain_is_migrated_away_by_rebalance(self, env):
+        sysm, engine, _, truth = env
+        manager = ClusterManager(sysm)
+        sysm.drain_server(2)
+        assert sysm.membership.state(2) == DRAINING
+        # Draining servers keep serving until a commit excludes them.
+        assert 2 in [s.server_id for s in sysm.alive_servers]
+        target = PlacementMap.canonical([0, 1, 3])
+        manager._finish(manager.begin_migration(target))
+        assert sysm.membership.state(2) == GONE
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+
+class TestCrashMidMigration:
+    """Satellite regression: a crash during an in-flight migration must
+    neither lose nor duplicate a region."""
+
+    def test_crash_aborts_inflight_and_preserves_every_region(self, env):
+        sysm, engine, e, truth = env
+        manager = ClusterManager(sysm)
+        sid = sysm.add_server()
+        assert sysm.membership.state(sid) == JOINING
+        mig = manager.begin_migration(
+            PlacementMap.canonical([0, 1, 2, 3, sid])
+        )
+        before = cached_region_keys(sysm)
+        assert mig.step()  # copy one round, then the source crashes
+        sysm.fail_server(1)
+
+        # The membership event aborted the migration: nothing applied.
+        assert mig.state == "aborted"
+        assert manager.in_flight is None
+        assert manager.history[-1].status == "aborted"
+        assert sysm._placement is None
+        assert sysm.membership.state(sid) == JOINING  # never activated
+
+        # No region duplicated, none half-moved: the cache layout is
+        # exactly the pre-migration layout minus the crashed server's
+        # dropped entries — copy-then-commit applied nothing.
+        after = cached_region_keys(sysm)
+        assert after == [(s, k) for s, k in before if s != 1]
+        assert len(sysm.servers[sid].cache) == 0
+        keys = [key for _, key in after]
+        assert len(keys) == len(set(keys))
+
+        # No region lost: every region still routes to exactly one
+        # serving server, and the answer is exact.
+        obj = sysm.get_object("energy")
+        alive_ids = {s.server_id for s in sysm.alive_servers}
+        owners = [sysm.server_of_region(r) for r in range(obj.n_regions)]
+        assert set(owners) <= alive_ids
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+    def test_abandoned_join_completes_on_replan(self, env):
+        sysm, engine, _, truth = env
+        manager = ClusterManager(sysm)
+        sid = sysm.add_server()
+        mig = manager.begin_migration(
+            PlacementMap.canonical([0, 1, 2, 3, sid])
+        )
+        mig.step()
+        sysm.fail_server(1)
+        # Re-plan over the survivors: the joining server finally serves.
+        replan = manager._finish(
+            manager.begin_migration(PlacementMap.canonical([0, 2, 3, sid]))
+        )
+        assert replan.state == "committed"
+        assert sysm.membership.state(sid) == LIVE
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+    def test_crash_repairs_a_committed_noncanonical_placement(self, env):
+        sysm, engine, _, truth = env
+        sysm.set_placement(PlacementMap([0, 1, 2, 0]))
+        assert sysm._placement is not None
+        sysm.fail_server(1)
+        # The dead server's slots were re-homed across the survivors.
+        obj = sysm.get_object("energy")
+        owners = {sysm.server_of_region(r) for r in range(obj.n_regions)}
+        assert 1 not in owners
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+
+class TestMigrationGuards:
+    def test_commit_requires_all_moves_copied(self, env):
+        sysm, _, _, _ = env
+        manager = ClusterManager(sysm)
+        sid = sysm.add_server()
+        mig = manager.begin_migration(
+            PlacementMap.canonical([0, 1, 2, 3, sid])
+        )
+        assert len(mig.moves) > mig.max_concurrent_moves
+        mig.step()
+        with pytest.raises(PDCError, match="not copied"):
+            mig.commit()
+
+    def test_aborted_migration_is_terminal(self, env):
+        sysm, _, _, _ = env
+        manager = ClusterManager(sysm)
+        sid = sysm.add_server()
+        mig = manager.begin_migration(
+            PlacementMap.canonical([0, 1, 2, 3, sid])
+        )
+        mig.abort()
+        with pytest.raises(PDCError, match="aborted"):
+            mig.step()
+        with pytest.raises(PDCError, match="aborted"):
+            mig.commit()
+        mig.abort()  # idempotent
+
+    def test_single_inflight_migration(self, env):
+        sysm, _, _, _ = env
+        manager = ClusterManager(sysm)
+        sid = sysm.add_server()
+        manager.begin_migration(PlacementMap.canonical([0, 1, 2, 3, sid]))
+        with pytest.raises(PDCError, match="already in flight"):
+            manager.begin_migration(PlacementMap.canonical([0, 1, 2, 3]))
+
+    def test_throttle_rounds(self, env):
+        sysm, _, _, _ = env
+        mig = Migration(
+            sysm, PlacementMap.canonical([0, 1]), max_concurrent_moves=2
+        )
+        rounds = 0
+        while mig.step():
+            rounds += 1
+        assert rounds == -(-len(mig.moves) // 2)  # ceil division
+        with pytest.raises(PDCError):
+            Migration(sysm, PlacementMap.canonical([0, 1]),
+                      max_concurrent_moves=0)
+
+
+class TestBalance:
+    def test_hot_share_is_split_toward_the_coldest(self, env):
+        sysm, engine, _, truth = env
+        manager = ClusterManager(sysm)
+        mig = manager.balance(loads={0: 100.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        assert mig is not None and mig.state == "committed"
+        pm = sysm.placement_map()
+        # The canonical table doubled and one of the hot server's slots
+        # was re-homed onto the coldest server.
+        assert len(pm) == 8
+        assert pm.share_of(0) == 1 / 8
+        assert pm.share_of(3) == 3 / 8
+        assert engine.execute(cond("energy", ">", 0.5)).nhits == truth
+
+    def test_balanced_loads_merge_a_split_table_back(self, env):
+        sysm, _, _, _ = env
+        manager = ClusterManager(sysm)
+        sysm.set_placement(PlacementMap([0, 1, 2, 3, 0, 1, 2, 3]))
+        mig = manager.balance(loads={0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        assert mig is not None and mig.state == "committed"
+        # The merged table is the canonical map: back on the fast path.
+        assert sysm._placement is None
+
+    def test_already_balanced_is_a_noop(self, env):
+        sysm, _, _, _ = env
+        manager = ClusterManager(sysm)
+        assert manager.balance(loads={s: 1.0 for s in range(4)}) is None
+        assert manager.history == []
+
+    def test_balance_factor_validated(self, env):
+        sysm, _, _, _ = env
+        with pytest.raises(PDCError):
+            ClusterManager(sysm, balance_factor=0.5)

@@ -141,6 +141,26 @@ class TestMerge:
         direct = np.bincount(idx, minlength=merged.n_bins)
         assert np.array_equal(direct, merged.counts)
 
+    def test_merge_exact_at_extreme_width_ratio(self):
+        """Regression: coarsening a subnormal-width grid (width 2^-149)
+        onto a 2^-20 grid must compute the bin offset exactly.  The float
+        subtraction ``start - new_start`` absorbs the fine start entirely
+        at this ratio, which used to slide the subnormal's count into the
+        neighbouring coarse bin."""
+        a = np.array([0.0])
+        b = np.zeros(80)
+        b[1] = -5.605193857299268e-45
+        merged = MergeableHistogram.merge_many(
+            [MergeableHistogram.from_data(x, n_bins=4) for x in (a, b)]
+        )
+        alldata = np.concatenate([a, b])
+        assert merged.total == alldata.size
+        idx = np.searchsorted(merged.boundaries, alldata, side="right") - 1
+        np.clip(idx, 0, merged.n_bins - 1, out=idx)
+        assert np.array_equal(
+            np.bincount(idx, minlength=merged.n_bins), merged.counts
+        )
+
     @given(data_arrays, data_arrays)
     @settings(max_examples=100, deadline=None)
     def test_pairwise_merge_commutative(self, a, b):
